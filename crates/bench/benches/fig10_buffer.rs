@@ -1,0 +1,69 @@
+//! Fig. 10 — motion-aware vs naive buffer management across buffer sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mar_bench::{figs, Scale};
+use mar_buffer::{MotionAwarePrefetcher, NaivePrefetcher, Prefetcher};
+use mar_core::bufsim::{run_buffer_sim, BufferSimConfig};
+use mar_core::Server;
+use mar_workload::{paper_space, tram_tour, Placement, TourConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let scene = figs::build_scene(&scale, 30, Placement::Uniform);
+    let tour = tram_tour(&TourConfig::new(paper_space(), 120, 5, 0.5));
+    let cfg = BufferSimConfig::default();
+    let mut group = c.benchmark_group("fig10_buffer_sim");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("motion_aware", |b| {
+        b.iter(|| {
+            let mut server = Server::new(&scene);
+            let mut p = MotionAwarePrefetcher::new(4);
+            black_box(run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg))
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let mut server = Server::new(&scene);
+            let mut p = NaivePrefetcher;
+            black_box(run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg))
+        })
+    });
+    // The planner itself, isolated.
+    let grid = mar_geom::GridSpec::new(paper_space(), 25, 25);
+    let probs = {
+        let mut predictor = mar_motion::MotionPredictor::new(Default::default());
+        for s in tour.samples.iter().take(30) {
+            predictor.observe(s.pos);
+        }
+        mar_motion::probability::gaussian_block_probabilities(&grid, &predictor.predict_horizon(4))
+    };
+    let frame_blocks = grid.blocks_overlapping(&mar_workload::frame_at(
+        &paper_space(),
+        &tour.samples[29].pos,
+        0.1,
+    ));
+    group.bench_function("plan_only", |b| {
+        let mut p = MotionAwarePrefetcher::new(4);
+        b.iter(|| {
+            let ctx = mar_buffer::PrefetchContext {
+                grid: &grid,
+                position: tour.samples[29].pos,
+                frame_blocks: &frame_blocks,
+                budget: 16,
+                block_probs: &probs,
+                direction_hint: None,
+            };
+            black_box(p.plan(&ctx))
+        })
+    });
+    group.finish();
+    let (a, b) = figs::fig10(&scale);
+    print!("{}", a.render());
+    print!("{}", b.render());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

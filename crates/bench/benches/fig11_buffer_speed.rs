@@ -1,0 +1,44 @@
+//! Fig. 11 — speed-scaled multiresolution buffering.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mar_bench::{figs, Scale};
+use mar_motion::{MotionPredictor, PredictorConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_motion_prediction");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    // The predictor pipeline, isolated: observe + multi-step predict.
+    group.bench_function("observe_predict_h4", |b| {
+        let mut p = MotionPredictor::new(PredictorConfig::default());
+        let mut t = 0.0f64;
+        b.iter(|| {
+            t += 1.0;
+            p.observe(mar_geom::Point2::new([t, (t * 0.1).sin() * 50.0]));
+            black_box(p.predict_horizon(4))
+        })
+    });
+    let grid = mar_geom::GridSpec::new(mar_workload::paper_space(), 25, 25);
+    group.bench_function("block_probabilities", |b| {
+        let mut p = MotionPredictor::new(PredictorConfig::default());
+        for i in 0..50 {
+            p.observe(mar_geom::Point2::new([i as f64 * 5.0, 500.0]));
+        }
+        let preds = p.predict_horizon(4);
+        b.iter(|| {
+            black_box(mar_motion::probability::gaussian_block_probabilities(
+                &grid, &preds,
+            ))
+        })
+    });
+    group.finish();
+    let scale = Scale::quick();
+    let (a, b) = figs::fig11(&scale);
+    print!("{}", a.render());
+    print!("{}", b.render());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 12 — I/O cost of the wavelet support-region index vs the naive
+//! point index across speeds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mar_bench::{figs, Scale};
+use mar_core::{NaivePointIndex, SceneIndexData, WaveletIndex};
+use mar_mesh::ResolutionBand;
+use mar_workload::Placement;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let scene = figs::build_scene(&scale, 60, Placement::Uniform);
+    let data = SceneIndexData::build(&scene);
+    let good = WaveletIndex::build(&data);
+    let naive = NaivePointIndex::build(&data);
+    let w = mar_geom::Rect2::new(
+        mar_geom::Point2::new([300.0, 300.0]),
+        mar_geom::Point2::new([400.0, 400.0]),
+    );
+    let mut group = c.benchmark_group("fig12_index_query");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for (name, band) in [
+        ("slow_full_band", ResolutionBand::FULL),
+        ("fast_coarse_band", ResolutionBand::new(0.9, 1.0)),
+    ] {
+        group.bench_function(format!("support_{name}"), |b| {
+            b.iter(|| black_box(good.query(&w, band)))
+        });
+        group.bench_function(format!("naive_{name}"), |b| {
+            b.iter(|| black_box(naive.query(&w, band)))
+        });
+    }
+    group.finish();
+    print!("{}", figs::fig12(&scale).render());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

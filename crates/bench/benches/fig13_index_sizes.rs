@@ -1,0 +1,26 @@
+//! Fig. 13 — I/O vs query size and dataset size; also times bulk loading.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mar_bench::{figs, Scale};
+use mar_core::{SceneIndexData, WaveletIndex};
+use mar_workload::Placement;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let scene = figs::build_scene(&scale, 60, Placement::Uniform);
+    let data = SceneIndexData::build(&scene);
+    let mut group = c.benchmark_group("fig13_index_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function(format!("bulk_load_{}_coeffs", data.len()), |b| {
+        b.iter(|| black_box(WaveletIndex::build(&data)))
+    });
+    group.finish();
+    print!("{}", figs::fig13a(&scale).render());
+    print!("{}", figs::fig13b(&scale).render());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

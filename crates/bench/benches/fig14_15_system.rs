@@ -1,0 +1,48 @@
+//! Figs. 14–15 — end-to-end system response time, motion-aware vs naive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mar_bench::{figs, Scale};
+use mar_buffer::MotionAwarePrefetcher;
+use mar_core::system::{run_motion_aware_system, run_naive_system, SystemConfig};
+use mar_core::Server;
+use mar_workload::{paper_space, tram_tour, Placement, TourConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let scene = figs::build_scene(&scale, 30, Placement::Uniform);
+    let tour = tram_tour(&TourConfig::new(paper_space(), 100, 9, 0.8));
+    let cfg = SystemConfig::default();
+    let mut group = c.benchmark_group("fig14_system_tour");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("motion_aware", |b| {
+        b.iter(|| {
+            let mut server = Server::new(&scene);
+            let mut p = MotionAwarePrefetcher::new(4);
+            black_box(run_motion_aware_system(
+                &mut server,
+                &scene,
+                &tour,
+                &mut p,
+                &cfg,
+            ))
+        })
+    });
+    group.bench_function("naive", |b| {
+        b.iter(|| {
+            let server = Server::new(&scene);
+            black_box(run_naive_system(&server, &scene, &tour, &cfg))
+        })
+    });
+    group.finish();
+    print!("{}", figs::fig14_15(&scale, Placement::Uniform).render());
+    print!(
+        "{}",
+        figs::fig14_15(&scale, Placement::Zipf { theta: 0.8 }).render()
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

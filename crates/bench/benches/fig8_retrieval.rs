@@ -1,0 +1,39 @@
+//! Fig. 8 — motion-aware continuous retrieval vs speed.
+//!
+//! Times the per-frame cost of Algorithm 1 at a slow and a fast speed and
+//! regenerates the figure's table at quick scale (the full table comes
+//! from `cargo run -p mar-bench --release --bin reproduce -- --paper`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mar_bench::{figs, Scale};
+use mar_core::{IncrementalClient, LinearSpeedMap, Server};
+use mar_workload::{frame_at, paper_space, tram_tour, Placement, TourConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let scene = figs::build_scene(&scale, 30, Placement::Uniform);
+    let mut group = c.benchmark_group("fig8_incremental_tick");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for speed in [0.001, 1.0] {
+        let tour = tram_tour(&TourConfig::new(paper_space(), 200, 7, speed));
+        group.bench_function(format!("speed_{speed}"), |b| {
+            b.iter(|| {
+                let mut server = Server::new(&scene);
+                let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
+                for s in &tour.samples {
+                    let frame = frame_at(&paper_space(), &s.pos, 0.1);
+                    black_box(client.tick(&mut server, frame, s.speed));
+                }
+                client.metrics().bytes
+            })
+        });
+    }
+    group.finish();
+    print!("{}", figs::fig8(&scale).render());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

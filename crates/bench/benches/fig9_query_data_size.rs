@@ -1,0 +1,35 @@
+//! Fig. 9(a)/(b) — effect of query-frame size and dataset size on
+//! retrieval volume.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mar_bench::{figs, Scale};
+use mar_core::Server;
+use mar_mesh::ResolutionBand;
+use mar_workload::Placement;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let scale = Scale::quick();
+    let scene = figs::build_scene(&scale, 60, Placement::Uniform);
+    let server = Server::new(&scene);
+    let mut group = c.benchmark_group("fig9_window_query");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for frac in [0.05, 0.20] {
+        let side = 1000.0 * frac;
+        let w = mar_geom::Rect2::new(
+            mar_geom::Point2::new([400.0, 400.0]),
+            mar_geom::Point2::new([400.0 + side, 400.0 + side]),
+        );
+        group.bench_function(format!("frame_{}pct", (frac * 100.0) as u32), |b| {
+            b.iter(|| black_box(server.query_stateless(&w, ResolutionBand::new(0.5, 1.0))))
+        });
+    }
+    group.finish();
+    print!("{}", figs::fig9a(&scale).render());
+    print!("{}", figs::fig9b(&scale).render());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Regenerates the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run -p mar-bench --release --bin reproduce              # all, quick scale
+//! cargo run -p mar-bench --release --bin reproduce -- --paper   # full paper scale
+//! cargo run -p mar-bench --release --bin reproduce -- fig8 fig12
+//! ```
+//!
+//! Tables are printed to stdout and written as CSV to `results/`.
+
+use mar_bench::figs;
+use mar_bench::{Scale, Table};
+use std::io::Write;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paper = args.iter().any(|a| a == "--paper");
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.as_str())
+        .collect();
+    let scale = if paper {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
+    eprintln!(
+        "reproduce: scale = {} ({} objects, {} ticks, {} speeds, {} seeds)",
+        if paper { "paper" } else { "quick" },
+        scale.objects_default,
+        scale.ticks,
+        scale.speeds.len(),
+        scale.tour_seeds.len(),
+    );
+
+    let run = |id: &str| -> bool { wanted.is_empty() || wanted.iter().any(|w| id.starts_with(w)) };
+    let t0 = std::time::Instant::now();
+    let mut tables: Vec<Table> = Vec::new();
+    if run("fig8") {
+        tables.push(figs::fig8(&scale));
+        progress(&tables, t0);
+    }
+    if run("fig9a") {
+        tables.push(figs::fig9a(&scale));
+        progress(&tables, t0);
+    }
+    if run("fig9b") {
+        tables.push(figs::fig9b(&scale));
+        progress(&tables, t0);
+    }
+    if run("fig10") {
+        let (a, b) = figs::fig10(&scale);
+        tables.push(a);
+        tables.push(b);
+        progress(&tables, t0);
+    }
+    if run("fig11") {
+        let (a, b) = figs::fig11(&scale);
+        tables.push(a);
+        tables.push(b);
+        progress(&tables, t0);
+    }
+    if run("fig12") {
+        tables.push(figs::fig12(&scale));
+        progress(&tables, t0);
+    }
+    if run("fig13a") {
+        tables.push(figs::fig13a(&scale));
+        progress(&tables, t0);
+    }
+    if run("fig13b") {
+        tables.push(figs::fig13b(&scale));
+        progress(&tables, t0);
+    }
+    if run("fig14") {
+        tables.push(figs::fig14_15(&scale, mar_workload::Placement::Uniform));
+        progress(&tables, t0);
+    }
+    if run("fig15") {
+        tables.push(figs::fig14_15(
+            &scale,
+            mar_workload::Placement::Zipf { theta: 0.8 },
+        ));
+        progress(&tables, t0);
+    }
+    if args.iter().any(|a| a == "--ablations") || wanted.iter().any(|w| w.starts_with("abl")) {
+        for table in mar_bench::ablations::all_ablations(&scale) {
+            if wanted.is_empty()
+                || wanted
+                    .iter()
+                    .any(|w| table.id.starts_with(w) || *w == "--ablations")
+            {
+                tables.push(table);
+                progress(&tables, t0);
+            }
+        }
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    for t in &tables {
+        print!("{}", t.render());
+        let path = format!("results/{}.csv", t.id);
+        let mut f = std::fs::File::create(&path).expect("create csv");
+        f.write_all(t.to_csv().as_bytes()).expect("write csv");
+    }
+    eprintln!(
+        "\nreproduce: {} tables written to results/ in {:.1}s",
+        tables.len(),
+        t0.elapsed().as_secs_f64()
+    );
+}
+
+fn progress(tables: &[Table], t0: std::time::Instant) {
+    eprintln!(
+        "  [{:6.1}s] {} done",
+        t0.elapsed().as_secs_f64(),
+        tables.last().map(|t| t.id).unwrap_or("?")
+    );
+}

@@ -1,0 +1,434 @@
+//! One row-generator per figure of §VII. See DESIGN.md §3 for the mapping
+//! and EXPERIMENTS.md for paper-vs-measured results.
+
+use crate::{Scale, Table};
+use mar_buffer::{MotionAwarePrefetcher, NaivePrefetcher};
+use mar_core::bufsim::{run_buffer_sim, BufferSimConfig};
+use mar_core::system::{run_motion_aware_system, run_naive_system, SystemConfig};
+use mar_core::{
+    IncrementalClient, LinearSpeedMap, NaivePointIndex, SceneIndexData, Server, WaveletIndex,
+};
+use mar_mesh::ResolutionBand;
+use mar_workload::{
+    frame_at, paper_space, pedestrian_tour, tram_tour, Placement, Scene, SceneConfig, Tour,
+    TourConfig,
+};
+
+/// Builds the scene for `objects` objects under the scale's parameters.
+pub fn build_scene(scale: &Scale, objects: usize, placement: Placement) -> Scene {
+    let mut cfg = SceneConfig::paper(objects, scale.scene_seed);
+    cfg.levels = scale.levels;
+    cfg.target_bytes = objects as f64 * scale.bytes_per_object;
+    cfg.placement = placement;
+    Scene::generate(cfg)
+}
+
+fn mean(v: &[f64]) -> f64 {
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Fig. 8/9 measure clients "traveling similar distances at varying
+/// speeds": a slow client needs more ticks to cover the same ground. This
+/// returns the tick count for a nominal tour distance, capped to keep the
+/// slowest sweeps tractable.
+fn ticks_for_distance(scale: &Scale, speed: f64) -> usize {
+    let max_step = TourConfig::new(paper_space(), 1, 0, speed).max_step;
+    // Scale the nominal distance with the experiment scale so quick runs
+    // stay quick; slow clients always get enough ticks to actually cover
+    // it (each tick is a cheap sliver query, so even 10^5 ticks are fine).
+    let target_distance = 600.0 + scale.ticks as f64;
+    let ticks = (target_distance / (speed.max(1e-3) * max_step)).ceil() as usize;
+    ticks.clamp(50, 100_000)
+}
+
+/// KB retrieved per 1000 units of distance traveled by the incremental
+/// client (the initial frame fill is excluded — the paper's tours are long
+/// enough to amortise it away, ours are capped).
+fn retrieval_kb_per_kdist(scene: &Scene, server: &mut Server, tour: &Tour, frac: f64) -> f64 {
+    let mut client = IncrementalClient::connect(server, LinearSpeedMap);
+    let mut smooth = mar_core::SmoothedSpeed::default();
+    let mut first_bytes = 0.0;
+    for (i, s) in tour.samples.iter().enumerate() {
+        let frame = frame_at(&scene.config.space, &s.pos, frac);
+        let r = client.tick(server, frame, smooth.update(s.speed));
+        if i == 0 {
+            first_bytes = r.bytes;
+        }
+    }
+    let distance = tour.distance().max(1.0);
+    (client.metrics().bytes - first_bytes) / 1024.0 * 1000.0 / distance
+}
+
+/// Fig. 8 — effect of speed on data retrieval (tram vs pedestrian).
+pub fn fig8(scale: &Scale) -> Table {
+    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    let mut server = Server::new(&scene);
+    let mut t = Table::new(
+        "fig8",
+        "data retrieved (KB per 1000 units traveled) vs speed",
+        "speed",
+        vec!["tram_kb_per_kdist".into(), "walk_kb_per_kdist".into()],
+    );
+    for &speed in &scale.speeds {
+        let ticks = ticks_for_distance(scale, speed);
+        let mut tram = Vec::new();
+        let mut walk = Vec::new();
+        for &seed in &scale.tour_seeds {
+            let tcfg = TourConfig::new(paper_space(), ticks, seed, speed);
+            tram.push(retrieval_kb_per_kdist(
+                &scene,
+                &mut server,
+                &tram_tour(&tcfg),
+                0.1,
+            ));
+            walk.push(retrieval_kb_per_kdist(
+                &scene,
+                &mut server,
+                &pedestrian_tour(&tcfg),
+                0.1,
+            ));
+        }
+        t.push(speed, vec![mean(&tram), mean(&walk)]);
+    }
+    t
+}
+
+/// Fig. 9(a) — retrieval vs speed for query sizes 5–20 % (tram tours).
+pub fn fig9a(scale: &Scale) -> Table {
+    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    let mut server = Server::new(&scene);
+    let fracs = [0.05, 0.10, 0.15, 0.20];
+    let mut t = Table::new(
+        "fig9a",
+        "KB per 1000 units vs speed, per query size (tram)",
+        "speed",
+        fracs
+            .iter()
+            .map(|f| format!("q{:.0}%_kb", f * 100.0))
+            .collect(),
+    );
+    for &speed in &scale.speeds {
+        let ticks = ticks_for_distance(scale, speed);
+        let mut row = Vec::new();
+        for &frac in &fracs {
+            let mut vals = Vec::new();
+            for &seed in &scale.tour_seeds {
+                let tour = tram_tour(&TourConfig::new(paper_space(), ticks, seed, speed));
+                vals.push(retrieval_kb_per_kdist(&scene, &mut server, &tour, frac));
+            }
+            row.push(mean(&vals));
+        }
+        t.push(speed, row);
+    }
+    t
+}
+
+/// Fig. 9(b) — retrieval vs speed for dataset sizes 20–80 MB (tram tours).
+pub fn fig9b(scale: &Scale) -> Table {
+    let sizes = [100usize, 200, 300, 400];
+    let scaled: Vec<usize> = sizes
+        .iter()
+        .map(|&n| (n * scale.objects_default / 300).max(4))
+        .collect();
+    let mut t = Table::new(
+        "fig9b",
+        "KB per 1000 units vs speed, per dataset size (tram)",
+        "speed",
+        sizes.iter().map(|n| format!("{}MB_kb", n / 5)).collect(),
+    );
+    let scenes: Vec<(Scene, Server)> = scaled
+        .iter()
+        .map(|&n| {
+            let scene = build_scene(scale, n, Placement::Uniform);
+            let server = Server::new(&scene);
+            (scene, server)
+        })
+        .collect();
+    let mut scenes = scenes;
+    for &speed in &scale.speeds {
+        let ticks = ticks_for_distance(scale, speed);
+        let mut row = Vec::new();
+        for (scene, server) in &mut scenes {
+            let mut vals = Vec::new();
+            for &seed in &scale.tour_seeds {
+                let tour = tram_tour(&TourConfig::new(paper_space(), ticks, seed, speed));
+                vals.push(retrieval_kb_per_kdist(scene, server, &tour, 0.1));
+            }
+            row.push(mean(&vals));
+        }
+        t.push(speed, row);
+    }
+    t
+}
+
+/// Shared runner for the buffer experiments: returns
+/// `(hit, util)` for a prefetcher over tours of one kind.
+fn buffer_point(
+    scene: &Scene,
+    tours: &[Tour],
+    motion_aware: bool,
+    cfg: &BufferSimConfig,
+) -> (f64, f64) {
+    let mut hits = Vec::new();
+    let mut utils = Vec::new();
+    for tour in tours {
+        let mut server = Server::new(scene);
+        let m = if motion_aware {
+            let mut p = MotionAwarePrefetcher::new(4);
+            run_buffer_sim(&mut server, scene, tour, &mut p, cfg)
+        } else {
+            let mut p = NaivePrefetcher;
+            run_buffer_sim(&mut server, scene, tour, &mut p, cfg)
+        };
+        hits.push(m.hit_rate());
+        utils.push(m.utilization());
+    }
+    (mean(&hits), mean(&utils))
+}
+
+#[allow(clippy::too_many_arguments)] // two parallel tables share one sweep
+fn buffer_tables(
+    scale: &Scale,
+    xs: &[f64],
+    mut cfg_of: impl FnMut(f64) -> (BufferSimConfig, f64),
+    id_hit: &'static str,
+    id_util: &'static str,
+    title_hit: &'static str,
+    title_util: &'static str,
+    xlabel: &'static str,
+) -> (Table, Table) {
+    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    let cols = vec![
+        "ma_tram".to_string(),
+        "ma_walk".to_string(),
+        "naive_tram".to_string(),
+        "naive_walk".to_string(),
+    ];
+    let mut t_hit = Table::new(id_hit, title_hit, xlabel, cols.clone());
+    let mut t_util = Table::new(id_util, title_util, xlabel, cols);
+    for &x in xs {
+        let (cfg, speed) = cfg_of(x);
+        let trams: Vec<Tour> = scale
+            .tour_seeds
+            .iter()
+            .map(|&s| tram_tour(&TourConfig::new(paper_space(), scale.ticks, s, speed)))
+            .collect();
+        let walks: Vec<Tour> = scale
+            .tour_seeds
+            .iter()
+            .map(|&s| pedestrian_tour(&TourConfig::new(paper_space(), scale.ticks, s, speed)))
+            .collect();
+        let (h_mt, u_mt) = buffer_point(&scene, &trams, true, &cfg);
+        let (h_mw, u_mw) = buffer_point(&scene, &walks, true, &cfg);
+        let (h_nt, u_nt) = buffer_point(&scene, &trams, false, &cfg);
+        let (h_nw, u_nw) = buffer_point(&scene, &walks, false, &cfg);
+        t_hit.push(x, vec![h_mt, h_mw, h_nt, h_nw]);
+        t_util.push(x, vec![u_mt, u_mw, u_nt, u_nw]);
+    }
+    (t_hit, t_util)
+}
+
+/// Fig. 10(a)+(b) — cache hit rate and data utilization vs buffer size
+/// (16–128 KB), motion-aware vs naive, tram & pedestrian.
+pub fn fig10(scale: &Scale) -> (Table, Table) {
+    let sizes = [16.0, 32.0, 64.0, 128.0];
+    buffer_tables(
+        scale,
+        &sizes,
+        |kb| {
+            (
+                BufferSimConfig {
+                    buffer_bytes: kb * 1024.0,
+                    ..Default::default()
+                },
+                0.5,
+            )
+        },
+        "fig10a",
+        "fig10b",
+        "cache hit rate vs buffer size (KB)",
+        "data utilization vs buffer size (KB)",
+        "buffer_kb",
+    )
+}
+
+/// Fig. 11(a)+(b) — cache hit rate and data utilization vs speed
+/// (multiresolution buffering), 64 KB buffer.
+pub fn fig11(scale: &Scale) -> (Table, Table) {
+    let speeds = scale.speeds.clone();
+    buffer_tables(
+        scale,
+        &speeds,
+        |speed| {
+            (
+                BufferSimConfig {
+                    buffer_bytes: 64.0 * 1024.0,
+                    ..Default::default()
+                },
+                speed,
+            )
+        },
+        "fig11a",
+        "fig11b",
+        "cache hit rate vs speed (64 KB buffer)",
+        "data utilization vs speed (64 KB buffer)",
+        "speed",
+    )
+}
+
+/// Average index I/O per query frame over tram tours for both access
+/// methods.
+fn index_io_point(
+    data: &SceneIndexData,
+    good: &WaveletIndex,
+    naive: &NaivePointIndex,
+    scale: &Scale,
+    speed: f64,
+    frac: f64,
+) -> (f64, f64) {
+    let _ = data;
+    let mut io_good = Vec::new();
+    let mut io_naive = Vec::new();
+    for &seed in &scale.tour_seeds {
+        let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
+        let mut g = 0u64;
+        let mut n = 0u64;
+        for s in &tour.samples {
+            let frame = frame_at(&paper_space(), &s.pos, frac);
+            let band = ResolutionBand::new(s.speed, 1.0);
+            g += good.query(&frame, band).1;
+            n += naive.query(&frame, band).1;
+        }
+        io_good.push(g as f64 / tour.len() as f64);
+        io_naive.push(n as f64 / tour.len() as f64);
+    }
+    (mean(&io_good), mean(&io_naive))
+}
+
+/// Fig. 12 — index I/O vs speed: support-region index vs naive point
+/// index.
+pub fn fig12(scale: &Scale) -> Table {
+    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    let data = SceneIndexData::build(&scene);
+    let good = WaveletIndex::build(&data);
+    let naive = NaivePointIndex::build(&data);
+    let mut t = Table::new(
+        "fig12",
+        "index node accesses per query vs speed",
+        "speed",
+        vec!["motion_aware_io".into(), "naive_io".into()],
+    );
+    for &speed in &scale.speeds {
+        let (g, n) = index_io_point(&data, &good, &naive, scale, speed, 0.1);
+        t.push(speed, vec![g, n]);
+    }
+    t
+}
+
+/// Fig. 13(a) — index I/O vs query size at speed 0.5.
+pub fn fig13a(scale: &Scale) -> Table {
+    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    let data = SceneIndexData::build(&scene);
+    let good = WaveletIndex::build(&data);
+    let naive = NaivePointIndex::build(&data);
+    let mut t = Table::new(
+        "fig13a",
+        "index node accesses per query vs query size (speed 0.5)",
+        "query_pct",
+        vec!["motion_aware_io".into(), "naive_io".into()],
+    );
+    for frac in [0.05, 0.10, 0.15, 0.20] {
+        let (g, n) = index_io_point(&data, &good, &naive, scale, 0.5, frac);
+        t.push(frac * 100.0, vec![g, n]);
+    }
+    t
+}
+
+/// Fig. 13(b) — index I/O vs dataset size at speed 0.5, 10 % frames.
+pub fn fig13b(scale: &Scale) -> Table {
+    let sizes = [100usize, 200, 300, 400];
+    let scaled: Vec<usize> = sizes
+        .iter()
+        .map(|&n| (n * scale.objects_default / 300).max(4))
+        .collect();
+    let mut t = Table::new(
+        "fig13b",
+        "index node accesses per query vs dataset size (speed 0.5)",
+        "dataset_mb",
+        vec!["motion_aware_io".into(), "naive_io".into()],
+    );
+    for (&label, &n) in sizes.iter().zip(&scaled) {
+        let scene = build_scene(scale, n, Placement::Uniform);
+        let data = SceneIndexData::build(&scene);
+        let good = WaveletIndex::build(&data);
+        let naive = NaivePointIndex::build(&data);
+        let (g, nv) = index_io_point(&data, &good, &naive, scale, 0.5, 0.1);
+        t.push((label / 5) as f64, vec![g, nv]);
+    }
+    t
+}
+
+/// Figs. 14 & 15 — end-to-end query response time vs speed, motion-aware
+/// vs naive system, for uniform (fig14) or Zipfian (fig15) data.
+pub fn fig14_15(scale: &Scale, placement: Placement) -> Table {
+    let (id, title): (&'static str, &'static str) = match placement {
+        Placement::Uniform => ("fig14", "query response time (s) vs speed (uniform)"),
+        Placement::Zipf { .. } => ("fig15", "query response time (s) vs speed (Zipf)"),
+    };
+    let scene = build_scene(scale, scale.objects_default, placement);
+    let cfg = SystemConfig::default();
+    let mut t = Table::new(
+        id,
+        title,
+        "speed",
+        vec![
+            "ma_tram_s".into(),
+            "ma_walk_s".into(),
+            "naive_tram_s".into(),
+            "naive_walk_s".into(),
+        ],
+    );
+    for &speed in &scale.speeds {
+        let mut vals = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for &seed in &scale.tour_seeds {
+            let tcfg = TourConfig::new(paper_space(), scale.ticks, seed, speed);
+            let tram = tram_tour(&tcfg);
+            let walk = pedestrian_tour(&tcfg);
+            for (i, tour) in [&tram, &walk].into_iter().enumerate() {
+                let mut server = Server::new(&scene);
+                let mut p = MotionAwarePrefetcher::new(4);
+                let ma = run_motion_aware_system(&mut server, &scene, tour, &mut p, &cfg);
+                vals[i].push(ma.mean_response());
+                let nv = run_naive_system(&server, &scene, tour, &cfg);
+                vals[i + 2].push(nv.mean_response());
+            }
+        }
+        t.push(speed, vals.iter().map(|v| mean(v)).collect());
+    }
+    t
+}
+
+/// Every figure at the given scale, in paper order. `fig10`/`fig11` each
+/// contribute two tables.
+pub fn all_figures(scale: &Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    out.push(fig8(scale));
+    out.push(fig9a(scale));
+    out.push(fig9b(scale));
+    let (a, b) = fig10(scale);
+    out.push(a);
+    out.push(b);
+    let (a, b) = fig11(scale);
+    out.push(a);
+    out.push(b);
+    out.push(fig12(scale));
+    out.push(fig13a(scale));
+    out.push(fig13b(scale));
+    out.push(fig14_15(scale, Placement::Uniform));
+    out.push(fig14_15(scale, Placement::Zipf { theta: 0.8 }));
+    out
+}

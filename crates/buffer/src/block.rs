@@ -1,0 +1,297 @@
+//! The client's block cache with hit-rate and data-utilization accounting.
+//!
+//! Experiments report two metrics (Fig. 10): the **cache hit rate** — the
+//! fraction of frame-block lookups served locally, a proxy for latency —
+//! and **data utilization** — the fraction of prefetched blocks that were
+//! subsequently used, a proxy for wasted wireless bandwidth. Both are
+//! tracked here, at block granularity, exactly as defined.
+
+use mar_geom::BlockId;
+use std::collections::HashMap;
+
+/// Cumulative cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CacheStats {
+    /// Frame-block lookups.
+    pub lookups: u64,
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Blocks installed by prefetching.
+    pub prefetched: u64,
+    /// Prefetched blocks that were later touched by a frame.
+    pub prefetched_used: u64,
+    /// Blocks installed directly by demand misses.
+    pub demand_fetched: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (1.0 when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Fraction of prefetched blocks that were used (1.0 when nothing was
+    /// prefetched).
+    pub fn utilization(&self) -> f64 {
+        if self.prefetched == 0 {
+            1.0
+        } else {
+            self.prefetched_used as f64 / self.prefetched as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Lowest wavelet magnitude this block is cached down to (0.0 = full
+    /// resolution). A lookup needing `w ≥ slot.w_min` is a hit.
+    w_min: f64,
+    /// Whether the block entered via prefetch and has not been used yet.
+    pending_use: bool,
+}
+
+/// A capacity-bounded cache of grid blocks, each held at some resolution.
+#[derive(Debug, Clone)]
+pub struct BlockCache {
+    capacity: usize,
+    slots: HashMap<BlockId, Slot>,
+    stats: CacheStats,
+}
+
+impl BlockCache {
+    /// Creates a cache holding at most `capacity` blocks.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            slots: HashMap::with_capacity(capacity),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Maximum number of blocks held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Changes the capacity (the multiresolution policy grows the block
+    /// budget at speed); excess blocks are evicted arbitrarily.
+    pub fn set_capacity(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        while self.slots.len() > self.capacity {
+            let k = *self.slots.keys().next().expect("non-empty");
+            self.slots.remove(&k);
+        }
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Looks up the blocks of one query frame at the required resolution
+    /// (`w_min` = lowest magnitude needed). Returns the blocks that missed
+    /// (absent, or cached too coarse). Hit blocks are marked used.
+    pub fn access(&mut self, frame_blocks: &[BlockId], w_min: f64) -> Vec<BlockId> {
+        let mut misses = Vec::new();
+        for b in frame_blocks {
+            self.stats.lookups += 1;
+            match self.slots.get_mut(b) {
+                Some(slot) if slot.w_min <= w_min => {
+                    self.stats.hits += 1;
+                    if slot.pending_use {
+                        slot.pending_use = false;
+                        self.stats.prefetched_used += 1;
+                    }
+                }
+                _ => misses.push(*b),
+            }
+        }
+        misses
+    }
+
+    /// Installs blocks fetched on demand (they are "used" by definition).
+    /// Demand data is never dropped: capacity is enforced by evicting
+    /// prefetched blocks first.
+    pub fn install_demand(&mut self, blocks: &[BlockId], w_min: f64) {
+        for b in blocks {
+            let prev = self.slots.insert(
+                *b,
+                Slot {
+                    w_min,
+                    pending_use: false,
+                },
+            );
+            if prev.is_none() {
+                self.stats.demand_fetched += 1;
+            }
+            self.enforce_capacity(b);
+        }
+    }
+
+    /// Installs a prefetched block at the given resolution. Returns false
+    /// (and does nothing) when the block is already cached at sufficient
+    /// resolution or the cache cannot make room without evicting demand
+    /// data newer than this prefetch.
+    pub fn install_prefetch(&mut self, block: BlockId, w_min: f64) -> bool {
+        if let Some(slot) = self.slots.get(&block) {
+            if slot.w_min <= w_min {
+                return false;
+            }
+        }
+        self.slots.insert(
+            block,
+            Slot {
+                w_min,
+                pending_use: true,
+            },
+        );
+        self.stats.prefetched += 1;
+        self.enforce_capacity(&block);
+        true
+    }
+
+    /// True when `block` is cached at resolution `w_min` or finer.
+    pub fn contains(&self, block: &BlockId, w_min: f64) -> bool {
+        self.slots
+            .get(block)
+            .map(|s| s.w_min <= w_min)
+            .unwrap_or(false)
+    }
+
+    /// Evicts every cached block not in `keep` (the prefetcher replaces the
+    /// buffered region wholesale each replanning tick).
+    pub fn retain(&mut self, keep: impl Fn(&BlockId) -> bool) {
+        self.slots.retain(|b, _| keep(b));
+    }
+
+    fn enforce_capacity(&mut self, just_inserted: &BlockId) {
+        while self.slots.len() > self.capacity {
+            // Prefer evicting an unused prefetched block; never the block
+            // just inserted.
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(b, _)| *b != just_inserted)
+                .min_by_key(|(_, s)| if s.pending_use { 0 } else { 1 })
+                .map(|(b, _)| *b);
+            match victim {
+                Some(b) => {
+                    self.slots.remove(&b);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(x: i64, y: i64) -> BlockId {
+        BlockId::new(x, y)
+    }
+
+    #[test]
+    fn misses_then_hits() {
+        let mut c = BlockCache::new(8);
+        let frame = [b(0, 0), b(0, 1)];
+        let misses = c.access(&frame, 0.0);
+        assert_eq!(misses.len(), 2);
+        c.install_demand(&misses, 0.0);
+        let misses2 = c.access(&frame, 0.0);
+        assert!(misses2.is_empty());
+        assert_eq!(c.stats().lookups, 4);
+        assert_eq!(c.stats().hits, 2);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolution_mismatch_is_a_miss() {
+        let mut c = BlockCache::new(8);
+        // Cached coarse (w >= 0.5 only)…
+        c.install_demand(&[b(0, 0)], 0.5);
+        // …but the client now needs full detail.
+        let misses = c.access(&[b(0, 0)], 0.0);
+        assert_eq!(misses, vec![b(0, 0)]);
+        // Needing the same or coarser is a hit.
+        assert!(c.access(&[b(0, 0)], 0.5).is_empty());
+        assert!(c.access(&[b(0, 0)], 0.8).is_empty());
+    }
+
+    #[test]
+    fn utilization_counts_used_prefetches_once() {
+        let mut c = BlockCache::new(8);
+        assert!(c.install_prefetch(b(1, 1), 0.0));
+        assert!(c.install_prefetch(b(2, 2), 0.0));
+        // Touch one of them twice.
+        c.access(&[b(1, 1)], 0.0);
+        c.access(&[b(1, 1)], 0.0);
+        let s = c.stats();
+        assert_eq!(s.prefetched, 2);
+        assert_eq!(s.prefetched_used, 1);
+        assert!((s.utilization() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prefetch_respects_existing_finer_data() {
+        let mut c = BlockCache::new(8);
+        c.install_demand(&[b(0, 0)], 0.0);
+        assert!(
+            !c.install_prefetch(b(0, 0), 0.5),
+            "coarser prefetch is useless"
+        );
+        assert_eq!(c.stats().prefetched, 0);
+    }
+
+    #[test]
+    fn capacity_evicts_unused_prefetches_first() {
+        let mut c = BlockCache::new(2);
+        c.install_demand(&[b(0, 0)], 0.0);
+        c.install_prefetch(b(1, 1), 0.0);
+        c.install_demand(&[b(2, 2)], 0.0); // must evict the prefetch
+        assert!(c.contains(&b(0, 0), 0.0));
+        assert!(c.contains(&b(2, 2), 0.0));
+        assert!(!c.contains(&b(1, 1), 0.0));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn retain_evicts_everything_else() {
+        let mut c = BlockCache::new(8);
+        c.install_demand(&[b(0, 0), b(1, 1), b(2, 2)], 0.0);
+        c.retain(|blk| blk.ix <= 1);
+        assert_eq!(c.len(), 2);
+        assert!(!c.contains(&b(2, 2), 0.0));
+    }
+
+    #[test]
+    fn set_capacity_shrinks() {
+        let mut c = BlockCache::new(8);
+        c.install_demand(&[b(0, 0), b(1, 1), b(2, 2), b(3, 3)], 0.0);
+        c.set_capacity(2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn empty_stats_are_benign() {
+        let s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        assert_eq!(s.utilization(), 1.0);
+    }
+}

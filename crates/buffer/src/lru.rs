@@ -1,0 +1,151 @@
+//! A plain least-recently-used cache — the §VII-E naive system's caching
+//! policy ("we also use a simple Least Recently Used (LRU) scheme").
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A capacity-bounded LRU map.
+///
+/// Implemented with a recency counter per entry (capacities here are a few
+/// hundred blocks, so the O(n) eviction scan is irrelevant next to the
+/// simulated wireless costs it models).
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+    hits: u64,
+    lookups: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity),
+            hits: 0,
+            lookups: 0,
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `k`, refreshing its recency on a hit.
+    pub fn get<Q>(&mut self, k: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.lookups += 1;
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(k) {
+            Some((t, v)) => {
+                *t = tick;
+                self.hits += 1;
+                Some(v)
+            }
+            None => None,
+        }
+    }
+
+    /// True when `k` is cached; does *not* refresh recency or count as a
+    /// lookup.
+    pub fn peek<Q>(&self, k: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
+        self.map.contains_key(k)
+    }
+
+    /// Inserts `k → v`, evicting the least recently used entry if full.
+    pub fn put(&mut self, k: K, v: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&k) && self.map.len() == self.capacity {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+            }
+        }
+        self.map.insert(k, (self.tick, v));
+    }
+
+    /// Hit rate over all `get` calls so far (1.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_and_put_round_trip() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        assert_eq!(c.get("a"), Some(&1));
+        assert_eq!(c.get("b"), None);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.get("a"); // refresh a; b is now LRU
+        c.put("c", 3);
+        assert!(c.peek("a"));
+        assert!(!c.peek("b"));
+        assert!(c.peek("c"));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get("a"), Some(&10));
+    }
+
+    #[test]
+    fn hit_rate_accounting() {
+        let mut c = LruCache::new(4);
+        c.put("x", 0);
+        c.get("x");
+        c.get("y");
+        assert!((c.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut c = LruCache::new(1);
+        c.put(1, "one");
+        c.put(2, "two");
+        assert!(!c.peek(&1));
+        assert!(c.peek(&2));
+    }
+}

@@ -1,0 +1,369 @@
+//! Prefetch planning: which blocks should be in the buffer next.
+//!
+//! §V-B, summarised by the paper as: "(i) estimate the client's path and
+//! probabilities of surrounding cell blocks to be visited, (ii) select the
+//! list of blocks to be put into the buffer from each of the directions,
+//! (iii) retrieve objects from the server for the predicted blocks which
+//! are currently not in the client's buffer."
+//!
+//! [`MotionAwarePrefetcher`] implements exactly that pipeline on top of
+//! `mar-motion` (block visit probabilities) and [`crate::alloc`]
+//! (per-direction buffer allocation). [`NaivePrefetcher`] is the paper's
+//! baseline "where all the surrounding regions of a query frame are
+//! buffered with equal probabilities".
+
+use crate::alloc::{allocate_directions, best_ordering_allocation};
+use mar_geom::{BlockId, GridSpec, Point2, SectorPartition};
+use mar_motion::probability::direction_probabilities;
+use std::collections::{HashMap, HashSet};
+
+/// Everything a prefetcher may look at when planning.
+#[derive(Debug)]
+pub struct PrefetchContext<'a> {
+    /// The block grid.
+    pub grid: &'a GridSpec,
+    /// The client's current position.
+    pub position: Point2,
+    /// Blocks covered by the current query frame (always kept buffered).
+    pub frame_blocks: &'a [BlockId],
+    /// How many blocks beyond the frame the buffer can hold.
+    pub budget: usize,
+    /// Visit probabilities of surrounding blocks (from the motion
+    /// predictor); may be empty for a cold predictor.
+    pub block_probs: &'a HashMap<BlockId, f64>,
+    /// Optional externally supplied direction probabilities (length `k`),
+    /// e.g. from a [`mar_motion::MarkovDirectionModel`]. When set, the
+    /// prefetcher uses these for the budget allocation instead of folding
+    /// `block_probs` into sectors.
+    pub direction_hint: Option<&'a [f64]>,
+}
+
+/// A prefetch planner.
+pub trait Prefetcher {
+    /// Returns the blocks (beyond the current frame's) that should be in
+    /// the buffer, at most `ctx.budget` of them, most valuable first.
+    fn plan(&mut self, ctx: &PrefetchContext<'_>) -> Vec<BlockId>;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// How the buffer budget is distributed across direction sectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocationStrategy {
+    /// The paper's recursive Eq. 2 halving (§V-A).
+    #[default]
+    Recursive,
+    /// Even split regardless of probabilities (ablation baseline).
+    Even,
+    /// Exhaustive ordering search scored by simulated residence time —
+    /// the paper's `k!` step it concluded "can be omitted".
+    BestOrdering,
+}
+
+/// The paper's motion-aware prefetcher.
+#[derive(Debug, Clone)]
+pub struct MotionAwarePrefetcher {
+    partition: SectorPartition,
+    strategy: AllocationStrategy,
+}
+
+impl MotionAwarePrefetcher {
+    /// Creates the prefetcher with `k` direction sectors (paper's figure
+    /// uses 4) and the recursive Eq. 2 allocation.
+    pub fn new(k: usize) -> Self {
+        Self {
+            partition: SectorPartition::axis_centered(k),
+            strategy: AllocationStrategy::Recursive,
+        }
+    }
+
+    /// Creates the prefetcher with an explicit allocation strategy.
+    pub fn with_strategy(k: usize, strategy: AllocationStrategy) -> Self {
+        Self {
+            partition: SectorPartition::axis_centered(k),
+            strategy,
+        }
+    }
+
+    fn allocate(&self, budget: usize, dir_probs: &[f64]) -> Vec<usize> {
+        match self.strategy {
+            AllocationStrategy::Recursive => allocate_directions(budget, dir_probs),
+            AllocationStrategy::Even => {
+                let k = dir_probs.len();
+                let mut out = vec![budget / k; k];
+                for slot in out.iter_mut().take(budget % k) {
+                    *slot += 1;
+                }
+                out
+            }
+            AllocationStrategy::BestOrdering => best_ordering_allocation(budget, dir_probs).0,
+        }
+    }
+}
+
+impl Prefetcher for MotionAwarePrefetcher {
+    fn plan(&mut self, ctx: &PrefetchContext<'_>) -> Vec<BlockId> {
+        if ctx.budget == 0 {
+            return Vec::new();
+        }
+        let k = self.partition.k();
+        // (i) direction probabilities: an explicit hint (alternative
+        // estimators, e.g. the Markov model) or folded block probabilities.
+        let dir_probs = match ctx.direction_hint {
+            Some(h) if h.len() == k => h.to_vec(),
+            _ => direction_probabilities(ctx.grid, &ctx.position, ctx.block_probs, &self.partition),
+        };
+        // (ii) split the budget across directions with Eq. 2 recursion.
+        let alloc = self.allocate(ctx.budget, &dir_probs);
+        // (iii) within each direction pick the highest-probability blocks,
+        // topping up with proximity when the predictor offered too few.
+        let exclude: HashSet<BlockId> = ctx.frame_blocks.iter().copied().collect();
+        let center_block = ctx.grid.block_of(&ctx.position);
+        let mut candidates: Vec<BlockId> = ctx
+            .block_probs
+            .keys()
+            .copied()
+            .filter(|b| !exclude.contains(b))
+            .collect();
+        candidates.sort_unstable();
+        let assignment = self
+            .partition
+            .assign_blocks(ctx.grid, &ctx.position, &candidates, 1e-9);
+        // Bucket candidates per direction, best probability first.
+        let mut buckets: Vec<Vec<BlockId>> = vec![Vec::new(); k];
+        for b in &candidates {
+            if let Some(&sector) = assignment.get(b) {
+                buckets[sector].push(*b);
+            }
+        }
+        for bucket in &mut buckets {
+            bucket.sort_by(|a, b| {
+                let pa = ctx.block_probs.get(a).copied().unwrap_or(0.0);
+                let pb = ctx.block_probs.get(b).copied().unwrap_or(0.0);
+                pb.partial_cmp(&pa).unwrap().then_with(|| {
+                    center_block
+                        .ring_distance(a)
+                        .cmp(&center_block.ring_distance(b))
+                })
+            });
+        }
+        let mut picked: Vec<BlockId> = Vec::with_capacity(ctx.budget);
+        let mut picked_set: HashSet<BlockId> = HashSet::with_capacity(ctx.budget);
+        for (sector, want) in alloc.iter().enumerate() {
+            let mut got = 0usize;
+            for b in &buckets[sector] {
+                if got == *want {
+                    break;
+                }
+                if picked_set.insert(*b) {
+                    picked.push(*b);
+                    got += 1;
+                }
+            }
+            if got < *want {
+                // Fill with nearest in-sector ring blocks.
+                let ring_max = ((ctx.budget as f64).sqrt() as i64 + 3).max(3);
+                'fill: for radius in 1..=ring_max {
+                    for b in ctx.grid.blocks_within_ring(&center_block, radius) {
+                        if got == *want {
+                            break 'fill;
+                        }
+                        if exclude.contains(&b) || picked_set.contains(&b) {
+                            continue;
+                        }
+                        let v = ctx.grid.block_center(&b) - ctx.position;
+                        if self.partition.sector_of(&v) == Some(sector) {
+                            picked_set.insert(b);
+                            picked.push(b);
+                            got += 1;
+                        }
+                    }
+                }
+            }
+        }
+        picked
+    }
+
+    fn name(&self) -> &'static str {
+        "motion-aware"
+    }
+}
+
+/// The naive baseline: all surrounding blocks are equally likely, so the
+/// buffer is filled ring by ring around the current block.
+#[derive(Debug, Clone, Default)]
+pub struct NaivePrefetcher;
+
+impl Prefetcher for NaivePrefetcher {
+    fn plan(&mut self, ctx: &PrefetchContext<'_>) -> Vec<BlockId> {
+        let exclude: HashSet<BlockId> = ctx.frame_blocks.iter().copied().collect();
+        let center = ctx.grid.block_of(&ctx.position);
+        let mut picked = Vec::with_capacity(ctx.budget);
+        let ring_max = ((ctx.budget as f64).sqrt() as i64 + 3).max(3);
+        for radius in 1..=ring_max {
+            for b in ctx.grid.blocks_within_ring(&center, radius) {
+                if picked.len() == ctx.budget {
+                    return picked;
+                }
+                if b.ring_distance(&center) == radius
+                    && !exclude.contains(&b)
+                    && !picked.contains(&b)
+                {
+                    picked.push(b);
+                }
+            }
+        }
+        picked
+    }
+
+    fn name(&self) -> &'static str {
+        "naive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_geom::Rect2;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([100.0, 100.0])),
+            10,
+            10,
+        )
+    }
+
+    fn probs_east(_grid: &GridSpec) -> HashMap<BlockId, f64> {
+        // Mass concentrated east of the centre block (5,5).
+        let mut m = HashMap::new();
+        for d in 1..4i64 {
+            m.insert(BlockId::new(5 + d, 5), 0.5 / d as f64);
+            m.insert(BlockId::new(5 + d, 6), 0.1 / d as f64);
+            m.insert(BlockId::new(5 + d, 4), 0.1 / d as f64);
+        }
+        m
+    }
+
+    #[test]
+    fn motion_aware_prefers_predicted_blocks() {
+        let g = grid();
+        let probs = probs_east(&g);
+        let frame = [BlockId::new(5, 5)];
+        let ctx = PrefetchContext {
+            grid: &g,
+            position: Point2::new([55.0, 55.0]),
+            frame_blocks: &frame,
+            budget: 6,
+            block_probs: &probs,
+            direction_hint: None,
+        };
+        let mut p = MotionAwarePrefetcher::new(4);
+        let picked = p.plan(&ctx);
+        assert_eq!(picked.len(), 6);
+        // Most of the picks must be east of the client.
+        let east = picked.iter().filter(|b| b.ix > 5).count();
+        assert!(east >= 4, "picked {picked:?}");
+        // The single most likely block is always in the plan.
+        assert!(picked.contains(&BlockId::new(6, 5)));
+    }
+
+    #[test]
+    fn motion_aware_never_duplicates_or_includes_frame() {
+        let g = grid();
+        let probs = probs_east(&g);
+        let frame = [BlockId::new(5, 5), BlockId::new(6, 5)];
+        let ctx = PrefetchContext {
+            grid: &g,
+            position: Point2::new([55.0, 55.0]),
+            frame_blocks: &frame,
+            budget: 10,
+            block_probs: &probs,
+            direction_hint: None,
+        };
+        let mut p = MotionAwarePrefetcher::new(4);
+        let picked = p.plan(&ctx);
+        let set: HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), picked.len(), "duplicates in {picked:?}");
+        for b in &frame {
+            assert!(!picked.contains(b));
+        }
+    }
+
+    #[test]
+    fn cold_predictor_still_fills_budget() {
+        let g = grid();
+        let probs = HashMap::new();
+        let frame = [BlockId::new(5, 5)];
+        let ctx = PrefetchContext {
+            grid: &g,
+            position: Point2::new([55.0, 55.0]),
+            frame_blocks: &frame,
+            budget: 8,
+            block_probs: &probs,
+            direction_hint: None,
+        };
+        let mut p = MotionAwarePrefetcher::new(4);
+        assert_eq!(p.plan(&ctx).len(), 8);
+    }
+
+    #[test]
+    fn naive_fills_rings_symmetrically() {
+        let g = grid();
+        let probs = HashMap::new();
+        let frame = [BlockId::new(5, 5)];
+        let ctx = PrefetchContext {
+            grid: &g,
+            position: Point2::new([55.0, 55.0]),
+            frame_blocks: &frame,
+            budget: 8,
+            block_probs: &probs,
+            direction_hint: None,
+        };
+        let mut n = NaivePrefetcher;
+        let picked = n.plan(&ctx);
+        assert_eq!(picked.len(), 8);
+        // All of ring 1 (8 blocks around the centre).
+        for b in &picked {
+            assert_eq!(b.ring_distance(&BlockId::new(5, 5)), 1);
+        }
+    }
+
+    #[test]
+    fn zero_budget_plans_nothing() {
+        let g = grid();
+        let probs = probs_east(&g);
+        let frame = [BlockId::new(5, 5)];
+        let ctx = PrefetchContext {
+            grid: &g,
+            position: Point2::new([55.0, 55.0]),
+            frame_blocks: &frame,
+            budget: 0,
+            block_probs: &probs,
+            direction_hint: None,
+        };
+        assert!(MotionAwarePrefetcher::new(4).plan(&ctx).is_empty());
+        assert!(NaivePrefetcher.plan(&ctx).is_empty());
+    }
+
+    #[test]
+    fn edge_of_space_budget_truncates_gracefully() {
+        let g = grid();
+        let probs = HashMap::new();
+        let frame = [BlockId::new(0, 0)];
+        let ctx = PrefetchContext {
+            grid: &g,
+            position: Point2::new([5.0, 5.0]),
+            frame_blocks: &frame,
+            budget: 200, // bigger than the whole grid
+            block_probs: &probs,
+            direction_hint: None,
+        };
+        let picked = NaivePrefetcher.plan(&ctx);
+        // Cannot exceed the number of existing non-frame blocks.
+        assert!(picked.len() <= 99);
+        let set: HashSet<_> = picked.iter().collect();
+        assert_eq!(set.len(), picked.len());
+    }
+}

@@ -1,0 +1,191 @@
+//! The 1-D pre-fetching model (\[15\], §V-A) and Eq. 2.
+//!
+//! A client in a 1-D block row moves left with probability `p_l` and right
+//! with `p_r`. With buffered blocks forming the interval `(0, a)` and the
+//! client starting at position `n`, the time until it first steps outside
+//! the buffered interval is the classic gambler's-ruin absorption time.
+//! The buffer manager wants the start position (≡ the left/right split of
+//! its blocks) that maximises that time; the paper's Eq. 2 gives it in
+//! closed form:
+//!
+//! ```text
+//! n_opt = log( ((p_l/p_r)^a − 1) / (a·log(p_l/p_r)) ) / log(p_l/p_r)
+//! ```
+
+/// Expected number of steps before a ±1 random walk starting at `n`
+/// (with `0 < n < a`) is absorbed at `0` or `a`, stepping left with
+/// probability `p_l` and right with `p_r` (normalised internally).
+///
+/// For the symmetric walk this is `n·(a−n)`; otherwise the standard
+/// asymmetric absorption time.
+pub fn expected_residence(a: u32, n: u32, p_l: f64, p_r: f64) -> f64 {
+    assert!(a >= 2, "need an interval of at least two steps");
+    assert!(n >= 1 && n < a, "start must be strictly inside (0, a)");
+    assert!(p_l >= 0.0 && p_r >= 0.0 && p_l + p_r > 0.0);
+    let p = p_r / (p_l + p_r); // probability of stepping right (+1)
+    let q = 1.0 - p;
+    let a_f = a as f64;
+    let z = n as f64;
+    if (p - q).abs() < 1e-12 {
+        return z * (a_f - z);
+    }
+    if p <= 1e-15 {
+        // Pure left drift: absorbed at 0 after exactly n steps.
+        return z;
+    }
+    if q <= 1e-15 {
+        return a_f - z;
+    }
+    let r: f64 = q / p; // = p_l / p_r
+    (z - a_f * (1.0 - r.powf(z)) / (1.0 - r.powf(a_f))) / (q - p)
+}
+
+/// Eq. 2: the real-valued start position maximising
+/// [`expected_residence`] over the interval `(0, a)`.
+pub fn n_opt(a: u32, p_l: f64, p_r: f64) -> f64 {
+    assert!(a >= 2);
+    assert!(p_l >= 0.0 && p_r >= 0.0 && p_l + p_r > 0.0);
+    let a_f = a as f64;
+    if p_l <= 1e-15 {
+        // Client always moves right: keep it as far left as possible.
+        return 1.0;
+    }
+    if p_r <= 1e-15 {
+        return a_f - 1.0;
+    }
+    let r = p_l / p_r;
+    if (r - 1.0).abs() < 1e-9 {
+        return a_f / 2.0;
+    }
+    let ln_r = r.ln();
+    let z = ((r.powf(a_f) - 1.0) / (a_f * ln_r)).ln() / ln_r;
+    z.clamp(1.0, a_f - 1.0)
+}
+
+/// Splits `total` buffer blocks between a left group (probability `p_l`)
+/// and a right group (`p_r`), maximising residence time: returns
+/// `(left, right)` with `left + right == total`.
+///
+/// Mapping to Eq. 2: the client occupies its own position and the
+/// absorbing boundaries sit one step beyond the buffered blocks on each
+/// side, so the interval length is `a = total + 2` and a start position
+/// `n` leaves `n − 1` blocks on the left and `a − n − 1 = total − (n−1)`
+/// on the right.
+pub fn optimal_split(total: usize, p_l: f64, p_r: f64) -> (usize, usize) {
+    if total == 0 {
+        return (0, 0);
+    }
+    let a = (total + 2) as u32;
+    let z = n_opt(a, p_l, p_r);
+    let left = ((z.round() as i64) - 1).clamp(0, total as i64) as usize;
+    (left, total - left)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_residence_is_parabola() {
+        assert_eq!(expected_residence(10, 5, 0.5, 0.5), 25.0);
+        assert_eq!(expected_residence(10, 1, 0.5, 0.5), 9.0);
+        assert_eq!(expected_residence(10, 9, 0.5, 0.5), 9.0);
+    }
+
+    #[test]
+    fn drifting_walk_exits_faster_from_the_wrong_side() {
+        // Strong right drift: starting near the right edge exits quickly.
+        let near_right = expected_residence(10, 9, 0.1, 0.9);
+        let near_left = expected_residence(10, 1, 0.1, 0.9);
+        assert!(near_left > near_right);
+    }
+
+    #[test]
+    fn n_opt_symmetric_is_center() {
+        assert_eq!(n_opt(10, 0.5, 0.5), 5.0);
+        assert_eq!(n_opt(7, 0.3, 0.3), 3.5);
+    }
+
+    #[test]
+    fn n_opt_shifts_away_from_drift_direction() {
+        // Drift to the right ⇒ start left of centre to maximise residence.
+        let z = n_opt(20, 0.2, 0.8);
+        assert!(z < 10.0, "z = {z}");
+        let z2 = n_opt(20, 0.8, 0.2);
+        assert!(z2 > 10.0, "z2 = {z2}");
+        // Mirror symmetry.
+        assert!((z + z2 - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn n_opt_maximizes_expected_residence() {
+        // Eq. 2 must agree with brute force over integer positions.
+        for (pl, pr) in [
+            (0.5, 0.5),
+            (0.3, 0.7),
+            (0.75, 0.25),
+            (0.9, 0.1),
+            (0.45, 0.55),
+        ] {
+            for a in [5u32, 10, 17, 40] {
+                let z = n_opt(a, pl, pr);
+                let best_int = (1..a)
+                    .max_by(|&x, &y| {
+                        expected_residence(a, x, pl, pr)
+                            .partial_cmp(&expected_residence(a, y, pl, pr))
+                            .unwrap()
+                    })
+                    .unwrap();
+                assert!(
+                    (z - best_int as f64).abs() <= 1.0,
+                    "a={a} pl={pl} pr={pr}: analytic {z} vs brute {best_int}"
+                );
+                // And the rounded analytic optimum is within 1% of the best.
+                let zr = (z.round() as u32).clamp(1, a - 1);
+                let t_analytic = expected_residence(a, zr, pl, pr);
+                let t_best = expected_residence(a, best_int, pl, pr);
+                assert!(t_analytic >= 0.99 * t_best);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_probabilities() {
+        assert_eq!(n_opt(10, 0.0, 1.0), 1.0);
+        assert_eq!(n_opt(10, 1.0, 0.0), 9.0);
+        assert!(expected_residence(10, 3, 0.0, 1.0).is_finite());
+    }
+
+    #[test]
+    fn optimal_split_partitions_total() {
+        for total in [0usize, 1, 5, 20, 63] {
+            for (pl, pr) in [(0.5, 0.5), (0.9, 0.1), (0.2, 0.8)] {
+                let (l, r) = optimal_split(total, pl, pr);
+                assert_eq!(l + r, total);
+            }
+        }
+    }
+
+    #[test]
+    fn optimal_split_favors_likelier_side() {
+        let (l, r) = optimal_split(20, 0.8, 0.2);
+        assert!(
+            l > r,
+            "left-heavy drift must buffer more on the left: {l} vs {r}"
+        );
+        let (l2, r2) = optimal_split(20, 0.1, 0.9);
+        assert!(r2 > l2);
+    }
+
+    #[test]
+    fn optimal_split_small_budget_follows_strong_drift() {
+        // A 2-block budget with overwhelming eastward probability must put
+        // both blocks east — the regression that motivated the a = total+2
+        // mapping (a naive a = total+1 splits 1/1 here).
+        let (l, r) = optimal_split(2, 0.95, 0.05);
+        assert_eq!((l, r), (2, 0));
+        let (l, r) = optimal_split(3, 0.02, 0.98);
+        assert_eq!(l, 0);
+        assert_eq!(r, 3);
+    }
+}

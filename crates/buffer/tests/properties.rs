@@ -1,0 +1,90 @@
+//! Property tests for the buffer-management mathematics and the block
+//! cache's bookkeeping.
+
+use mar_buffer::{allocate_directions, expected_residence, n_opt, BlockCache};
+use mar_geom::BlockId;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Eq. 2's optimum never loses meaningfully against brute force.
+    #[test]
+    fn n_opt_is_near_optimal(a in 3u32..60, pl in 0.01f64..0.99) {
+        let pr = 1.0 - pl;
+        let z = n_opt(a, pl, pr);
+        prop_assert!((1.0..=(a as f64 - 1.0)).contains(&z));
+        let zi = (z.round() as u32).clamp(1, a - 1);
+        let t_analytic = expected_residence(a, zi, pl, pr);
+        let t_best = (1..a)
+            .map(|n| expected_residence(a, n, pl, pr))
+            .fold(0.0f64, f64::max);
+        prop_assert!(
+            t_analytic >= 0.95 * t_best,
+            "a={a} pl={pl}: {t_analytic} vs best {t_best}"
+        );
+    }
+
+    /// Residence time is positive and bounded by the symmetric maximum.
+    #[test]
+    fn residence_bounds(a in 3u32..50, n in 1u32..49, pl in 0.01f64..0.99) {
+        prop_assume!(n < a);
+        let t = expected_residence(a, n, pl, 1.0 - pl);
+        prop_assert!(t > 0.0);
+        let t_sym_max = (a as f64 / 2.0).powi(2);
+        prop_assert!(t <= t_sym_max + 1e-9, "t={t} exceeds {t_sym_max}");
+    }
+
+    /// Allocation always partitions the budget, for any probability shape.
+    #[test]
+    fn allocation_partitions(
+        total in 0usize..200,
+        probs in prop::collection::vec(0.0f64..10.0, 1..12),
+    ) {
+        let alloc = allocate_directions(total, &probs);
+        prop_assert_eq!(alloc.len(), probs.len());
+        prop_assert_eq!(alloc.iter().sum::<usize>(), total);
+    }
+
+    /// A strongly dominant direction always receives the largest share.
+    #[test]
+    fn dominant_direction_not_starved(
+        total in 8usize..100,
+        dominant in 0usize..4,
+    ) {
+        let mut probs = vec![0.05; 4];
+        probs[dominant] = 0.85;
+        let alloc = allocate_directions(total, &probs);
+        let max_alloc = *alloc.iter().max().unwrap();
+        prop_assert_eq!(
+            alloc[dominant], max_alloc,
+            "dominant dir {} got {:?}", dominant, alloc
+        );
+    }
+
+    /// Cache bookkeeping invariants under arbitrary op traces.
+    #[test]
+    fn cache_stats_invariants(
+        ops in prop::collection::vec((0u8..4, 0i64..6, 0i64..6, 0.0f64..1.0), 1..200),
+        cap in 1usize..20,
+    ) {
+        let mut c = BlockCache::new(cap);
+        for (op, x, y, w) in ops {
+            let b = BlockId::new(x, y);
+            match op {
+                0 => {
+                    c.access(&[b], w);
+                }
+                1 => c.install_demand(&[b], w),
+                2 => {
+                    c.install_prefetch(b, w);
+                }
+                _ => c.retain(|blk| blk.ix != x),
+            }
+            prop_assert!(c.len() <= cap.max(1) + 1, "len {} cap {cap}", c.len());
+            let s = c.stats();
+            prop_assert!(s.hits <= s.lookups);
+            prop_assert!(s.prefetched_used <= s.prefetched);
+        }
+    }
+}

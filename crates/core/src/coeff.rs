@@ -1,0 +1,177 @@
+//! Scene-wide coefficient records: the unit of indexing and transmission.
+
+use mar_geom::{Point2, Rect2, Rect3};
+use mar_mesh::support::compute_support_regions;
+use mar_workload::Scene;
+
+/// Identity of one wavelet coefficient within a scene.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CoeffRef {
+    /// Object id within the scene.
+    pub object: u32,
+    /// Index into that object's `coeffs` array.
+    pub coeff: u32,
+}
+
+/// Everything the server's indexes need to know about one coefficient.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoeffRecord {
+    /// Which coefficient this is.
+    pub id: CoeffRef,
+    /// Normalised magnitude `w ∈ [0, 1]`.
+    pub w: f64,
+    /// Subdivision level.
+    pub level: u8,
+    /// Ground-plane MBR of the coefficient's support region (§VI-A).
+    pub support_xy: Rect2,
+    /// Full 3-D MBB of the support region — what the paper's complete
+    /// 4-D (`x-y-z-w`) design indexes.
+    pub support_xyz: Rect3,
+    /// Ground-plane position of the coefficient's vertex (what the naive
+    /// point index stores).
+    pub vertex_xy: Point2,
+    /// Ground-plane MBR of the vertex's 1-ring (the "neighbouring
+    /// vertices" the naive access method must chase).
+    pub ring_xy: Rect2,
+}
+
+/// Per-scene derived data shared by every index and the server: one record
+/// per coefficient, plus per-object footprints and byte sizes.
+#[derive(Debug, Clone)]
+pub struct SceneIndexData {
+    /// All coefficient records, ordered by object then coefficient index.
+    pub records: Vec<CoeffRecord>,
+    /// Ground-plane footprint of each object.
+    pub footprints: Vec<Rect2>,
+    /// Wire bytes of one coefficient.
+    pub coeff_bytes: f64,
+    /// Wire bytes of each object's base mesh.
+    pub base_bytes: Vec<f64>,
+    /// Wire bytes of each object at full resolution.
+    pub object_bytes: Vec<f64>,
+}
+
+impl SceneIndexData {
+    /// Extracts records from a generated scene (support regions are
+    /// computed here, once, and shared by all indexes).
+    pub fn build(scene: &Scene) -> Self {
+        let mut records = Vec::with_capacity(scene.total_coeffs());
+        let mut footprints = Vec::with_capacity(scene.objects.len());
+        let mut base_bytes = Vec::with_capacity(scene.objects.len());
+        let mut object_bytes = Vec::with_capacity(scene.objects.len());
+        for obj in &scene.objects {
+            let supports = compute_support_regions(&obj.mesh);
+            for (ci, (c, s)) in obj.mesh.coeffs.iter().zip(&supports).enumerate() {
+                debug_assert_eq!(s.coeff_index, ci);
+                let v = obj.mesh.vertex_position(c.vertex);
+                // Ring MBR over the support polygon's vertices.
+                let mut lo = v;
+                let mut hi = v;
+                for &rv in &s.ring {
+                    let p = obj.mesh.vertex_position(rv);
+                    lo = lo.min(&p);
+                    hi = hi.max(&p);
+                }
+                records.push(CoeffRecord {
+                    id: CoeffRef {
+                        object: obj.id,
+                        coeff: ci as u32,
+                    },
+                    w: c.w,
+                    level: c.level,
+                    support_xy: s.mbr_xy(),
+                    support_xyz: s.mbb,
+                    vertex_xy: Point2::new([v[0], v[1]]),
+                    ring_xy: Rect2::from_corners(
+                        Point2::new([lo[0], lo[1]]),
+                        Point2::new([hi[0], hi[1]]),
+                    ),
+                });
+            }
+            footprints.push(obj.footprint());
+            base_bytes.push(scene.size_model.base_bytes(&obj.mesh));
+            object_bytes.push(scene.size_model.object_bytes(&obj.mesh));
+        }
+        Self {
+            records,
+            footprints,
+            coeff_bytes: scene.size_model.coeff_bytes,
+            base_bytes,
+            object_bytes,
+        }
+    }
+
+    /// Number of coefficient records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the scene had no coefficients.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_workload::{Placement, Scene, SceneConfig};
+
+    fn tiny_scene() -> Scene {
+        let mut cfg = SceneConfig::paper(4, 11);
+        cfg.levels = 2;
+        cfg.placement = Placement::Uniform;
+        cfg.target_bytes = 100_000.0;
+        Scene::generate(cfg)
+    }
+
+    #[test]
+    fn one_record_per_coefficient() {
+        let scene = tiny_scene();
+        let data = SceneIndexData::build(&scene);
+        assert_eq!(data.len(), scene.total_coeffs());
+        assert_eq!(data.footprints.len(), 4);
+    }
+
+    #[test]
+    fn support_contains_vertex_and_ring_contains_support_vertex() {
+        let scene = tiny_scene();
+        let data = SceneIndexData::build(&scene);
+        for r in &data.records {
+            assert!(r.support_xy.contains_point(&r.vertex_xy));
+            assert!(r.ring_xy.contains_point(&r.vertex_xy));
+        }
+    }
+
+    #[test]
+    fn supports_inside_object_footprint() {
+        let scene = tiny_scene();
+        let data = SceneIndexData::build(&scene);
+        for r in &data.records {
+            let fp = &data.footprints[r.id.object as usize];
+            assert!(
+                fp.contains_rect(&r.support_xy),
+                "support {:?} outside footprint {:?}",
+                r.support_xy,
+                fp
+            );
+        }
+    }
+
+    #[test]
+    fn byte_accounting_consistent() {
+        let scene = tiny_scene();
+        let data = SceneIndexData::build(&scene);
+        let total: f64 = data.object_bytes.iter().sum();
+        assert!((total - scene.total_bytes()).abs() < 1.0);
+        for (i, ob) in data.object_bytes.iter().enumerate() {
+            let coeffs_of_obj = data
+                .records
+                .iter()
+                .filter(|r| r.id.object == i as u32)
+                .count();
+            let expect = data.base_bytes[i] + data.coeff_bytes * coeffs_of_obj as f64;
+            assert!((ob - expect).abs() < 1e-6);
+        }
+    }
+}

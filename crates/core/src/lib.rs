@@ -1,0 +1,45 @@
+//! # mar-core — motion-aware continuous retrieval of 3D objects
+//!
+//! The paper's system, assembled from the workspace substrates:
+//!
+//! * [`coeff`] — scene-wide coefficient records: every wavelet coefficient
+//!   of every object, with its support-region MBR, magnitude and wire size.
+//! * [`speedmap`] — `MapSpeedToResolution` (Algorithm 1 line 1.3): the
+//!   pluggable map from client speed to the resolution band to retrieve.
+//! * [`index`] — the **efficient wavelet index** of §VI-B: a 3-D
+//!   (`x-y-w`) R*-tree over support-region MBRs, answering
+//!   `Q(R, w_max, w_min)` in a single pass.
+//! * [`naive_index`] — the §VI straw man: a point R-tree over coefficient
+//!   positions that must compute the neighbours' bounding region and
+//!   re-query the extension.
+//! * [`server`] — the data server: scene + index + per-client sessions
+//!   that filter out already-transmitted data (§IV's server-side filter).
+//! * [`retrieval`] — Algorithm 1, the incremental motion-aware client
+//!   (Figs. 8–9).
+//! * [`bufsim`] — the block-buffer simulation comparing motion-aware and
+//!   naive prefetching (Figs. 10–11).
+//! * [`system`] — the end-to-end systems of §VII-E: the full motion-aware
+//!   stack vs. the naive full-resolution + LRU + object-R*-tree baseline
+//!   (Figs. 14–15).
+//! * [`metrics`] — the measured quantities every experiment reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bufsim;
+pub mod coeff;
+pub mod index;
+pub mod metrics;
+pub mod naive_index;
+pub mod retrieval;
+pub mod server;
+pub mod speedmap;
+pub mod system;
+
+pub use coeff::{CoeffRecord, CoeffRef, SceneIndexData};
+pub use index::{WaveletIndex, WaveletIndex4};
+pub use metrics::{BufferMetrics, RetrievalMetrics, SystemMetrics};
+pub use naive_index::NaivePointIndex;
+pub use retrieval::IncrementalClient;
+pub use server::{QueryRegion, QueryResult, Server};
+pub use speedmap::{LinearSpeedMap, SmoothedSpeed, SpeedResolutionMap, SteppedSpeedMap};

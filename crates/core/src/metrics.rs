@@ -1,0 +1,202 @@
+//! Measured quantities for every experiment family.
+
+/// Per-tour aggregates of the incremental retrieval client (Figs. 8–9).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RetrievalMetrics {
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Total payload bytes retrieved.
+    pub bytes: f64,
+    /// Total coefficients retrieved.
+    pub coeffs: usize,
+    /// Total index node accesses.
+    pub io: u64,
+    /// Per-tick bytes (for distribution-shape assertions).
+    pub bytes_per_tick: Vec<f64>,
+}
+
+impl RetrievalMetrics {
+    /// Mean bytes per query frame.
+    pub fn mean_bytes(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.bytes / self.ticks as f64
+        }
+    }
+
+    /// Mean index I/O per query frame.
+    pub fn mean_io(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.io as f64 / self.ticks as f64
+        }
+    }
+}
+
+/// Buffer-management metrics (Figs. 10–11).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BufferMetrics {
+    /// Frame-block lookups.
+    pub lookups: u64,
+    /// Cache hits among them.
+    pub hits: u64,
+    /// Blocks prefetched.
+    pub prefetched: u64,
+    /// Prefetched blocks later used.
+    pub prefetched_used: u64,
+    /// Bytes fetched on demand misses.
+    pub demand_bytes: f64,
+    /// Bytes spent prefetching.
+    pub prefetch_bytes: f64,
+    /// Blocks fetched at each local cache miss — the `N(j)` series of the
+    /// §V-A cost model (Eq. 1): one entry per tick that contacted the
+    /// server, holding the demand + prefetch block count of that contact.
+    pub blocks_per_miss: Vec<u64>,
+}
+
+impl BufferMetrics {
+    /// Cache hit rate in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Data utilization: used fraction of prefetched blocks.
+    pub fn utilization(&self) -> f64 {
+        if self.prefetched == 0 {
+            1.0
+        } else {
+            self.prefetched_used as f64 / self.prefetched as f64
+        }
+    }
+
+    /// Number of server contacts (the `M` of Eq. 1).
+    pub fn miss_count(&self) -> u64 {
+        self.blocks_per_miss.len() as u64
+    }
+
+    /// Evaluates the §V-A transfer cost model (Eq. 1,
+    /// `C = Σⱼ C_c + C_t·B·N(j)`) over the recorded misses.
+    pub fn eq1_cost(&self, model: &mar_link::TransferCostModel) -> f64 {
+        model.query_cost(&self.blocks_per_miss)
+    }
+}
+
+/// End-to-end system metrics (Figs. 14–15).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SystemMetrics {
+    /// Ticks simulated.
+    pub ticks: usize,
+    /// Per-tick query response time (seconds; 0 when served locally).
+    pub response_times: Vec<f64>,
+    /// Total bytes over the wireless link.
+    pub bytes: f64,
+    /// Total server index I/O.
+    pub io: u64,
+    /// Total simulated time, advanced by `max(tick duration, response)`
+    /// per frame — the wall-clock a user would experience.
+    pub sim_time_s: f64,
+    /// Frames whose response exceeded the tick duration (visible stalls).
+    pub late_frames: usize,
+}
+
+impl SystemMetrics {
+    /// Mean response time per query frame.
+    pub fn mean_response(&self) -> f64 {
+        if self.response_times.is_empty() {
+            0.0
+        } else {
+            self.response_times.iter().sum::<f64>() / self.response_times.len() as f64
+        }
+    }
+
+    /// Maximum single-frame response time.
+    pub fn max_response(&self) -> f64 {
+        self.response_times.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Fraction of frames that blew their deadline (visible stalls) —
+    /// §I's "the results in the query window have to be retrieved at a
+    /// high rate", as a number.
+    pub fn late_frame_rate(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.late_frames as f64 / self.ticks as f64
+        }
+    }
+
+    /// The p-th percentile (0–100) of response times.
+    pub fn percentile_response(&self, p: f64) -> f64 {
+        if self.response_times.is_empty() {
+            return 0.0;
+        }
+        let mut v = self.response_times.clone();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
+        v[idx.min(v.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retrieval_means() {
+        let m = RetrievalMetrics {
+            ticks: 4,
+            bytes: 400.0,
+            coeffs: 10,
+            io: 8,
+            bytes_per_tick: vec![100.0; 4],
+        };
+        assert_eq!(m.mean_bytes(), 100.0);
+        assert_eq!(m.mean_io(), 2.0);
+        assert_eq!(RetrievalMetrics::default().mean_bytes(), 0.0);
+    }
+
+    #[test]
+    fn buffer_rates() {
+        let m = BufferMetrics {
+            lookups: 10,
+            hits: 7,
+            prefetched: 4,
+            prefetched_used: 1,
+            ..Default::default()
+        };
+        assert!((m.hit_rate() - 0.7).abs() < 1e-12);
+        assert!((m.utilization() - 0.25).abs() < 1e-12);
+        assert_eq!(BufferMetrics::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn system_percentiles() {
+        let m = SystemMetrics {
+            ticks: 5,
+            response_times: vec![0.1, 0.5, 0.2, 0.4, 0.3],
+            ..Default::default()
+        };
+        assert!((m.mean_response() - 0.3).abs() < 1e-12);
+        assert_eq!(m.max_response(), 0.5);
+        assert_eq!(m.percentile_response(0.0), 0.1);
+        assert_eq!(m.percentile_response(100.0), 0.5);
+        assert_eq!(m.percentile_response(50.0), 0.3);
+    }
+
+    #[test]
+    fn late_frame_rate_accounting() {
+        let m = SystemMetrics {
+            ticks: 10,
+            late_frames: 3,
+            ..Default::default()
+        };
+        assert!((m.late_frame_rate() - 0.3).abs() < 1e-12);
+        assert_eq!(SystemMetrics::default().late_frame_rate(), 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Algorithm 1 — `ContinuousDataRetrieval` (§IV).
+//!
+//! ```text
+//! O_t ← Q_t ∩ Q_{t−1}
+//! N_t ← Q_t − Q_{t−1}
+//! r_t ← MapSpeedToResolution(s_t)
+//! if O_t ≠ ∅:
+//!     if r_t > r_{t−1}:  R_t ← Retrieve({(O_t, r_{t−1}, r_t), (N_t, 0, r_t)})
+//!     else:              R_t ← Retrieve({(N_t, 0, r_t)})
+//! else:                  R_t ← Retrieve({(Q_t, 0, r_t)})
+//! ```
+//!
+//! In wavelet-band terms, "resolution `r`" is the band `[w_min(r), 1.0]`,
+//! and "`r_t > r_{t−1}`" (more detail) means `w_min(t) < w_min(t−1)`: the
+//! overlap region needs exactly the band `[w_min(t), w_min(t−1))` on top of
+//! what the client holds. The region difference `N_t` is decomposed into
+//! disjoint rectangles by [`mar_geom::Rect::difference`] (the paper's
+//! Figure 3 sub-query split), each retrieved at the full band for `r_t`.
+
+use crate::metrics::RetrievalMetrics;
+use crate::server::{QueryRegion, QueryResult, Server};
+use crate::speedmap::SpeedResolutionMap;
+use mar_geom::Rect2;
+use mar_mesh::ResolutionBand;
+
+/// The incremental motion-aware client of §IV (no buffering — that layer
+/// is `mar-buffer` / [`crate::system`]).
+#[derive(Debug)]
+pub struct IncrementalClient<M: SpeedResolutionMap> {
+    session: u64,
+    map: M,
+    prev_frame: Option<Rect2>,
+    prev_band: Option<ResolutionBand>,
+    metrics: RetrievalMetrics,
+}
+
+impl<M: SpeedResolutionMap> IncrementalClient<M> {
+    /// Connects a new client to the server.
+    pub fn connect(server: &mut Server, map: M) -> Self {
+        Self {
+            session: server.connect(),
+            map,
+            prev_frame: None,
+            prev_band: None,
+            metrics: RetrievalMetrics::default(),
+        }
+    }
+
+    /// The sub-queries Algorithm 1 would issue for this frame, without
+    /// executing them (used by tests and by the buffered system).
+    pub fn plan(&self, frame: &Rect2, speed: f64) -> Vec<QueryRegion> {
+        let band = self.map.band_for(speed);
+        let mut regions = Vec::new();
+        match self.prev_frame {
+            Some(prev) if prev.intersects(frame) => {
+                let overlap = frame.intersection(&prev).expect("checked intersects");
+                let prev_band = self.prev_band.expect("band recorded with frame");
+                if band.w_min < prev_band.w_min {
+                    // Finer resolution needed: fetch the missing band over
+                    // the overlap.
+                    regions.push(QueryRegion {
+                        region: overlap,
+                        band: ResolutionBand::new(band.w_min, prev_band.w_min),
+                    });
+                }
+                for part in frame.difference(&prev) {
+                    regions.push(QueryRegion { region: part, band });
+                }
+            }
+            _ => regions.push(QueryRegion {
+                region: *frame,
+                band,
+            }),
+        }
+        regions
+    }
+
+    /// Executes one query frame; returns the server's (session-filtered)
+    /// result.
+    pub fn tick(&mut self, server: &mut Server, frame: Rect2, speed: f64) -> QueryResult {
+        let regions = self.plan(&frame, speed);
+        let result = server.query(self.session, &regions);
+        self.prev_frame = Some(frame);
+        self.prev_band = Some(self.map.band_for(speed));
+        self.metrics.ticks += 1;
+        self.metrics.bytes += result.bytes;
+        self.metrics.coeffs += result.coeffs;
+        self.metrics.io += result.io;
+        self.metrics.bytes_per_tick.push(result.bytes);
+        result
+    }
+
+    /// Metrics so far.
+    pub fn metrics(&self) -> &RetrievalMetrics {
+        &self.metrics
+    }
+
+    /// The session id on the server.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::speedmap::LinearSpeedMap;
+    use mar_geom::Point2;
+    use mar_workload::{Scene, SceneConfig};
+
+    fn server() -> Server {
+        let mut cfg = SceneConfig::paper(8, 33);
+        cfg.levels = 3;
+        cfg.target_bytes = 1_000_000.0;
+        Server::new(&Scene::generate(cfg))
+    }
+
+    fn frame(x: f64, y: f64) -> Rect2 {
+        Rect2::new(Point2::new([x, y]), Point2::new([x + 200.0, y + 200.0]))
+    }
+
+    #[test]
+    fn first_tick_queries_whole_frame() {
+        let mut srv = server();
+        let client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        let plan = client.plan(&frame(100.0, 100.0), 0.5);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].region, frame(100.0, 100.0));
+        assert_eq!(plan[0].band.w_min, 0.5);
+    }
+
+    #[test]
+    fn overlapping_frames_query_only_the_difference() {
+        let mut srv = server();
+        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        client.tick(&mut srv, frame(100.0, 100.0), 0.5);
+        // Same speed, slight move: plan must not include the overlap.
+        let plan = client.plan(&frame(150.0, 100.0), 0.5);
+        assert_eq!(plan.len(), 1, "single new slab for a pure x move");
+        let part = plan[0].region;
+        assert!(
+            part.lo[0] >= 300.0 - 1e-9,
+            "part {part:?} must start at old hi"
+        );
+    }
+
+    #[test]
+    fn speeding_up_fetches_nothing_for_overlap() {
+        let mut srv = server();
+        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        client.tick(&mut srv, frame(100.0, 100.0), 0.2);
+        let plan = client.plan(&frame(120.0, 120.0), 0.8);
+        // Coarser need (w_min 0.8 > 0.2): overlap already satisfied.
+        assert!(plan.iter().all(|q| q.band.w_min == 0.8));
+        assert_eq!(plan.len(), 2, "L-shaped difference = two slabs");
+    }
+
+    #[test]
+    fn slowing_down_fetches_band_delta_over_overlap() {
+        let mut srv = server();
+        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        client.tick(&mut srv, frame(100.0, 100.0), 0.8);
+        let plan = client.plan(&frame(100.0, 100.0), 0.2);
+        // Identical frame, finer need: exactly one overlap band query.
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].band.w_min, 0.2);
+        assert_eq!(plan[0].band.w_max, 0.8);
+    }
+
+    #[test]
+    fn disjoint_jump_requeries_everything() {
+        let mut srv = server();
+        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        client.tick(&mut srv, frame(0.0, 0.0), 0.3);
+        let plan = client.plan(&frame(700.0, 700.0), 0.3);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan[0].region, frame(700.0, 700.0));
+    }
+
+    #[test]
+    fn stationary_client_retrieves_once() {
+        let mut srv = server();
+        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        let f = frame(300.0, 300.0);
+        let r1 = client.tick(&mut srv, f, 0.0);
+        let r2 = client.tick(&mut srv, f, 0.0);
+        let r3 = client.tick(&mut srv, f, 0.0);
+        assert!(r1.bytes > 0.0);
+        assert_eq!(r2.bytes + r3.bytes, 0.0, "no motion, no new data");
+    }
+
+    #[test]
+    fn faster_clients_retrieve_fewer_bytes_over_a_sweep() {
+        // Sweep the same path at two speeds; the fast client's per-frame
+        // resolution band is narrower so its total bytes are smaller, even
+        // though it covers the same ground.
+        let total = |speed: f64| {
+            let mut srv = server();
+            let mut c = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+            for i in 0..20 {
+                c.tick(&mut srv, frame(40.0 * i as f64, 300.0), speed);
+            }
+            c.metrics().bytes
+        };
+        let slow = total(0.01);
+        let fast = total(0.9);
+        assert!(
+            fast < slow * 0.6,
+            "fast sweep {fast} must be well below slow sweep {slow}"
+        );
+    }
+
+    #[test]
+    fn incremental_equals_fresh_when_revisiting_is_free() {
+        // Running a path twice costs the same as once (server-side dedup).
+        let mut srv = server();
+        let mut c = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        for _round in 0..2 {
+            for i in 0..10 {
+                c.tick(&mut srv, frame(50.0 * i as f64, 400.0), 0.3);
+            }
+        }
+        let bytes_two_rounds = c.metrics().bytes;
+        let mut srv2 = server();
+        let mut c2 = IncrementalClient::connect(&mut srv2, LinearSpeedMap);
+        for i in 0..10 {
+            c2.tick(&mut srv2, frame(50.0 * i as f64, 400.0), 0.3);
+        }
+        assert!((bytes_two_rounds - c2.metrics().bytes).abs() < 1e-6);
+    }
+}
+
+impl<M: SpeedResolutionMap> IncrementalClient<M> {
+    /// Executes one query frame defined by a directional view frustum
+    /// (§I: retrieval follows "the client's location and view direction").
+    ///
+    /// The frustum's bounding rectangle drives Algorithm 1 — including the
+    /// overlap/difference decomposition against the previous frame — so
+    /// turning the head retrieves only newly visible regions. The result
+    /// may include data outside the exact fan (the index is rectangular);
+    /// a renderer culls it locally, and it stays cached for the next turn.
+    pub fn tick_frustum(
+        &mut self,
+        server: &mut Server,
+        frustum: &mar_geom::Frustum,
+        speed: f64,
+    ) -> QueryResult {
+        self.tick(server, frustum.bounding_rect(), speed)
+    }
+}
+
+#[cfg(test)]
+mod frustum_tests {
+    use super::*;
+    use crate::speedmap::LinearSpeedMap;
+    use mar_geom::{Frustum, Point2};
+    use mar_workload::{Scene, SceneConfig};
+    use std::f64::consts::FRAC_PI_2;
+
+    fn server() -> Server {
+        let mut cfg = SceneConfig::paper(10, 51);
+        cfg.levels = 3;
+        cfg.target_bytes = 1_000_000.0;
+        Server::new(&Scene::generate(cfg))
+    }
+
+    #[test]
+    fn turning_in_place_retrieves_incrementally() {
+        let mut srv = server();
+        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        let apex = Point2::new([500.0, 500.0]);
+        // Look east, then rotate by 90° steps: after a full turn the
+        // client has seen (at most) the whole disc once.
+        let mut total = 0.0;
+        for i in 0..8 {
+            let f = Frustum::new(apex, i as f64 * FRAC_PI_2 / 2.0, FRAC_PI_2, 200.0);
+            let r = client.tick_frustum(&mut srv, &f, 0.1);
+            total += r.bytes;
+        }
+        // Second full sweep: everything already cached server-side.
+        let mut second = 0.0;
+        for i in 0..8 {
+            let f = Frustum::new(apex, i as f64 * FRAC_PI_2 / 2.0, FRAC_PI_2, 200.0);
+            second += client.tick_frustum(&mut srv, &f, 0.1).bytes;
+        }
+        assert!(total > 0.0 || second == 0.0);
+        assert_eq!(second, 0.0, "a repeated sweep must be free");
+    }
+
+    #[test]
+    fn narrow_view_retrieves_less_than_wide_view() {
+        let apex = Point2::new([500.0, 500.0]);
+        let bytes_for = |fov: f64| {
+            let mut srv = server();
+            let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+            let f = Frustum::new(apex, 0.0, fov, 300.0);
+            client.tick_frustum(&mut srv, &f, 0.2).bytes
+        };
+        let narrow = bytes_for(0.3);
+        let wide = bytes_for(std::f64::consts::TAU);
+        assert!(
+            narrow <= wide,
+            "narrow view ({narrow}) cannot exceed the full disc ({wide})"
+        );
+    }
+}

@@ -1,0 +1,251 @@
+//! The data server: scene + wavelet index + per-client sessions.
+//!
+//! §IV: "After retrieving the results for all the sub-queries, the server
+//! filters the results to avoid transmitting the data that is already
+//! available at the client." Each session remembers which coefficients
+//! (and which objects' base meshes) a client has already received; query
+//! results are filtered against that set before they are costed.
+
+use crate::coeff::{CoeffRef, SceneIndexData};
+use crate::index::WaveletIndex;
+use mar_geom::Rect2;
+use mar_mesh::ResolutionBand;
+use mar_workload::Scene;
+use std::collections::{HashMap, HashSet};
+
+/// One sub-query: a region and the resolution band needed inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryRegion {
+    /// The spatial window.
+    pub region: Rect2,
+    /// The coefficient magnitude band.
+    pub band: ResolutionBand,
+}
+
+/// What one server round trip produced.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct QueryResult {
+    /// Coefficients transmitted (after session filtering).
+    pub coeffs: usize,
+    /// Objects whose base mesh was transmitted for the first time.
+    pub new_objects: usize,
+    /// Payload bytes (coefficients + new base meshes).
+    pub bytes: f64,
+    /// Index node accesses.
+    pub io: u64,
+}
+
+#[derive(Debug, Default)]
+struct Session {
+    sent: HashSet<CoeffRef>,
+    sent_base: HashSet<u32>,
+}
+
+/// The server.
+#[derive(Debug)]
+pub struct Server {
+    data: SceneIndexData,
+    index: WaveletIndex,
+    sessions: HashMap<u64, Session>,
+    next_session: u64,
+}
+
+impl Server {
+    /// Builds the server (support regions + index) from a scene.
+    pub fn new(scene: &Scene) -> Self {
+        let data = SceneIndexData::build(scene);
+        let index = WaveletIndex::build(&data);
+        Self {
+            data,
+            index,
+            sessions: HashMap::new(),
+            next_session: 0,
+        }
+    }
+
+    /// The scene-derived index data.
+    pub fn data(&self) -> &SceneIndexData {
+        &self.data
+    }
+
+    /// The wavelet index.
+    pub fn index(&self) -> &WaveletIndex {
+        &self.index
+    }
+
+    /// Opens a client session; returns its id.
+    pub fn connect(&mut self) -> u64 {
+        let id = self.next_session;
+        self.next_session += 1;
+        self.sessions.insert(id, Session::default());
+        id
+    }
+
+    /// Drops a session (client disconnected).
+    pub fn disconnect(&mut self, session: u64) {
+        self.sessions.remove(&session);
+    }
+
+    /// Executes a batch of sub-queries for a session, filtering out data
+    /// the client already holds, and returns the transmission accounting.
+    ///
+    /// # Panics
+    /// Panics on an unknown session id.
+    pub fn query(&mut self, session: u64, regions: &[QueryRegion]) -> QueryResult {
+        let sess = self.sessions.get_mut(&session).expect("unknown session id");
+        let mut result = QueryResult::default();
+        for q in regions {
+            let (hits, io) = self.index.query(&q.region, q.band);
+            result.io += io;
+            for id in hits {
+                if sess.sent.insert(id) {
+                    result.coeffs += 1;
+                    result.bytes += self.data.coeff_bytes;
+                    if sess.sent_base.insert(id.object) {
+                        result.new_objects += 1;
+                        result.bytes += self.data.base_bytes[id.object as usize];
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// A stateless query (no session filtering): the raw index answer.
+    pub fn query_stateless(&self, region: &Rect2, band: ResolutionBand) -> (Vec<CoeffRef>, u64) {
+        self.index.query(region, band)
+    }
+
+    /// Payload bytes of one block-granularity fetch: every coefficient
+    /// whose support intersects `block` within `band`, plus base meshes
+    /// the session has not yet received. Used by the buffered clients.
+    pub fn fetch_block(
+        &mut self,
+        session: u64,
+        block: &Rect2,
+        band: ResolutionBand,
+    ) -> QueryResult {
+        self.query(
+            session,
+            &[QueryRegion {
+                region: *block,
+                band,
+            }],
+        )
+    }
+
+    /// Stateless byte size of a block at a band (planning/estimation).
+    pub fn block_bytes_stateless(&self, block: &Rect2, band: ResolutionBand) -> (f64, u64) {
+        let (hits, io) = self.index.query(block, band);
+        (hits.len() as f64 * self.data.coeff_bytes, io)
+    }
+
+    /// How many coefficients a session has been sent.
+    pub fn session_sent(&self, session: u64) -> usize {
+        self.sessions
+            .get(&session)
+            .map(|s| s.sent.len())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_geom::Point2;
+    use mar_workload::{Scene, SceneConfig};
+
+    fn server() -> Server {
+        let mut cfg = SceneConfig::paper(5, 21);
+        cfg.levels = 3;
+        cfg.target_bytes = 1_000_000.0;
+        Server::new(&Scene::generate(cfg))
+    }
+
+    fn whole() -> QueryRegion {
+        QueryRegion {
+            region: Rect2::new(Point2::new([0.0, 0.0]), Point2::new([1000.0, 1000.0])),
+            band: ResolutionBand::FULL,
+        }
+    }
+
+    #[test]
+    fn repeat_queries_send_nothing_new() {
+        let mut s = server();
+        let c = s.connect();
+        let r1 = s.query(c, &[whole()]);
+        assert!(r1.coeffs > 0);
+        assert!(r1.bytes > 0.0);
+        assert_eq!(r1.new_objects, 5);
+        let r2 = s.query(c, &[whole()]);
+        assert_eq!(r2.coeffs, 0);
+        assert_eq!(r2.bytes, 0.0);
+        assert_eq!(r2.new_objects, 0);
+        assert!(r2.io > 0, "index is still searched");
+    }
+
+    #[test]
+    fn sessions_are_independent() {
+        let mut s = server();
+        let a = s.connect();
+        let b = s.connect();
+        let ra = s.query(a, &[whole()]);
+        let rb = s.query(b, &[whole()]);
+        assert_eq!(ra.coeffs, rb.coeffs);
+    }
+
+    #[test]
+    fn incremental_band_widening_sends_only_the_difference() {
+        let mut s = server();
+        let c = s.connect();
+        let region = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([1000.0, 1000.0]));
+        let coarse = s.query(
+            c,
+            &[QueryRegion {
+                region,
+                band: ResolutionBand::new(0.5, 1.0),
+            }],
+        );
+        let fine = s.query(
+            c,
+            &[QueryRegion {
+                region,
+                band: ResolutionBand::FULL,
+            }],
+        );
+        let total_coeffs = s.data().len();
+        assert_eq!(coarse.coeffs + fine.coeffs, total_coeffs);
+        assert!(coarse.coeffs < fine.coeffs, "most coefficients are small");
+    }
+
+    #[test]
+    fn base_mesh_charged_exactly_once_per_object() {
+        let mut s = server();
+        let c = s.connect();
+        let left = QueryRegion {
+            region: Rect2::new(Point2::new([0.0, 0.0]), Point2::new([500.0, 1000.0])),
+            band: ResolutionBand::FULL,
+        };
+        let all = whole();
+        let r1 = s.query(c, &[left]);
+        let r2 = s.query(c, &[all]);
+        assert_eq!(r1.new_objects + r2.new_objects, 5);
+    }
+
+    #[test]
+    fn disconnect_forgets_state() {
+        let mut s = server();
+        let c = s.connect();
+        s.query(c, &[whole()]);
+        assert!(s.session_sent(c) > 0);
+        s.disconnect(c);
+        assert_eq!(s.session_sent(c), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown session")]
+    fn unknown_session_panics() {
+        let mut s = server();
+        s.query(42, &[whole()]);
+    }
+}

@@ -1,0 +1,247 @@
+//! 2-D view frusta.
+//!
+//! The paper's client has "a *view* attached to it. At any time, according
+//! to the client's location and view direction, the client retrieves all
+//! the objects within the range of its view" (§I). The evaluation
+//! simplifies the view to an axis-aligned window; this module provides the
+//! directional version: a fan-shaped [`Frustum`] (apex, heading, field of
+//! view, depth), convertible to its bounding rectangle for index queries
+//! and able to filter the results exactly.
+
+use crate::{Point2, Rect2, Vec2};
+use std::f64::consts::TAU;
+
+/// A 2-D view frustum: everything within `depth` of `apex` and within
+/// `fov/2` radians of `heading`.
+///
+/// ```
+/// use mar_geom::{Frustum, Point2};
+/// // Looking east with a 90° field of view, 100 units deep.
+/// let view = Frustum::new(Point2::new([0.0, 0.0]), 0.0, std::f64::consts::FRAC_PI_2, 100.0);
+/// assert!(view.contains_point(&Point2::new([50.0, 10.0])));
+/// assert!(!view.contains_point(&Point2::new([-50.0, 0.0]))); // behind
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Frustum {
+    /// The viewer's position.
+    pub apex: Point2,
+    /// View direction, radians CCW from +x.
+    pub heading: f64,
+    /// Full angular width of the view, in radians (0, 2π].
+    pub fov: f64,
+    /// How far the view reaches.
+    pub depth: f64,
+}
+
+impl Frustum {
+    /// Creates a frustum.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fov <= 2π` and `depth > 0`.
+    pub fn new(apex: Point2, heading: f64, fov: f64, depth: f64) -> Self {
+        assert!(fov > 0.0 && fov <= TAU, "fov out of range: {fov}");
+        assert!(depth > 0.0, "depth must be positive");
+        Self {
+            apex,
+            heading: heading.rem_euclid(TAU),
+            fov,
+            depth,
+        }
+    }
+
+    /// True when `p` is inside the frustum (inclusive of its boundary).
+    pub fn contains_point(&self, p: &Point2) -> bool {
+        let v = *p - self.apex;
+        let d2 = v.norm_sq();
+        if d2 > self.depth * self.depth {
+            return false;
+        }
+        if d2 == 0.0 || self.fov >= TAU {
+            return true;
+        }
+        let angle = v.angle().expect("non-zero checked");
+        let diff =
+            (angle - self.heading + std::f64::consts::PI).rem_euclid(TAU) - std::f64::consts::PI;
+        diff.abs() <= self.fov / 2.0 + 1e-12
+    }
+
+    /// The tight axis-aligned bounding rectangle of the frustum — the
+    /// window to hand the index; exact membership is then re-checked with
+    /// [`Frustum::contains_point`] / [`Frustum::intersects_rect`].
+    pub fn bounding_rect(&self) -> Rect2 {
+        let mut lo = self.apex;
+        let mut hi = self.apex;
+        let mut take = |p: Point2| {
+            lo = lo.min(&p);
+            hi = hi.max(&p);
+        };
+        let half = self.fov / 2.0;
+        // The two arc endpoints.
+        for a in [self.heading - half, self.heading + half] {
+            take(self.apex + Vec2::new([a.cos(), a.sin()]) * self.depth);
+        }
+        // Cardinal extremes of the arc, when inside the angular range.
+        for (k, cardinal) in [
+            (0u8, 0.0),
+            (1, TAU / 4.0),
+            (2, TAU / 2.0),
+            (3, 3.0 * TAU / 4.0),
+        ] {
+            let _ = k;
+            let diff = (cardinal - self.heading + std::f64::consts::PI).rem_euclid(TAU)
+                - std::f64::consts::PI;
+            if diff.abs() <= half {
+                take(self.apex + Vec2::new([cardinal.cos(), cardinal.sin()]) * self.depth);
+            }
+        }
+        Rect2::from_corners(lo, hi)
+    }
+
+    /// Conservative frustum–rectangle intersection test: true when any
+    /// corner, the centre, or the nearest boundary point of `r` falls in
+    /// the frustum, or when `r` contains the apex. (Exact for the convex
+    /// `fov ≤ π` case up to arc-sampling of the far cap; never reports a
+    /// disjoint pair as intersecting.)
+    pub fn intersects_rect(&self, r: &Rect2) -> bool {
+        if r.contains_point(&self.apex) {
+            return true;
+        }
+        let corners = [
+            r.lo,
+            r.hi,
+            Point2::new([r.lo[0], r.hi[1]]),
+            Point2::new([r.hi[0], r.lo[1]]),
+        ];
+        if corners.iter().any(|c| self.contains_point(c)) || self.contains_point(&r.center()) {
+            return true;
+        }
+        // Sample the frustum's edge rays and far arc against the rect.
+        let half = self.fov / 2.0;
+        let steps = 8;
+        for i in 0..=steps {
+            let a = self.heading - half + self.fov * i as f64 / steps as f64;
+            let far = self.apex + Vec2::new([a.cos(), a.sin()]) * self.depth;
+            // Walk the ray apex→far in a few steps.
+            for t in [0.25, 0.5, 0.75, 1.0] {
+                if r.contains_point(&self.apex.lerp(&far, t)) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Rotates the view.
+    pub fn turned(&self, delta: f64) -> Self {
+        Self {
+            heading: (self.heading + delta).rem_euclid(TAU),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn east(fov: f64) -> Frustum {
+        Frustum::new(Point2::new([0.0, 0.0]), 0.0, fov, 10.0)
+    }
+
+    #[test]
+    fn contains_ahead_not_behind() {
+        let f = east(FRAC_PI_2);
+        assert!(f.contains_point(&Point2::new([5.0, 0.0])));
+        assert!(f.contains_point(&Point2::new([5.0, 4.0])));
+        assert!(!f.contains_point(&Point2::new([-5.0, 0.0])));
+        assert!(!f.contains_point(&Point2::new([0.0, 5.0])));
+    }
+
+    #[test]
+    fn depth_limits_view() {
+        let f = east(FRAC_PI_2);
+        assert!(f.contains_point(&Point2::new([10.0, 0.0])));
+        assert!(!f.contains_point(&Point2::new([10.01, 0.0])));
+    }
+
+    #[test]
+    fn apex_always_inside() {
+        let f = east(0.1);
+        assert!(f.contains_point(&Point2::new([0.0, 0.0])));
+    }
+
+    #[test]
+    fn full_circle_fov_is_a_disc() {
+        let f = east(TAU);
+        assert!(f.contains_point(&Point2::new([0.0, 9.9])));
+        assert!(f.contains_point(&Point2::new([-9.9, 0.0])));
+        assert!(!f.contains_point(&Point2::new([8.0, 8.0])));
+    }
+
+    #[test]
+    fn bounding_rect_contains_sampled_points() {
+        for heading in [0.0, 0.7, FRAC_PI_2, PI, 4.0] {
+            let f = Frustum::new(Point2::new([3.0, -2.0]), heading, 1.2, 7.0);
+            let bb = f.bounding_rect();
+            assert!(bb.contains_point(&f.apex));
+            for i in 0..=32 {
+                let a = f.heading - f.fov / 2.0 + f.fov * i as f64 / 32.0;
+                for t in [0.3, 0.7, 1.0] {
+                    let p = f.apex + Vec2::new([a.cos(), a.sin()]) * (f.depth * t);
+                    assert!(
+                        bb.contains_point(&p),
+                        "heading {heading}: {p:?} escapes {bb:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounding_rect_is_tight_for_eastward_cone() {
+        let f = east(FRAC_PI_2);
+        let bb = f.bounding_rect();
+        // Max x is the cardinal east extreme at full depth.
+        assert!((bb.hi[0] - 10.0).abs() < 1e-9);
+        // y extremes are the arc endpoints at ±45°.
+        assert!((bb.hi[1] - 10.0 / 2.0f64.sqrt()).abs() < 1e-9);
+        assert!((bb.lo[0] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn intersects_rect_cases() {
+        let f = east(FRAC_PI_2);
+        // Dead ahead.
+        assert!(f.intersects_rect(&Rect2::new(
+            Point2::new([4.0, -1.0]),
+            Point2::new([6.0, 1.0])
+        )));
+        // Behind.
+        assert!(!f.intersects_rect(&Rect2::new(
+            Point2::new([-6.0, -1.0]),
+            Point2::new([-4.0, 1.0])
+        )));
+        // Contains the apex.
+        assert!(f.intersects_rect(&Rect2::new(
+            Point2::new([-1.0, -1.0]),
+            Point2::new([1.0, 1.0])
+        )));
+        // Beyond the depth.
+        assert!(!f.intersects_rect(&Rect2::new(
+            Point2::new([20.0, -1.0]),
+            Point2::new([22.0, 1.0])
+        )));
+    }
+
+    #[test]
+    fn turning_changes_what_is_seen() {
+        let f = east(FRAC_PI_2);
+        let north = f.turned(FRAC_PI_2);
+        assert!(north.contains_point(&Point2::new([0.0, 5.0])));
+        assert!(!north.contains_point(&Point2::new([5.0, 0.0])));
+        // Turning a full circle is the identity.
+        let same = f.turned(TAU);
+        assert!((same.heading - f.heading).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,282 @@
+//! The block grid of §V.
+//!
+//! The buffer-management cost model assumes the data space is "divided into
+//! grid-like blocks"; the client prefetches whole blocks and a *cache miss*
+//! means the current query frame touches a block that is not buffered.
+//! [`GridSpec`] defines the tiling, [`BlockId`] names one cell, and the
+//! methods here convert between continuous space and block coordinates.
+
+use crate::{Point2, Rect2};
+
+/// Integer coordinates of one grid block. Blocks outside the data space are
+/// representable (predictions may wander off the edge); [`GridSpec::clamp`]
+/// pulls them back in when needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId {
+    /// Column index (x direction).
+    pub ix: i64,
+    /// Row index (y direction).
+    pub iy: i64,
+}
+
+impl BlockId {
+    /// Creates a block id.
+    pub const fn new(ix: i64, iy: i64) -> Self {
+        Self { ix, iy }
+    }
+
+    /// Chebyshev (ring) distance between two blocks — the radius of the
+    /// smallest square ring around `self` containing `other`.
+    pub fn ring_distance(&self, other: &Self) -> i64 {
+        (self.ix - other.ix).abs().max((self.iy - other.iy).abs())
+    }
+
+    /// Manhattan distance between two blocks.
+    pub fn manhattan(&self, other: &Self) -> i64 {
+        (self.ix - other.ix).abs() + (self.iy - other.iy).abs()
+    }
+}
+
+/// A uniform tiling of a rectangular data space into `nx × ny` blocks.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridSpec {
+    /// The extent of the data space being tiled.
+    pub space: Rect2,
+    /// Number of blocks along x.
+    pub nx: u32,
+    /// Number of blocks along y.
+    pub ny: u32,
+}
+
+impl GridSpec {
+    /// Creates a grid over `space` with the given block counts.
+    ///
+    /// # Panics
+    /// Panics if either block count is zero or the space is degenerate.
+    pub fn new(space: Rect2, nx: u32, ny: u32) -> Self {
+        assert!(nx > 0 && ny > 0, "grid must have at least one block");
+        assert!(
+            space.extent(0) > 0.0 && space.extent(1) > 0.0,
+            "grid space must have positive extent"
+        );
+        Self { space, nx, ny }
+    }
+
+    /// Creates a grid whose blocks are as close as possible to
+    /// `block_size × block_size` in space units (at least 1×1 blocks).
+    pub fn with_block_size(space: Rect2, block_size: f64) -> Self {
+        assert!(block_size > 0.0, "block size must be positive");
+        let nx = (space.extent(0) / block_size).round().max(1.0) as u32;
+        let ny = (space.extent(1) / block_size).round().max(1.0) as u32;
+        Self::new(space, nx, ny)
+    }
+
+    /// Width of one block in space units.
+    pub fn block_w(&self) -> f64 {
+        self.space.extent(0) / self.nx as f64
+    }
+
+    /// Height of one block in space units.
+    pub fn block_h(&self) -> f64 {
+        self.space.extent(1) / self.ny as f64
+    }
+
+    /// Total number of blocks in the grid.
+    pub fn block_count(&self) -> u64 {
+        self.nx as u64 * self.ny as u64
+    }
+
+    /// The block containing point `p`. Points on shared block boundaries
+    /// belong to the block with the larger index except at the space's far
+    /// edge, which maps into the last block so the whole closed space is
+    /// covered.
+    pub fn block_of(&self, p: &Point2) -> BlockId {
+        let fx = (p[0] - self.space.lo[0]) / self.block_w();
+        let fy = (p[1] - self.space.lo[1]) / self.block_h();
+        let ix = (fx.floor() as i64).min(self.nx as i64 - 1);
+        let iy = (fy.floor() as i64).min(self.ny as i64 - 1);
+        BlockId::new(ix, iy)
+    }
+
+    /// The spatial extent of block `b` (blocks outside the data space get
+    /// their natural extrapolated extent).
+    pub fn block_rect(&self, b: &BlockId) -> Rect2 {
+        let w = self.block_w();
+        let h = self.block_h();
+        let x0 = self.space.lo[0] + b.ix as f64 * w;
+        let y0 = self.space.lo[1] + b.iy as f64 * h;
+        Rect2::new(Point2::new([x0, y0]), Point2::new([x0 + w, y0 + h]))
+    }
+
+    /// Centre of block `b`.
+    pub fn block_center(&self, b: &BlockId) -> Point2 {
+        self.block_rect(b).center()
+    }
+
+    /// True when `b` lies inside the tiled data space.
+    pub fn in_bounds(&self, b: &BlockId) -> bool {
+        (0..self.nx as i64).contains(&b.ix) && (0..self.ny as i64).contains(&b.iy)
+    }
+
+    /// Clamps a block id to the data space.
+    pub fn clamp(&self, b: &BlockId) -> BlockId {
+        BlockId::new(
+            b.ix.clamp(0, self.nx as i64 - 1),
+            b.iy.clamp(0, self.ny as i64 - 1),
+        )
+    }
+
+    /// All in-bounds blocks intersecting the rectangle `r` (closed
+    /// intersection: a frame touching a block boundary pulls that block in).
+    pub fn blocks_overlapping(&self, r: &Rect2) -> Vec<BlockId> {
+        let Some(clipped) = r.intersection(&self.space) else {
+            return Vec::new();
+        };
+        let w = self.block_w();
+        let h = self.block_h();
+        let ix0 = ((clipped.lo[0] - self.space.lo[0]) / w).floor() as i64;
+        let iy0 = ((clipped.lo[1] - self.space.lo[1]) / h).floor() as i64;
+        // Use a tiny epsilon so a frame whose edge coincides with a block
+        // boundary does not pull in the next (untouched) block row.
+        let eps = 1e-9 * (w + h);
+        let ix1 = (((clipped.hi[0] - self.space.lo[0]) / w) - eps)
+            .floor()
+            .max(ix0 as f64) as i64;
+        let iy1 = (((clipped.hi[1] - self.space.lo[1]) / h) - eps)
+            .floor()
+            .max(iy0 as f64) as i64;
+        let mut out = Vec::new();
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let b = BlockId::new(ix, iy);
+                if self.in_bounds(&b) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+
+    /// All in-bounds blocks whose ring (Chebyshev) distance from `center`
+    /// is at most `radius`, in row-major order.
+    pub fn blocks_within_ring(&self, center: &BlockId, radius: i64) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        for iy in (center.iy - radius)..=(center.iy + radius) {
+            for ix in (center.ix - radius)..=(center.ix + radius) {
+                let b = BlockId::new(ix, iy);
+                if self.in_bounds(&b) {
+                    out.push(b);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_10x10() -> GridSpec {
+        GridSpec::new(
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([100.0, 100.0])),
+            10,
+            10,
+        )
+    }
+
+    #[test]
+    fn block_of_interior_points() {
+        let g = grid_10x10();
+        assert_eq!(g.block_of(&Point2::new([5.0, 5.0])), BlockId::new(0, 0));
+        assert_eq!(g.block_of(&Point2::new([15.0, 95.0])), BlockId::new(1, 9));
+    }
+
+    #[test]
+    fn far_edge_maps_into_last_block() {
+        let g = grid_10x10();
+        assert_eq!(g.block_of(&Point2::new([100.0, 100.0])), BlockId::new(9, 9));
+    }
+
+    #[test]
+    fn block_rect_round_trip() {
+        let g = grid_10x10();
+        let b = BlockId::new(3, 7);
+        let r = g.block_rect(&b);
+        assert_eq!(g.block_of(&r.center()), b);
+        assert!((r.volume() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blocks_overlapping_counts() {
+        let g = grid_10x10();
+        // A frame inside a single block.
+        let one = g.blocks_overlapping(&Rect2::new(
+            Point2::new([1.0, 1.0]),
+            Point2::new([9.0, 9.0]),
+        ));
+        assert_eq!(one, vec![BlockId::new(0, 0)]);
+        // A frame spanning a 2x2 patch of blocks.
+        let four = g.blocks_overlapping(&Rect2::new(
+            Point2::new([5.0, 5.0]),
+            Point2::new([15.0, 15.0]),
+        ));
+        assert_eq!(four.len(), 4);
+        // A frame exactly coinciding with one block's extent.
+        let exact = g.blocks_overlapping(&g.block_rect(&BlockId::new(2, 2)));
+        assert_eq!(exact, vec![BlockId::new(2, 2)]);
+    }
+
+    #[test]
+    fn blocks_overlapping_clips_to_space() {
+        let g = grid_10x10();
+        let out = g.blocks_overlapping(&Rect2::new(
+            Point2::new([-50.0, -50.0]),
+            Point2::new([5.0, 5.0]),
+        ));
+        assert_eq!(out, vec![BlockId::new(0, 0)]);
+        let none = g.blocks_overlapping(&Rect2::new(
+            Point2::new([200.0, 200.0]),
+            Point2::new([300.0, 300.0]),
+        ));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn ring_blocks() {
+        let g = grid_10x10();
+        let c = BlockId::new(5, 5);
+        assert_eq!(g.blocks_within_ring(&c, 0), vec![c]);
+        assert_eq!(g.blocks_within_ring(&c, 1).len(), 9);
+        assert_eq!(g.blocks_within_ring(&c, 2).len(), 25);
+        // Near the corner the ring is clipped by the space bounds.
+        let corner = BlockId::new(0, 0);
+        assert_eq!(g.blocks_within_ring(&corner, 1).len(), 4);
+    }
+
+    #[test]
+    fn clamp_and_bounds() {
+        let g = grid_10x10();
+        assert!(g.in_bounds(&BlockId::new(0, 9)));
+        assert!(!g.in_bounds(&BlockId::new(-1, 3)));
+        assert_eq!(g.clamp(&BlockId::new(-5, 20)), BlockId::new(0, 9));
+    }
+
+    #[test]
+    fn with_block_size_rounds_counts() {
+        let g = GridSpec::with_block_size(
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([100.0, 50.0])),
+            10.0,
+        );
+        assert_eq!((g.nx, g.ny), (10, 5));
+        assert_eq!(g.block_count(), 50);
+    }
+
+    #[test]
+    fn distances() {
+        let a = BlockId::new(0, 0);
+        let b = BlockId::new(3, -4);
+        assert_eq!(a.ring_distance(&b), 4);
+        assert_eq!(a.manhattan(&b), 7);
+    }
+}

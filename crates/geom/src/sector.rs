@@ -1,0 +1,220 @@
+//! Partitioning the plane around the client into `k` direction sectors.
+//!
+//! §V-A extends the 1-D prefetching model to the plane by splitting the
+//! space around the client into `k` equally sized sectors, each standing
+//! for one possible direction of travel. §V-B (Figure 4(b)) then assigns
+//! every neighbouring grid block to one sector; a block that intersects a
+//! partition line goes to the sector owning the larger share of the block,
+//! and *exact ties are resolved by alternating* consecutive tied blocks
+//! between the two candidate sectors.
+//!
+//! [`SectorPartition`] implements that assignment. The default orientation
+//! places sector boundaries on the diagonals (so with `k = 4` the sectors
+//! are "east", "north", "west", "south"), matching the paper's figure.
+
+use crate::{BlockId, GridSpec, Point2, Vec2};
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+
+/// A division of the plane around a reference point into `k` equal angular
+/// sectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SectorPartition {
+    k: usize,
+    /// Angle (radians, CCW from +x) of the boundary that *starts* sector 0.
+    offset: f64,
+}
+
+impl SectorPartition {
+    /// Creates a partition with `k` sectors whose first boundary lies at
+    /// `offset` radians.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, offset: f64) -> Self {
+        assert!(k > 0, "need at least one sector");
+        Self {
+            k,
+            offset: offset.rem_euclid(TAU),
+        }
+    }
+
+    /// The paper's orientation: sector boundaries on the diagonals, so each
+    /// sector is centred on a compass axis (`k = 4` ⇒ sector 0 = east,
+    /// 1 = north, 2 = west, 3 = south).
+    pub fn axis_centered(k: usize) -> Self {
+        assert!(k > 0, "need at least one sector");
+        Self::new(k, -TAU / (2.0 * k as f64))
+    }
+
+    /// Number of sectors.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Angular width of one sector.
+    pub fn sector_width(&self) -> f64 {
+        TAU / self.k as f64
+    }
+
+    /// The sector containing direction `v`, or `None` for the zero vector.
+    pub fn sector_of(&self, v: &Vec2) -> Option<usize> {
+        let angle = v.angle()?;
+        let rel = (angle - self.offset).rem_euclid(TAU);
+        Some(((rel / self.sector_width()) as usize).min(self.k - 1))
+    }
+
+    /// How close (in radians) direction `v` lies to its nearest sector
+    /// boundary. Used to detect blocks that straddle a partition line.
+    pub fn boundary_proximity(&self, v: &Vec2) -> Option<f64> {
+        let angle = v.angle()?;
+        let rel = (angle - self.offset).rem_euclid(TAU);
+        let w = self.sector_width();
+        let within = rel.rem_euclid(w);
+        Some(within.min(w - within))
+    }
+
+    /// Assigns each block to a sector around `center`, implementing the
+    /// paper's tie-breaking rule: a block whose centre direction lies on
+    /// (or within `tie_eps` radians of) a partition line is alternately
+    /// assigned to the two adjacent sectors, per boundary, in the order the
+    /// blocks are supplied. The block containing `center` itself (direction
+    /// undefined) is omitted from the result.
+    pub fn assign_blocks(
+        &self,
+        grid: &GridSpec,
+        center: &Point2,
+        blocks: &[BlockId],
+        tie_eps: f64,
+    ) -> HashMap<BlockId, usize> {
+        let mut out = HashMap::with_capacity(blocks.len());
+        // Per-boundary toggle used to alternate tied blocks.
+        let mut toggles: HashMap<usize, bool> = HashMap::new();
+        let w = self.sector_width();
+        for b in blocks {
+            let v = grid.block_center(b) - *center;
+            let Some(angle) = v.angle() else { continue };
+            let rel = (angle - self.offset).rem_euclid(TAU);
+            let raw = ((rel / w) as usize).min(self.k - 1);
+            let within = rel.rem_euclid(w);
+            let dist = within.min(w - within);
+            let sector = if dist <= tie_eps && self.k > 1 {
+                // Identify the boundary index: boundary `i` starts sector `i`.
+                let boundary = if within <= w - within {
+                    raw // the boundary at the start of this sector
+                } else {
+                    (raw + 1) % self.k // the boundary at the end
+                };
+                let flip = toggles.entry(boundary).or_insert(false);
+                let lower = (boundary + self.k - 1) % self.k;
+                let chosen = if *flip { lower } else { boundary };
+                *flip = !*flip;
+                chosen
+            } else {
+                raw
+            };
+            out.insert(*b, sector);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Rect2;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([100.0, 100.0])),
+            10,
+            10,
+        )
+    }
+
+    #[test]
+    fn axis_centered_compass_sectors() {
+        let p = SectorPartition::axis_centered(4);
+        assert_eq!(p.sector_of(&Vec2::new([1.0, 0.0])), Some(0)); // east
+        assert_eq!(p.sector_of(&Vec2::new([0.0, 1.0])), Some(1)); // north
+        assert_eq!(p.sector_of(&Vec2::new([-1.0, 0.0])), Some(2)); // west
+        assert_eq!(p.sector_of(&Vec2::new([0.0, -1.0])), Some(3)); // south
+        assert_eq!(p.sector_of(&Vec2::ZERO), None);
+    }
+
+    #[test]
+    fn every_direction_lands_in_exactly_one_sector() {
+        for k in [1usize, 2, 3, 4, 6, 8, 16] {
+            let p = SectorPartition::axis_centered(k);
+            for i in 0..720 {
+                let a = i as f64 * TAU / 720.0 + 1e-4;
+                let v = Vec2::new([a.cos(), a.sin()]);
+                let s = p.sector_of(&v).unwrap();
+                assert!(s < k, "k={k} angle={a} gave sector {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_proximity_zero_on_diagonal() {
+        let p = SectorPartition::axis_centered(4);
+        // 45 degrees is a boundary for axis-centred k=4.
+        let d = p.boundary_proximity(&Vec2::new([1.0, 1.0])).unwrap();
+        assert!(d < 1e-9);
+        // Due east is maximally far from boundaries.
+        let d2 = p.boundary_proximity(&Vec2::new([1.0, 0.0])).unwrap();
+        assert!((d2 - TAU / 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn assign_blocks_covers_all_but_center() {
+        let g = grid();
+        let center = Point2::new([55.0, 55.0]); // centre of block (5,5)
+        let p = SectorPartition::axis_centered(4);
+        let blocks = g.blocks_within_ring(&BlockId::new(5, 5), 2);
+        let assigned = p.assign_blocks(&g, &center, &blocks, 1e-9);
+        // 25 blocks in the ring; the centre one has no direction.
+        assert_eq!(assigned.len(), 24);
+        for s in assigned.values() {
+            assert!(*s < 4);
+        }
+    }
+
+    #[test]
+    fn tied_blocks_alternate_between_sectors() {
+        let g = grid();
+        let center = Point2::new([55.0, 55.0]);
+        let p = SectorPartition::axis_centered(4);
+        // Diagonal blocks (6,6), (7,7), (8,8) lie exactly on the NE boundary.
+        let diag = vec![BlockId::new(6, 6), BlockId::new(7, 7), BlockId::new(8, 8)];
+        let assigned = p.assign_blocks(&g, &center, &diag, 1e-6);
+        let sectors: Vec<usize> = diag.iter().map(|b| assigned[b]).collect();
+        // Alternation: consecutive tied blocks must differ.
+        assert_ne!(sectors[0], sectors[1]);
+        assert_eq!(sectors[0], sectors[2]);
+        // And they must be the two sectors adjacent to the NE boundary.
+        for s in sectors {
+            assert!(s == 0 || s == 1);
+        }
+    }
+
+    #[test]
+    fn east_blocks_assigned_east() {
+        let g = grid();
+        let center = Point2::new([55.0, 55.0]);
+        let p = SectorPartition::axis_centered(4);
+        let blocks = vec![BlockId::new(7, 5), BlockId::new(9, 5)];
+        let assigned = p.assign_blocks(&g, &center, &blocks, 1e-9);
+        assert_eq!(assigned[&BlockId::new(7, 5)], 0);
+        assert_eq!(assigned[&BlockId::new(9, 5)], 0);
+    }
+
+    #[test]
+    fn k_eight_sectors() {
+        let p = SectorPartition::axis_centered(8);
+        assert_eq!(p.sector_of(&Vec2::new([1.0, 0.0])), Some(0));
+        assert_eq!(p.sector_of(&Vec2::new([1.0, 1.0])), Some(1));
+        assert_eq!(p.sector_of(&Vec2::new([0.0, 1.0])), Some(2));
+        assert_eq!(p.sector_of(&Vec2::new([-1.0, -1.0])), Some(5));
+    }
+}

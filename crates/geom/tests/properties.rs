@@ -1,0 +1,145 @@
+//! Property-based tests for the rectangle algebra and block grid.
+//!
+//! These invariants are load-bearing for Algorithm 1 (the difference
+//! decomposition drives which sub-queries go to the server) and for the
+//! buffer manager's cache-hit accounting (blocks must tile the space).
+
+use mar_geom::{GridSpec, Point2, Rect2};
+use proptest::prelude::*;
+
+fn arb_rect() -> impl Strategy<Value = Rect2> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.1f64..80.0,
+        0.1f64..80.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect2::new(Point2::new([x, y]), Point2::new([x + w, y + h])))
+}
+
+proptest! {
+    /// difference(A, B) tiles exactly A − B: volumes add up.
+    #[test]
+    fn difference_volume_is_exact(a in arb_rect(), b in arb_rect()) {
+        let parts = a.difference(&b);
+        let total: f64 = parts.iter().map(|r| r.volume()).sum();
+        let expected = a.volume() - a.overlap_volume(&b);
+        prop_assert!((total - expected).abs() < 1e-6 * a.volume().max(1.0));
+    }
+
+    /// The parts of a difference never overlap in their interiors.
+    #[test]
+    fn difference_parts_are_disjoint(a in arb_rect(), b in arb_rect()) {
+        let parts = a.difference(&b);
+        for i in 0..parts.len() {
+            for j in (i + 1)..parts.len() {
+                prop_assert!(!parts[i].interior_intersects(&parts[j]),
+                    "parts {i} and {j} overlap: {:?} {:?}", parts[i], parts[j]);
+            }
+        }
+    }
+
+    /// Every difference part is inside A and does not interior-overlap B.
+    #[test]
+    fn difference_parts_confined(a in arb_rect(), b in arb_rect()) {
+        for p in a.difference(&b) {
+            prop_assert!(a.contains_rect(&p));
+            prop_assert!(p.overlap_volume(&b) < 1e-9);
+        }
+    }
+
+    /// A random point of A is either in B or covered by exactly the parts.
+    #[test]
+    fn difference_point_coverage(a in arb_rect(), b in arb_rect(),
+                                 tx in 0.001f64..0.999, ty in 0.001f64..0.999) {
+        let p = Point2::new([
+            a.lo[0] + tx * a.extent(0),
+            a.lo[1] + ty * a.extent(1),
+        ]);
+        let parts = a.difference(&b);
+        let covered = parts.iter().any(|r| r.contains_point(&p));
+        // Interior points of B must not be covered; points clearly outside
+        // B must be. Points on B's boundary may legitimately fall either way.
+        let strictly_in_b = (0..2).all(|i| b.lo[i] < p[i] && p[i] < b.hi[i]);
+        let strictly_out_b = (0..2).any(|i| p[i] < b.lo[i] - 1e-12 || p[i] > b.hi[i] + 1e-12);
+        if strictly_in_b {
+            prop_assert!(!covered);
+        } else if strictly_out_b {
+            prop_assert!(covered, "point {p:?} of A outside B not covered");
+        }
+    }
+
+    /// Intersection is commutative and contained in both inputs.
+    #[test]
+    fn intersection_properties(a in arb_rect(), b in arb_rect()) {
+        match (a.intersection(&b), b.intersection(&a)) {
+            (Some(x), Some(y)) => {
+                prop_assert_eq!(x, y);
+                prop_assert!(a.contains_rect(&x));
+                prop_assert!(b.contains_rect(&x));
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "intersection not commutative"),
+        }
+    }
+
+    /// Union contains both inputs and is the smallest such box (its corners
+    /// come from the inputs).
+    #[test]
+    fn union_properties(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        for i in 0..2 {
+            prop_assert!(u.lo[i] == a.lo[i] || u.lo[i] == b.lo[i]);
+            prop_assert!(u.hi[i] == a.hi[i] || u.hi[i] == b.hi[i]);
+        }
+    }
+
+    /// Every point of the data space maps to an in-bounds block whose rect
+    /// contains the point.
+    #[test]
+    fn grid_block_of_round_trip(x in 0.0f64..100.0, y in 0.0f64..100.0,
+                                nx in 1u32..20, ny in 1u32..20) {
+        let g = GridSpec::new(
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([100.0, 100.0])),
+            nx, ny,
+        );
+        let p = Point2::new([x, y]);
+        let b = g.block_of(&p);
+        prop_assert!(g.in_bounds(&b));
+        prop_assert!(g.block_rect(&b).contains_point(&p));
+    }
+
+    /// blocks_overlapping returns exactly the blocks whose rects intersect
+    /// the query (verified against brute force over all blocks).
+    #[test]
+    fn grid_overlap_matches_bruteforce(qx in 0.0f64..90.0, qy in 0.0f64..90.0,
+                                       qw in 0.5f64..40.0, qh in 0.5f64..40.0) {
+        let g = GridSpec::new(
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([100.0, 100.0])),
+            10, 10,
+        );
+        let q = Rect2::new(Point2::new([qx, qy]), Point2::new([qx + qw, qy + qh]));
+        let fast = g.blocks_overlapping(&q);
+        let mut brute = Vec::new();
+        for iy in 0..10 {
+            for ix in 0..10 {
+                let b = mar_geom::BlockId::new(ix, iy);
+                // Match the library's epsilon policy: strictly positive
+                // overlap in area, or containment of a degenerate touch.
+                if g.block_rect(&b).overlap_volume(&q) > 1e-9 {
+                    brute.push(b);
+                }
+            }
+        }
+        // fast may include boundary-touching blocks; it must at least cover
+        // every positively-overlapping block and include nothing disjoint.
+        for b in &brute {
+            prop_assert!(fast.contains(b), "missing block {b:?} for {q:?}");
+        }
+        for b in &fast {
+            prop_assert!(g.block_rect(b).intersects(&q));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The buffer-management transfer cost model — Eq. (1) of §V-A.
+//!
+//! `C = Σ_{j=0}^{M} (C_c + C_t · B · N(j))`: over the `M` cache misses of a
+//! continuous query, each miss pays a connection establishment cost `C_c`
+//! plus the transfer cost of the `N(j)` blocks (of `B` bytes each) fetched
+//! at that miss. Fewer misses ⇒ lower cost, which is what the §V-A optimal
+//! buffer allocation maximises via the residence time.
+
+use crate::link::LinkConfig;
+
+/// The Eq. (1) cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransferCostModel {
+    /// Connection establishment cost `C_c`, in seconds.
+    pub connection_cost: f64,
+    /// Transfer cost `C_t` for one byte, in seconds.
+    pub per_byte_cost: f64,
+    /// Block size `B` in bytes.
+    pub block_bytes: f64,
+}
+
+impl TransferCostModel {
+    /// Derives the model from a link configuration at rest.
+    pub fn from_link(link: &LinkConfig, block_bytes: f64) -> Self {
+        assert!(block_bytes > 0.0);
+        Self {
+            connection_cost: link.latency_s + link.connection_s,
+            per_byte_cost: 8.0 / link.bandwidth_bps,
+            block_bytes,
+        }
+    }
+
+    /// Cost of one miss that fetches `n_blocks` blocks:
+    /// `C_c + C_t · B · N(j)`.
+    pub fn miss_cost(&self, n_blocks: u64) -> f64 {
+        self.connection_cost + self.per_byte_cost * self.block_bytes * n_blocks as f64
+    }
+
+    /// Total cost of a continuous query whose misses fetched the given
+    /// block counts (Eq. 1).
+    pub fn query_cost(&self, blocks_per_miss: &[u64]) -> f64 {
+        blocks_per_miss.iter().map(|&n| self.miss_cost(n)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> TransferCostModel {
+        TransferCostModel {
+            connection_cost: 0.3,
+            per_byte_cost: 0.001,
+            block_bytes: 100.0,
+        }
+    }
+
+    #[test]
+    fn miss_cost_formula() {
+        let m = model();
+        assert!((m.miss_cost(0) - 0.3).abs() < 1e-12);
+        assert!((m.miss_cost(5) - (0.3 + 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn query_cost_sums_misses() {
+        let m = model();
+        let c = m.query_cost(&[1, 2, 3]);
+        assert!((c - (3.0 * 0.3 + 0.001 * 100.0 * 6.0)).abs() < 1e-12);
+        assert_eq!(m.query_cost(&[]), 0.0);
+    }
+
+    #[test]
+    fn fewer_misses_cost_less_for_same_blocks() {
+        // The same 12 blocks in 2 misses vs 6 misses: fewer connections win.
+        let m = model();
+        assert!(m.query_cost(&[6, 6]) < m.query_cost(&[2; 6]));
+    }
+
+    #[test]
+    fn from_link_translation() {
+        let link = LinkConfig::paper();
+        let m = TransferCostModel::from_link(&link, 4096.0);
+        assert!((m.connection_cost - 0.3).abs() < 1e-12);
+        assert!((m.per_byte_cost - 8.0 / 256_000.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,26 @@
+//! # mar-link — the simulated wireless link and its cost model
+//!
+//! The paper's bottleneck is the wireless hop between client and server:
+//! 256 Kbps of bandwidth and 200 ms of latency in the experiments (§VII-A),
+//! with the additional twist — motivating the whole motion-aware design —
+//! that "the usable bandwidth of a connection … drops to a fraction of the
+//! bandwidth that is available for clients at rest" when the client moves
+//! (§I, citing Ofcom \[2\]).
+//!
+//! This crate models exactly that: a deterministic [`WirelessLink`] whose
+//! per-request time is `latency + connection setup + bytes / effective
+//! bandwidth`, with effective bandwidth degraded linearly in the client's
+//! normalised speed; a [`SimClock`] (the only notion of time anywhere in
+//! the simulation); and the buffer-management transfer cost model of
+//! §V-A Eq. (1), `C = Σⱼ (C_c + C_t·B·N(j))`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod cost;
+pub mod link;
+
+pub use clock::SimClock;
+pub use cost::TransferCostModel;
+pub use link::{LinkConfig, LinkStats, WirelessLink};

@@ -1,0 +1,173 @@
+//! The deterministic wireless link model.
+
+/// Link parameters.
+///
+/// ```
+/// use mar_link::LinkConfig;
+/// let link = LinkConfig::paper(); // 256 Kbps, 200 ms, motion-degraded
+/// // A 32 KB transfer for a client at rest vs at full speed:
+/// let at_rest = link.request_time(32.0 * 1024.0, 0.0);
+/// let moving = link.request_time(32.0 * 1024.0, 1.0);
+/// assert!(moving > at_rest); // §I: motion costs bandwidth
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Nominal bandwidth in bits per second (paper: 256 Kbps).
+    pub bandwidth_bps: f64,
+    /// One-way request latency in seconds (paper: 200 ms).
+    pub latency_s: f64,
+    /// Extra cost of establishing a connection, in seconds (the `C_c` of
+    /// Eq. 1 expressed as time).
+    pub connection_s: f64,
+    /// Fraction of bandwidth lost at normalised speed 1.0 (§I: moving
+    /// clients see only a fraction of the at-rest bandwidth). `0.0`
+    /// disables degradation.
+    pub motion_degradation: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+impl LinkConfig {
+    /// The evaluation's link: 256 Kbps, 200 ms latency, and a 50 % maximum
+    /// motion degradation.
+    pub fn paper() -> Self {
+        Self {
+            bandwidth_bps: 256_000.0,
+            latency_s: 0.2,
+            connection_s: 0.1,
+            motion_degradation: 0.5,
+        }
+    }
+
+    /// Effective bandwidth for a client moving at normalised `speed ∈
+    /// [0, 1]`; never less than 10 % of nominal.
+    pub fn effective_bandwidth(&self, speed: f64) -> f64 {
+        let s = speed.clamp(0.0, 1.0);
+        let factor = (1.0 - self.motion_degradation * s).max(0.1);
+        self.bandwidth_bps * factor
+    }
+
+    /// Time to complete one request that transfers `bytes` bytes at
+    /// normalised `speed`: latency + connection setup + payload time.
+    /// A zero-byte request still pays latency (a round trip that found
+    /// nothing new).
+    pub fn request_time(&self, bytes: f64, speed: f64) -> f64 {
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        self.latency_s + self.connection_s + bytes * 8.0 / self.effective_bandwidth(speed)
+    }
+}
+
+/// Cumulative traffic statistics of a link.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinkStats {
+    /// Total payload bytes transferred.
+    pub bytes: f64,
+    /// Number of requests performed.
+    pub requests: u64,
+    /// Total simulated time spent on the link.
+    pub time_s: f64,
+}
+
+/// A stateful link that records every transfer.
+#[derive(Debug, Clone)]
+pub struct WirelessLink {
+    config: LinkConfig,
+    stats: LinkStats,
+}
+
+impl WirelessLink {
+    /// Creates a link.
+    pub fn new(config: LinkConfig) -> Self {
+        Self {
+            config,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// The link's configuration.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// Performs one request, returning the time it took.
+    pub fn transfer(&mut self, bytes: f64, speed: f64) -> f64 {
+        let t = self.config.request_time(bytes, speed);
+        self.stats.bytes += bytes;
+        self.stats.requests += 1;
+        self.stats.time_s += t;
+        t
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &LinkStats {
+        &self.stats
+    }
+
+    /// Clears the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = LinkStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let c = LinkConfig::paper();
+        assert_eq!(c.bandwidth_bps, 256_000.0);
+        assert_eq!(c.latency_s, 0.2);
+    }
+
+    #[test]
+    fn transfer_time_components() {
+        let c = LinkConfig {
+            bandwidth_bps: 8_000.0, // 1000 bytes/s
+            latency_s: 0.2,
+            connection_s: 0.1,
+            motion_degradation: 0.0,
+        };
+        // 500 bytes at 1000 B/s = 0.5 s payload + 0.3 s overhead.
+        assert!((c.request_time(500.0, 0.0) - 0.8).abs() < 1e-12);
+        // Zero bytes still pays the round trip.
+        assert!((c.request_time(0.0, 1.0) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn motion_degrades_bandwidth() {
+        let c = LinkConfig::paper();
+        assert_eq!(c.effective_bandwidth(0.0), 256_000.0);
+        assert_eq!(c.effective_bandwidth(1.0), 128_000.0);
+        assert!(c.request_time(10_000.0, 1.0) > c.request_time(10_000.0, 0.0));
+        // Speeds outside [0,1] are clamped.
+        assert_eq!(c.effective_bandwidth(5.0), 128_000.0);
+        assert_eq!(c.effective_bandwidth(-1.0), 256_000.0);
+    }
+
+    #[test]
+    fn degradation_floor() {
+        let c = LinkConfig {
+            motion_degradation: 2.0,
+            ..LinkConfig::paper()
+        };
+        assert_eq!(c.effective_bandwidth(1.0), 25_600.0);
+    }
+
+    #[test]
+    fn link_records_stats() {
+        let mut l = WirelessLink::new(LinkConfig::paper());
+        let t1 = l.transfer(1_000.0, 0.0);
+        let t2 = l.transfer(2_000.0, 0.5);
+        let s = l.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.bytes, 3_000.0);
+        assert!((s.time_s - (t1 + t2)).abs() < 1e-12);
+        l.reset_stats();
+        assert_eq!(l.stats().requests, 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Approximation-error metrics and rate–distortion analysis.
+//!
+//! §III argues that coefficient magnitude is a proxy for *geometric
+//! influence*: dropping the small coefficients saves most of the bandwidth
+//! while barely moving the surface. This module quantifies that claim for
+//! any object — the error metrics compare an approximation against the
+//! full-resolution surface, and [`rate_distortion`] sweeps the magnitude
+//! threshold to produce the bytes-vs-error curve a vendor would use to
+//! tune `MapSpeedToResolution`.
+
+use crate::size::SizeModel;
+use crate::wavelet::{ResolutionBand, WaveletMesh};
+use crate::TriMesh;
+
+/// Error metrics of one approximation against the reference surface.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxError {
+    /// Root-mean-square vertex displacement.
+    pub rms: f64,
+    /// Maximum single-vertex displacement (a one-sided Hausdorff distance:
+    /// identical connectivity makes the vertex correspondence exact).
+    pub max: f64,
+    /// Mean vertex displacement.
+    pub mean: f64,
+}
+
+/// Measures `approx` against `reference` (same connectivity).
+///
+/// # Panics
+/// Panics when the vertex counts differ.
+pub fn approximation_error(reference: &WaveletMesh, approx: &TriMesh) -> ApproxError {
+    assert_eq!(
+        approx.vertices.len(),
+        reference.final_positions.len(),
+        "approximation must share the reference connectivity"
+    );
+    let n = reference.final_positions.len() as f64;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    let mut max = 0.0f64;
+    for (a, b) in reference.final_positions.iter().zip(&approx.vertices) {
+        let d = a.distance(b);
+        sum += d;
+        sum_sq += d * d;
+        max = max.max(d);
+    }
+    ApproxError {
+        rms: (sum_sq / n).sqrt(),
+        max,
+        mean: sum / n,
+    }
+}
+
+/// One point of the rate–distortion curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatePoint {
+    /// Band lower bound `w_min` used for this point.
+    pub w_min: f64,
+    /// Coefficients transmitted.
+    pub coeffs: usize,
+    /// Wire bytes (coefficients only; the base mesh is a constant).
+    pub bytes: f64,
+    /// Error of the reconstruction.
+    pub error: ApproxError,
+}
+
+/// Sweeps magnitude thresholds and returns the bytes-vs-error trade-off,
+/// coarsest (fewest bytes) first.
+pub fn rate_distortion(
+    wm: &WaveletMesh,
+    size: &SizeModel,
+    thresholds: &[f64],
+) -> Vec<RatePoint> {
+    let mut points: Vec<RatePoint> = thresholds
+        .iter()
+        .map(|&w_min| {
+            let band = ResolutionBand::new(w_min, 1.0);
+            let rec = wm.reconstruct(band);
+            RatePoint {
+                w_min,
+                coeffs: wm.count_in_band(band),
+                bytes: size.band_bytes(wm, band),
+                error: approximation_error(wm, &rec),
+            }
+        })
+        .collect();
+    points.sort_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap());
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, ObjectKind, ObjectParams};
+
+    fn obj() -> WaveletMesh {
+        generate(&ObjectParams {
+            kind: ObjectKind::Building,
+            levels: 4,
+            seed: 12,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn zero_error_at_full_resolution() {
+        let wm = obj();
+        let rec = wm.reconstruct(ResolutionBand::FULL);
+        let e = approximation_error(&wm, &rec);
+        assert!(e.rms < 1e-12 && e.max < 1e-12 && e.mean < 1e-12);
+    }
+
+    #[test]
+    fn error_ordering_rms_mean_max() {
+        let wm = obj();
+        let rec = wm.reconstruct(ResolutionBand::new(0.5, 1.0));
+        let e = approximation_error(&wm, &rec);
+        assert!(e.mean <= e.rms + 1e-15, "mean {} vs rms {}", e.mean, e.rms);
+        assert!(e.rms <= e.max + 1e-15, "rms {} vs max {}", e.rms, e.max);
+        assert!(e.max > 0.0);
+    }
+
+    #[test]
+    fn rate_distortion_is_monotone() {
+        let wm = obj();
+        let size = SizeModel::default();
+        let curve = rate_distortion(&wm, &size, &[0.0, 0.05, 0.1, 0.25, 0.5, 1.0]);
+        assert_eq!(curve.len(), 6);
+        for w in curve.windows(2) {
+            assert!(w[0].bytes <= w[1].bytes, "sorted by rate");
+            assert!(
+                w[0].error.rms >= w[1].error.rms - 1e-12,
+                "more bytes must not increase error: {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+        // The endpoints: coarsest has few coeffs, full has them all.
+        assert!(curve[0].coeffs < curve[5].coeffs);
+        assert_eq!(curve[5].coeffs, wm.coeffs.len());
+        assert!(curve[5].error.rms < 1e-12);
+    }
+
+    #[test]
+    fn most_error_removed_by_first_bytes() {
+        // The §III claim quantified: the top-half band (few bytes) must
+        // remove well over half of the coarsest error.
+        let wm = obj();
+        let size = SizeModel::default();
+        let curve = rate_distortion(&wm, &size, &[1.0, 0.25, 0.0]);
+        let coarsest = curve[0].error.rms;
+        let mid = curve[1].error.rms;
+        assert!(
+            mid < 0.5 * coarsest,
+            "w>=0.25 ({mid}) should halve the coarsest error ({coarsest})"
+        );
+        // While costing a small fraction of the full bytes.
+        assert!(curve[1].bytes < 0.2 * curve[2].bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "reference connectivity")]
+    fn mismatched_meshes_panic() {
+        let wm = obj();
+        let bad = TriMesh {
+            vertices: vec![mar_geom::Point3::ORIGIN; 3],
+            faces: vec![[0, 1, 2]],
+        };
+        approximation_error(&wm, &bad);
+    }
+}

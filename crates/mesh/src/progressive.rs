@@ -1,0 +1,252 @@
+//! Client-side progressive decoding.
+//!
+//! §III: "in a selective transmission scenario, coefficients are retrieved
+//! that are only necessary to modify the currently available version of
+//! objects in the client." A [`ProgressiveDecoder`] is that currently
+//! available version: it owns the base mesh and the set of coefficients
+//! received so far, applies new batches incrementally (no full re-decode),
+//! and can materialise the current approximation or report its error at
+//! any time.
+//!
+//! The decoder maintains the synthesis invariant incrementally: vertex
+//! positions are stored for every level-ordered vertex, and applying a
+//! coefficient only re-predicts the subtree of vertices whose parents'
+//! positions changed. For the interpolating wavelet used here, a
+//! coefficient at level `j` never moves vertices of levels `< j`, and a
+//! parent's movement shifts exactly the midpoint predictions of its
+//! children — which is what [`ProgressiveDecoder::apply`] propagates.
+
+use crate::subdivision::SubdivisionHierarchy;
+use crate::wavelet::{WaveletCoeff, WaveletMesh};
+use crate::TriMesh;
+use mar_geom::{Point3, Vec3};
+use std::collections::HashMap;
+
+/// The client-side progressive state of one object.
+#[derive(Debug, Clone)]
+pub struct ProgressiveDecoder {
+    hierarchy: SubdivisionHierarchy,
+    /// Current positions of every finest-mesh vertex under the received
+    /// coefficient set.
+    positions: Vec<Point3>,
+    /// Received details, by vertex index.
+    received: HashMap<u32, Vec3>,
+    /// children[v] = vertices whose parent edge includes `v`.
+    children: Vec<Vec<u32>>,
+    /// Parent edge of every inserted vertex.
+    parents: Vec<Option<(u32, u32)>>,
+}
+
+impl ProgressiveDecoder {
+    /// Starts from the base mesh (the coarsest approximation: every
+    /// inserted vertex at its midpoint prediction).
+    pub fn new(hierarchy: SubdivisionHierarchy) -> Self {
+        let finest = hierarchy.vertex_count_at(hierarchy.levels()) as usize;
+        let base_n = hierarchy.base.vertices.len();
+        let mut parents: Vec<Option<(u32, u32)>> = vec![None; finest];
+        let mut children: Vec<Vec<u32>> = vec![Vec::new(); finest];
+        for step in &hierarchy.steps {
+            for (i, &(a, b)) in step.parents.iter().enumerate() {
+                let v = step.new_vertex_index(i);
+                parents[v as usize] = Some((a, b));
+                children[a as usize].push(v);
+                children[b as usize].push(v);
+            }
+        }
+        let mut positions = vec![Point3::ORIGIN; finest];
+        positions[..base_n].copy_from_slice(&hierarchy.base.vertices);
+        // Initialise every inserted vertex at its midpoint prediction,
+        // level by level (parents are always at lower indices… not
+        // guaranteed in general, but guaranteed by construction order).
+        for step in &hierarchy.steps {
+            for (i, &(a, b)) in step.parents.iter().enumerate() {
+                let v = step.new_vertex_index(i) as usize;
+                positions[v] = positions[a as usize].midpoint(&positions[b as usize]);
+            }
+        }
+        Self {
+            hierarchy,
+            positions,
+            received: HashMap::new(),
+            children,
+            parents,
+        }
+    }
+
+    /// Number of coefficients received so far.
+    pub fn received_count(&self) -> usize {
+        self.received.len()
+    }
+
+    /// Applies one received coefficient, repositioning its vertex and
+    /// re-predicting every descendant whose prediction depended on a moved
+    /// vertex. Applying the same coefficient twice is idempotent.
+    pub fn apply(&mut self, coeff: &WaveletCoeff) {
+        self.received.insert(coeff.vertex, coeff.detail);
+        self.reposition(coeff.vertex);
+    }
+
+    /// Applies a batch of coefficients (any order, any levels).
+    pub fn apply_batch<'a>(&mut self, coeffs: impl IntoIterator<Item = &'a WaveletCoeff>) {
+        for c in coeffs {
+            self.apply(c);
+        }
+    }
+
+    /// Recomputes `v`'s position from its parents (plus its detail if
+    /// received) and cascades to children whose predictions changed.
+    fn reposition(&mut self, v: u32) {
+        let mut stack = vec![v];
+        while let Some(v) = stack.pop() {
+            let vi = v as usize;
+            let predicted = match self.parents[vi] {
+                Some((a, b)) => self.positions[a as usize].midpoint(&self.positions[b as usize]),
+                None => self.positions[vi], // base vertex: fixed
+            };
+            let new_pos = match self.received.get(&v) {
+                Some(d) => predicted + *d,
+                None => predicted,
+            };
+            if new_pos.distance_sq(&self.positions[vi]) > 0.0 {
+                self.positions[vi] = new_pos;
+                stack.extend(self.children[vi].iter().copied());
+            } else if self.parents[vi].is_none() {
+                // Base vertices never move; nothing to cascade.
+            } else if self.received.contains_key(&v) {
+                // Position unchanged but detail may have just been set to
+                // an identical value — no cascade needed.
+            }
+        }
+    }
+
+    /// The current approximation as a mesh over the finest connectivity.
+    pub fn current_mesh(&self) -> TriMesh {
+        TriMesh {
+            vertices: self.positions.clone(),
+            faces: self.hierarchy.faces_at(self.hierarchy.levels()).to_vec(),
+        }
+    }
+
+    /// RMS error of the current approximation against a reference.
+    pub fn rms_error_against(&self, reference: &WaveletMesh) -> f64 {
+        assert_eq!(self.positions.len(), reference.final_positions.len());
+        let n = self.positions.len() as f64;
+        let sum: f64 = self
+            .positions
+            .iter()
+            .zip(&reference.final_positions)
+            .map(|(a, b)| a.distance_sq(b))
+            .sum();
+        (sum / n).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{generate, ObjectKind, ObjectParams};
+    use crate::wavelet::ResolutionBand;
+
+    fn object() -> WaveletMesh {
+        generate(&ObjectParams {
+            kind: ObjectKind::BumpySphere,
+            levels: 3,
+            seed: 4,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn no_coefficients_equals_coarsest_reconstruction() {
+        let wm = object();
+        let dec = ProgressiveDecoder::new(wm.hierarchy.clone());
+        let coarse = wm.reconstruct_with(|_| false);
+        for (a, b) in dec.current_mesh().vertices.iter().zip(&coarse.vertices) {
+            assert!(a.distance(b) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn all_coefficients_reconstruct_exactly() {
+        let wm = object();
+        let mut dec = ProgressiveDecoder::new(wm.hierarchy.clone());
+        dec.apply_batch(wm.coeffs.iter());
+        assert!(dec.rms_error_against(&wm) < 1e-12);
+        assert_eq!(dec.received_count(), wm.coeffs.len());
+    }
+
+    #[test]
+    fn arrival_order_does_not_matter() {
+        let wm = object();
+        // Forward order.
+        let mut fwd = ProgressiveDecoder::new(wm.hierarchy.clone());
+        fwd.apply_batch(wm.coeffs.iter());
+        // Reverse order (children before parents).
+        let mut rev = ProgressiveDecoder::new(wm.hierarchy.clone());
+        let reversed: Vec<&WaveletCoeff> = wm.coeffs.iter().rev().collect();
+        rev.apply_batch(reversed);
+        for (a, b) in fwd
+            .current_mesh()
+            .vertices
+            .iter()
+            .zip(&rev.current_mesh().vertices)
+        {
+            assert!(a.distance(b) < 1e-12);
+        }
+        assert!(rev.rms_error_against(&wm) < 1e-12);
+    }
+
+    #[test]
+    fn progressive_batches_reduce_error_monotonically() {
+        // Simulate the paper's selective transmission: the client first
+        // receives the significant coefficients, then progressively finer
+        // bands — the error must fall with every batch.
+        let wm = object();
+        let mut dec = ProgressiveDecoder::new(wm.hierarchy.clone());
+        let mut last = dec.rms_error_against(&wm);
+        let bands = [
+            ResolutionBand::new(0.5, 1.0),
+            ResolutionBand::new(0.25, 0.5),
+            ResolutionBand::new(0.1, 0.25),
+            ResolutionBand::new(0.0, 0.1),
+        ];
+        for band in bands {
+            let batch: Vec<&WaveletCoeff> =
+                wm.coeffs.iter().filter(|c| band.contains(c.w)).collect();
+            dec.apply_batch(batch);
+            let err = dec.rms_error_against(&wm);
+            assert!(
+                err <= last + 1e-12,
+                "error rose after band {band:?}: {last} -> {err}"
+            );
+            last = err;
+        }
+        assert!(last < 1e-9, "all bands received => exact: {last}");
+    }
+
+    #[test]
+    fn idempotent_application() {
+        let wm = object();
+        let mut dec = ProgressiveDecoder::new(wm.hierarchy.clone());
+        dec.apply(&wm.coeffs[0]);
+        let once = dec.current_mesh();
+        dec.apply(&wm.coeffs[0]);
+        let twice = dec.current_mesh();
+        assert_eq!(once.vertices, twice.vertices);
+        assert_eq!(dec.received_count(), 1);
+    }
+
+    #[test]
+    fn matches_batch_reconstruction_for_arbitrary_subsets() {
+        // The incremental decoder must agree with the one-shot synthesis
+        // for any subset of coefficients.
+        let wm = object();
+        let subset = |c: &WaveletCoeff| (c.vertex as usize * 2654435761) % 7 < 3; // arbitrary
+        let mut dec = ProgressiveDecoder::new(wm.hierarchy.clone());
+        dec.apply_batch(wm.coeffs.iter().filter(|c| subset(c)));
+        let reference = wm.reconstruct_with(|c| subset(c));
+        for (a, b) in dec.current_mesh().vertices.iter().zip(&reference.vertices) {
+            assert!(a.distance(b) < 1e-12);
+        }
+    }
+}

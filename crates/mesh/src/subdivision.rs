@@ -1,0 +1,244 @@
+//! Midpoint (quadrisection) subdivision — the paper's Figures 1(b)/2(b).
+//!
+//! One [`subdivide`] step splits every triangle into four by inserting a new
+//! vertex at each edge midpoint. The step records, for every new vertex,
+//! the *parent edge* it was born on; the wavelet transform later uses this
+//! parentage both for prediction (midpoint of the parents) and to locate
+//! the coefficient's support region.
+//!
+//! A [`SubdivisionHierarchy`] stacks `J` steps on top of a base mesh and
+//! owns the connectivity of every intermediate level; vertex indices are
+//! stable across levels (level `j+1` extends level `j`'s vertex array), so
+//! "vertex 17" means the same point of the surface at every level where it
+//! exists.
+
+use crate::mesh::TriMesh;
+use std::collections::HashMap;
+
+/// The connectivity delta of one subdivision step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubdivisionStep {
+    /// Number of vertices in the coarse mesh this step refines.
+    pub coarse_vertex_count: u32,
+    /// Parent edge of each new vertex: new vertex `coarse_vertex_count + i`
+    /// sits on the edge `parents[i]` (stored as `(min, max)`).
+    pub parents: Vec<(u32, u32)>,
+    /// Faces of the refined mesh.
+    pub faces: Vec<[u32; 3]>,
+}
+
+impl SubdivisionStep {
+    /// Number of vertices introduced by this step (= number of coarse edges).
+    pub fn new_vertex_count(&self) -> usize {
+        self.parents.len()
+    }
+
+    /// Number of vertices in the refined mesh.
+    pub fn fine_vertex_count(&self) -> u32 {
+        self.coarse_vertex_count + self.parents.len() as u32
+    }
+
+    /// Global index of the `i`-th new vertex.
+    pub fn new_vertex_index(&self, i: usize) -> u32 {
+        self.coarse_vertex_count + i as u32
+    }
+}
+
+/// Splits every face of `mesh` into four, placing new vertices exactly at
+/// edge midpoints (the un-deformed mesh of Figure 1(b); callers displace
+/// the midpoints afterwards to fit the target surface).
+///
+/// Returns the refined mesh and the connectivity step.
+pub fn subdivide(mesh: &TriMesh) -> (TriMesh, SubdivisionStep) {
+    let nv = mesh.vertices.len() as u32;
+    let mut vertices = mesh.vertices.clone();
+    let mut parents = Vec::new();
+    let mut midpoint_of: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut faces = Vec::with_capacity(mesh.faces.len() * 4);
+
+    let mut midpoint = |a: u32, b: u32, vertices: &mut Vec<mar_geom::Point3>| -> u32 {
+        let key = (a.min(b), a.max(b));
+        *midpoint_of.entry(key).or_insert_with(|| {
+            let idx = vertices.len() as u32;
+            let p = vertices[a as usize].midpoint(&vertices[b as usize]);
+            vertices.push(p);
+            parents.push(key);
+            idx
+        })
+    };
+
+    for f in &mesh.faces {
+        let [a, b, c] = *f;
+        let ab = midpoint(a, b, &mut vertices);
+        let bc = midpoint(b, c, &mut vertices);
+        let ca = midpoint(c, a, &mut vertices);
+        faces.push([a, ab, ca]);
+        faces.push([ab, b, bc]);
+        faces.push([ca, bc, c]);
+        faces.push([ab, bc, ca]);
+    }
+
+    let step = SubdivisionStep {
+        coarse_vertex_count: nv,
+        parents,
+        faces: faces.clone(),
+    };
+    (TriMesh { vertices, faces }, step)
+}
+
+/// A base mesh plus `J` recorded subdivision steps.
+///
+/// The hierarchy owns connectivity only; vertex *positions* of the final
+/// mesh live in the [`crate::wavelet::WaveletMesh`] that analysis produces
+/// (base positions + details).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubdivisionHierarchy {
+    /// The coarse base mesh `M⁰` (positions here are the base positions).
+    pub base: TriMesh,
+    /// One connectivity step per level, `steps[j]` turning `Mʲ` into `Mʲ⁺¹`.
+    pub steps: Vec<SubdivisionStep>,
+}
+
+impl SubdivisionHierarchy {
+    /// Subdivides `base` `levels` times, returning the hierarchy and the
+    /// final mesh with all new vertices at exact midpoints (no detail yet).
+    pub fn build(base: TriMesh, levels: usize) -> (Self, TriMesh) {
+        let mut steps = Vec::with_capacity(levels);
+        let mut current = base.clone();
+        for _ in 0..levels {
+            let (finer, step) = subdivide(&current);
+            steps.push(step);
+            current = finer;
+        }
+        (Self { base, steps }, current)
+    }
+
+    /// Number of subdivision levels `J`.
+    pub fn levels(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Vertex count of the level-`j` mesh (`j = 0` is the base).
+    pub fn vertex_count_at(&self, j: usize) -> u32 {
+        if j == 0 {
+            self.base.vertices.len() as u32
+        } else {
+            self.steps[j - 1].fine_vertex_count()
+        }
+    }
+
+    /// Faces of the level-`j` mesh.
+    pub fn faces_at(&self, j: usize) -> &[[u32; 3]] {
+        if j == 0 {
+            &self.base.faces
+        } else {
+            &self.steps[j - 1].faces
+        }
+    }
+
+    /// Total number of wavelet coefficients the hierarchy will produce
+    /// (= total number of inserted vertices).
+    pub fn total_detail_count(&self) -> usize {
+        self.steps.iter().map(|s| s.new_vertex_count()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_geom::Point3;
+
+    #[test]
+    fn one_step_counts() {
+        let base = TriMesh::octahedron();
+        let (fine, step) = subdivide(&base);
+        // 12 edges -> 12 new vertices; 8 faces -> 32 faces.
+        assert_eq!(step.new_vertex_count(), 12);
+        assert_eq!(fine.vertex_count(), 18);
+        assert_eq!(fine.face_count(), 32);
+        assert!(fine.validate().is_ok());
+        assert!(fine.is_closed());
+        assert_eq!(fine.euler_characteristic(), 2);
+    }
+
+    #[test]
+    fn new_vertices_sit_on_edge_midpoints() {
+        let base = TriMesh::octahedron();
+        let (fine, step) = subdivide(&base);
+        for (i, &(a, b)) in step.parents.iter().enumerate() {
+            let v = fine.vertices[step.new_vertex_index(i) as usize];
+            let mid = base.vertices[a as usize].midpoint(&base.vertices[b as usize]);
+            assert!(v.distance(&mid) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn old_vertices_keep_positions_and_indices() {
+        let base = TriMesh::octahedron();
+        let (fine, _) = subdivide(&base);
+        for (i, v) in base.vertices.iter().enumerate() {
+            assert_eq!(&fine.vertices[i], v);
+        }
+    }
+
+    #[test]
+    fn hierarchy_counts_match_closed_form() {
+        // Octahedron: E_j = 12·4^j, so details per level are 12, 48, 192 …
+        let (h, finest) = SubdivisionHierarchy::build(TriMesh::octahedron(), 3);
+        assert_eq!(h.levels(), 3);
+        assert_eq!(h.steps[0].new_vertex_count(), 12);
+        assert_eq!(h.steps[1].new_vertex_count(), 48);
+        assert_eq!(h.steps[2].new_vertex_count(), 192);
+        assert_eq!(h.total_detail_count(), 252);
+        assert_eq!(finest.vertex_count(), 6 + 252);
+        assert_eq!(finest.face_count(), 8 * 64);
+        assert!(finest.is_closed());
+    }
+
+    #[test]
+    fn vertex_counts_at_levels() {
+        let (h, _) = SubdivisionHierarchy::build(TriMesh::octahedron(), 2);
+        assert_eq!(h.vertex_count_at(0), 6);
+        assert_eq!(h.vertex_count_at(1), 18);
+        assert_eq!(h.vertex_count_at(2), 66);
+        assert_eq!(h.faces_at(0).len(), 8);
+        assert_eq!(h.faces_at(1).len(), 32);
+        assert_eq!(h.faces_at(2).len(), 128);
+    }
+
+    #[test]
+    fn subdividing_single_triangle() {
+        // The paper's Figure 1: one triangle, three midpoints, four faces.
+        let tri = TriMesh::new(
+            vec![
+                Point3::new([0.0, 0.0, 0.0]),
+                Point3::new([1.0, 0.0, 0.0]),
+                Point3::new([0.0, 1.0, 0.0]),
+            ],
+            vec![[0, 1, 2]],
+        )
+        .unwrap();
+        let (fine, step) = subdivide(&tri);
+        assert_eq!(step.new_vertex_count(), 3);
+        assert_eq!(fine.face_count(), 4);
+        // Total area preserved by midpoint split.
+        assert!((fine.surface_area() - tri.surface_area()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_edges_get_one_midpoint() {
+        // Two triangles sharing an edge: 5 edges -> 5 new vertices, not 6.
+        let quad = TriMesh::new(
+            vec![
+                Point3::new([0.0, 0.0, 0.0]),
+                Point3::new([1.0, 0.0, 0.0]),
+                Point3::new([1.0, 1.0, 0.0]),
+                Point3::new([0.0, 1.0, 0.0]),
+            ],
+            vec![[0, 1, 2], [0, 2, 3]],
+        )
+        .unwrap();
+        let (_, step) = subdivide(&quad);
+        assert_eq!(step.new_vertex_count(), 5);
+    }
+}

@@ -1,0 +1,205 @@
+//! Wavelet support regions (§VI-A).
+//!
+//! The *support region* of a wavelet coefficient is the part of the surface
+//! the coefficient influences during reconstruction: the union of the faces
+//! of the finer mesh `Mʲ⁺¹` incident to the inserted vertex (the paper's
+//! polygon `(1, 4, 2, 5, 6)` for vertex 4 of Figure 1(c)). The efficient
+//! index of §VI-B stores each coefficient under the *minimum bounding box*
+//! of its support region, so a window query returns exactly the
+//! coefficients that contribute detail anywhere inside the window — no
+//! second "neighbouring vertices" round trip.
+
+use crate::wavelet::WaveletMesh;
+use mar_geom::{Rect2, Rect3};
+use std::collections::BTreeSet;
+
+/// The support region of one wavelet coefficient, reduced to what the index
+/// needs: its bounding box and the identity of the coefficient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupportRegion {
+    /// Index of the coefficient in [`WaveletMesh::coeffs`].
+    pub coeff_index: usize,
+    /// The inserted vertex this coefficient displaces.
+    pub vertex: u32,
+    /// Coefficient level `j` (member of `W_j`).
+    pub level: u8,
+    /// Vertices of the support polygon (the 1-ring of `vertex` in `Mʲ⁺¹`),
+    /// sorted.
+    pub ring: Vec<u32>,
+    /// Minimum bounding box of the support region in object space.
+    pub mbb: Rect3,
+}
+
+impl SupportRegion {
+    /// Projection of the MBB onto the ground (x–y) plane — the spatial part
+    /// of the evaluation's 3-D `x-y-w` index.
+    pub fn mbr_xy(&self) -> Rect2 {
+        Rect2::from_corners(
+            mar_geom::Point2::new([self.mbb.lo[0], self.mbb.lo[1]]),
+            mar_geom::Point2::new([self.mbb.hi[0], self.mbb.hi[1]]),
+        )
+    }
+}
+
+/// Computes the support region of every coefficient of `wm`, in the same
+/// order as `wm.coeffs`.
+///
+/// The MBB is taken over the *final* vertex positions, which is
+/// conservative for every reconstruction level: the union of faces incident
+/// to the vertex can only shrink toward the MBB as details are added.
+pub fn compute_support_regions(wm: &WaveletMesh) -> Vec<SupportRegion> {
+    let mut out = Vec::with_capacity(wm.coeffs.len());
+    for j in 0..wm.levels() {
+        // Faces of the finer mesh M^{j+1} this level's coefficients act on.
+        let faces = wm.hierarchy.faces_at(j + 1);
+        // vertex -> incident face list for the finer mesh.
+        let fine_n = wm.hierarchy.vertex_count_at(j + 1) as usize;
+        let mut incident: Vec<Vec<u32>> = vec![Vec::new(); fine_n];
+        for (fi, f) in faces.iter().enumerate() {
+            for &v in f {
+                incident[v as usize].push(fi as u32);
+            }
+        }
+        let range = wm.level_ranges[j].clone();
+        for ci in range {
+            let c = &wm.coeffs[ci];
+            let mut ring: BTreeSet<u32> = BTreeSet::new();
+            for &fi in &incident[c.vertex as usize] {
+                for &v in &faces[fi as usize] {
+                    ring.insert(v);
+                }
+            }
+            debug_assert!(ring.contains(&c.vertex));
+            let mut lo = wm.vertex_position(c.vertex);
+            let mut hi = lo;
+            for &v in &ring {
+                let p = wm.vertex_position(v);
+                lo = lo.min(&p);
+                hi = hi.max(&p);
+            }
+            out.push(SupportRegion {
+                coeff_index: ci,
+                vertex: c.vertex,
+                level: c.level,
+                ring: ring.into_iter().collect(),
+                mbb: Rect3::from_corners(lo, hi),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subdivision::SubdivisionHierarchy;
+    use crate::wavelet::WaveletMesh;
+    use crate::TriMesh;
+
+    fn sphere(levels: usize) -> WaveletMesh {
+        let (h, mut fine) = SubdivisionHierarchy::build(TriMesh::octahedron(), levels);
+        for v in &mut fine.vertices {
+            let n = v.to_vector().norm();
+            for c in &mut v.coords {
+                *c /= n;
+            }
+        }
+        WaveletMesh::analyze(h, fine.vertices)
+    }
+
+    #[test]
+    fn one_region_per_coefficient_in_order() {
+        let wm = sphere(2);
+        let regions = compute_support_regions(&wm);
+        assert_eq!(regions.len(), wm.coeffs.len());
+        for (i, r) in regions.iter().enumerate() {
+            assert_eq!(r.coeff_index, i);
+            assert_eq!(r.vertex, wm.coeffs[i].vertex);
+            assert_eq!(r.level, wm.coeffs[i].level);
+        }
+    }
+
+    #[test]
+    fn mbb_contains_vertex_and_parents() {
+        let wm = sphere(2);
+        let regions = compute_support_regions(&wm);
+        for (r, c) in regions.iter().zip(&wm.coeffs) {
+            assert!(r.mbb.contains_point(&wm.vertex_position(c.vertex)));
+            // In quadrisection the inserted vertex's 1-ring includes both
+            // parents, so the MBB must cover them.
+            assert!(r.mbb.contains_point(&wm.vertex_position(c.parents.0)));
+            assert!(r.mbb.contains_point(&wm.vertex_position(c.parents.1)));
+        }
+    }
+
+    #[test]
+    fn ring_matches_mesh_one_ring() {
+        let wm = sphere(2);
+        let regions = compute_support_regions(&wm);
+        // Cross-check the ring of one level-1 coefficient against the
+        // finest mesh's adjacency.
+        let finest = TriMesh {
+            vertices: wm.final_positions.clone(),
+            faces: wm.hierarchy.faces_at(wm.levels()).to_vec(),
+        };
+        let nbrs = finest.vertex_neighbors();
+        for r in regions
+            .iter()
+            .filter(|r| r.level as usize == wm.levels() - 1)
+        {
+            // ring = 1-ring ∪ {vertex}
+            let mut expect = nbrs[r.vertex as usize].clone();
+            expect.push(r.vertex);
+            expect.sort_unstable();
+            assert_eq!(r.ring, expect, "ring mismatch at vertex {}", r.vertex);
+        }
+    }
+
+    #[test]
+    fn deeper_levels_have_smaller_support() {
+        let wm = sphere(3);
+        let regions = compute_support_regions(&wm);
+        let mean_vol = |lvl: u8| -> f64 {
+            let rs: Vec<&SupportRegion> = regions.iter().filter(|r| r.level == lvl).collect();
+            rs.iter().map(|r| r.mbb.volume()).sum::<f64>() / rs.len() as f64
+        };
+        let v0 = mean_vol(0);
+        let v1 = mean_vol(1);
+        let v2 = mean_vol(2);
+        assert!(v0 > v1 && v1 > v2, "support volumes {v0} {v1} {v2}");
+    }
+
+    #[test]
+    fn xy_projection_drops_z() {
+        let wm = sphere(1);
+        let regions = compute_support_regions(&wm);
+        for r in &regions {
+            let p = r.mbr_xy();
+            assert_eq!(p.lo[0], r.mbb.lo[0]);
+            assert_eq!(p.hi[1], r.mbb.hi[1]);
+        }
+    }
+
+    #[test]
+    fn paper_figure1_support_polygon() {
+        // One triangle subdivided once: each of the 3 coefficients has a
+        // ring of {itself, both parents, the other two midpoints} = 5
+        // vertices (the paper's polygon (1,4,2,5,6)).
+        let tri = TriMesh::new(
+            vec![
+                mar_geom::Point3::new([0.0, 0.0, 0.0]),
+                mar_geom::Point3::new([2.0, 0.0, 0.0]),
+                mar_geom::Point3::new([0.0, 2.0, 0.0]),
+            ],
+            vec![[0, 1, 2]],
+        )
+        .unwrap();
+        let (h, fine) = SubdivisionHierarchy::build(tri, 1);
+        let wm = WaveletMesh::analyze(h, fine.vertices);
+        let regions = compute_support_regions(&wm);
+        assert_eq!(regions.len(), 3);
+        for r in &regions {
+            assert_eq!(r.ring.len(), 5, "ring {:?}", r.ring);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! A standard linear Kalman filter (Welch & Bishop \[21\]).
+//!
+//! ```text
+//! predict:  x̂ = A·x,          P = A·P·Aᵀ + Q
+//! update:   y = z − H·x̂
+//!           S = H·P·Hᵀ + R
+//!           K = P·Hᵀ·S⁻¹
+//!           x = x̂ + K·y,      P = (I − K·H)·P
+//! ```
+//!
+//! The motion predictor uses this filter with a learned `A` (from RLS) and
+//! an identity-on-positions `H`; it is also usable standalone, e.g. with a
+//! constant-velocity model (see tests).
+
+use crate::linalg::Mat;
+
+/// A linear Kalman filter over an `n`-dimensional state.
+#[derive(Debug, Clone)]
+pub struct KalmanFilter {
+    /// State estimate `x` (n).
+    x: Vec<f64>,
+    /// Estimate covariance `P` (n×n).
+    p: Mat,
+    /// Transition matrix `A` (n×n).
+    a: Mat,
+    /// Process noise `Q` (n×n).
+    q: Mat,
+    /// Observation matrix `H` (m×n).
+    h: Mat,
+    /// Observation noise `R` (m×m).
+    r: Mat,
+}
+
+impl KalmanFilter {
+    /// Creates a filter. All dimensions are validated against each other.
+    pub fn new(x0: Vec<f64>, p0: Mat, a: Mat, q: Mat, h: Mat, r: Mat) -> Self {
+        let n = x0.len();
+        assert_eq!((p0.rows(), p0.cols()), (n, n), "P must be n×n");
+        assert_eq!((a.rows(), a.cols()), (n, n), "A must be n×n");
+        assert_eq!((q.rows(), q.cols()), (n, n), "Q must be n×n");
+        assert_eq!(h.cols(), n, "H must be m×n");
+        let m = h.rows();
+        assert_eq!((r.rows(), r.cols()), (m, m), "R must be m×m");
+        Self {
+            x: x0,
+            p: p0,
+            a,
+            q,
+            h,
+            r,
+        }
+    }
+
+    /// Current state estimate.
+    pub fn state(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Current estimate covariance.
+    pub fn covariance(&self) -> &Mat {
+        &self.p
+    }
+
+    /// Replaces the transition matrix (the predictor re-learns `A` online).
+    pub fn set_transition(&mut self, a: Mat) {
+        assert_eq!((a.rows(), a.cols()), (self.x.len(), self.x.len()));
+        self.a = a;
+    }
+
+    /// Overwrites the state estimate, keeping covariance.
+    pub fn set_state(&mut self, x: Vec<f64>) {
+        assert_eq!(x.len(), self.x.len());
+        self.x = x;
+    }
+
+    /// Time update: advances the state one step.
+    pub fn predict(&mut self) {
+        self.x = self.a.mul_vec(&self.x);
+        self.p = &(&(&self.a * &self.p) * &self.a.transpose()) + &self.q;
+    }
+
+    /// Measurement update with observation `z`. Returns the innovation
+    /// (pre-fit residual). When `S` is numerically singular the update is
+    /// skipped and `None` returned.
+    pub fn update(&mut self, z: &[f64]) -> Option<Vec<f64>> {
+        assert_eq!(z.len(), self.h.rows());
+        let hx = self.h.mul_vec(&self.x);
+        let y: Vec<f64> = z.iter().zip(&hx).map(|(a, b)| a - b).collect();
+        let ht = self.h.transpose();
+        let s = &(&(&self.h * &self.p) * &ht) + &self.r;
+        let s_inv = s.inverse()?;
+        let k = &(&self.p * &ht) * &s_inv;
+        let ky = k.mul_vec(&y);
+        for (xi, d) in self.x.iter_mut().zip(&ky) {
+            *xi += d;
+        }
+        let ikh = &Mat::identity(self.x.len()) - &(&k * &self.h);
+        self.p = &ikh * &self.p;
+        Some(y)
+    }
+
+    /// Predicts the state and covariance `steps` ahead *without* mutating
+    /// the filter: `(Aⁱ·x, Aⁱ·P·(Aⁱ)ᵀ + Σ Aᵏ·Q·(Aᵏ)ᵀ)`.
+    pub fn predict_ahead(&self, steps: u32) -> (Vec<f64>, Mat) {
+        let mut x = self.x.clone();
+        let mut p = self.p.clone();
+        for _ in 0..steps {
+            x = self.a.mul_vec(&x);
+            p = &(&(&self.a * &p) * &self.a.transpose()) + &self.q;
+        }
+        (x, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Constant-velocity 1-D filter: state [pos, vel].
+    fn cv_filter(q: f64, r: f64) -> KalmanFilter {
+        KalmanFilter::new(
+            vec![0.0, 0.0],
+            Mat::identity(2).scale(10.0),
+            Mat::from_rows(&[&[1.0, 1.0], &[0.0, 1.0]]),
+            Mat::identity(2).scale(q),
+            Mat::from_rows(&[&[1.0, 0.0]]),
+            Mat::identity(1).scale(r),
+        )
+    }
+
+    #[test]
+    fn tracks_constant_velocity_exactly() {
+        let mut kf = cv_filter(1e-6, 1e-4);
+        for t in 0..60 {
+            kf.predict();
+            kf.update(&[2.0 * (t + 1) as f64]);
+        }
+        // After convergence the velocity estimate must be ≈ 2.
+        assert!((kf.state()[1] - 2.0).abs() < 1e-2, "vel {}", kf.state()[1]);
+        assert!((kf.state()[0] - 120.0).abs() < 0.1, "pos {}", kf.state()[0]);
+    }
+
+    #[test]
+    fn covariance_shrinks_with_measurements() {
+        let mut kf = cv_filter(1e-4, 1e-2);
+        let p0 = kf.covariance()[(0, 0)];
+        for t in 0..30 {
+            kf.predict();
+            kf.update(&[t as f64]);
+        }
+        assert!(kf.covariance()[(0, 0)] < p0 * 1e-2);
+    }
+
+    #[test]
+    fn covariance_grows_without_measurements() {
+        let mut kf = cv_filter(1e-2, 1e-2);
+        for t in 0..20 {
+            kf.predict();
+            kf.update(&[t as f64]);
+        }
+        let p_before = kf.covariance()[(0, 0)];
+        let (_, p5) = kf.predict_ahead(5);
+        let (_, p10) = kf.predict_ahead(10);
+        assert!(p5[(0, 0)] > p_before);
+        assert!(
+            p10[(0, 0)] > p5[(0, 0)],
+            "uncertainty must grow with horizon"
+        );
+    }
+
+    #[test]
+    fn predict_ahead_is_pure() {
+        let mut kf = cv_filter(1e-3, 1e-2);
+        kf.predict();
+        kf.update(&[1.0]);
+        let x_before = kf.state().to_vec();
+        let _ = kf.predict_ahead(10);
+        assert_eq!(kf.state(), &x_before[..]);
+    }
+
+    #[test]
+    fn predict_ahead_extrapolates_linearly() {
+        let mut kf = cv_filter(1e-8, 1e-6);
+        for t in 0..100 {
+            kf.predict();
+            kf.update(&[3.0 * (t + 1) as f64]);
+        }
+        let (x5, _) = kf.predict_ahead(5);
+        assert!((x5[0] - 3.0 * 105.0).abs() < 0.2, "pos@+5 {}", x5[0]);
+    }
+
+    #[test]
+    fn innovation_reported() {
+        let mut kf = cv_filter(1e-3, 1e-2);
+        kf.predict();
+        let innov = kf.update(&[5.0]).unwrap();
+        assert_eq!(innov.len(), 1);
+        assert!(innov[0] > 0.0);
+    }
+}

@@ -1,0 +1,44 @@
+//! # mar-motion — state-estimation motion prediction (§V-B)
+//!
+//! The buffer manager needs, at every timestamp, (a) predictions of the
+//! client's next few positions and (b) a confidence for each prediction, so
+//! it can turn them into visit probabilities for the surrounding grid
+//! blocks. Following the paper:
+//!
+//! * the client's *state* is the vector of its `h+1` most recent positions,
+//!   `s_t = [p(t), p(t−1), …, p(t−h)]ᵀ`;
+//! * a transition matrix `A` with `s_{t+1} = A·s_t` is learned online by
+//!   **recursive least squares** (\[22\]); `Aⁱ` gives multi-step
+//!   predictions;
+//! * a **Kalman filter**-style covariance propagation
+//!   (`P_{t+i} = A·P·Aᵀ + Q`) yields the uncertainty of each predicted
+//!   state, and the predicted position is treated as normally distributed,
+//!   `P(s) ~ N(ŝ, P)` (the paper's Eq. 3);
+//! * integrating that normal over grid cells gives per-block visit
+//!   probabilities, which [`probability`] folds into per-direction
+//!   probabilities over a [`mar_geom::SectorPartition`].
+//!
+//! The crate carries its own small dense linear algebra ([`linalg`]) —
+//! multiplication, transpose, Gauss-Jordan inversion — because nothing
+//! heavier is needed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// Fixed-size numeric kernels below index two arrays in lockstep
+// (`out[i] = a[i] op b[i]`); the indexed form is the clearest statement of
+// that, so the pedantic range-loop lint is disabled crate-wide.
+#![allow(clippy::needless_range_loop)]
+
+pub mod kalman;
+pub mod linalg;
+pub mod markov;
+pub mod predict;
+pub mod probability;
+pub mod rls;
+
+pub use kalman::KalmanFilter;
+pub use linalg::Mat;
+pub use markov::MarkovDirectionModel;
+pub use predict::{MotionPredictor, Prediction, PredictorConfig};
+pub use probability::{direction_probabilities, gaussian_block_probabilities};
+pub use rls::RlsEstimator;

@@ -1,0 +1,146 @@
+//! An empirical (Markov-style) direction model.
+//!
+//! The pre-fetching model the paper builds on (\[15\]) drives its buffer
+//! split from *transition probabilities* estimated from the client's
+//! history, not from a state-space filter. This module provides that
+//! alternative: it counts which direction sector each observed step fell
+//! into, with exponential decay so recent behaviour dominates, and emits
+//! the per-direction probabilities directly. The `abl_direction` ablation
+//! compares it against the Kalman/RLS pipeline — the Markov model is
+//! cheaper and robust, the state estimator is sharper on smooth
+//! trajectories because it extrapolates *position*, not just heading.
+
+use mar_geom::{Point2, SectorPartition};
+
+/// Exponentially decayed per-sector step counts.
+#[derive(Debug, Clone)]
+pub struct MarkovDirectionModel {
+    partition: SectorPartition,
+    /// Decay multiplier applied to all counts per observation (`< 1`).
+    decay: f64,
+    counts: Vec<f64>,
+    last: Option<Point2>,
+}
+
+impl MarkovDirectionModel {
+    /// Creates a model with `k` sectors and the given per-step decay
+    /// (0.95–0.99 are sensible; 1.0 = never forget).
+    pub fn new(k: usize, decay: f64) -> Self {
+        assert!(k >= 1);
+        assert!((0.0..=1.0).contains(&decay) && decay > 0.0);
+        Self {
+            partition: SectorPartition::axis_centered(k),
+            decay,
+            counts: vec![0.0; k],
+            last: None,
+        }
+    }
+
+    /// Number of direction sectors.
+    pub fn k(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Feeds the next observed position; a non-zero step increments (the
+    /// decayed) count of the sector the step's heading falls into.
+    pub fn observe(&mut self, p: Point2) {
+        if let Some(prev) = self.last {
+            for c in &mut self.counts {
+                *c *= self.decay;
+            }
+            let v = p - prev;
+            if let Some(sector) = self.partition.sector_of(&v) {
+                self.counts[sector] += 1.0;
+            }
+        }
+        self.last = Some(p);
+    }
+
+    /// Current direction probabilities (Laplace-smoothed so no sector is
+    /// ever impossible; uniform before any movement).
+    pub fn probabilities(&self) -> Vec<f64> {
+        let k = self.counts.len() as f64;
+        let total: f64 = self.counts.iter().sum();
+        let alpha = 0.5; // smoothing pseudo-count
+        self.counts
+            .iter()
+            .map(|c| (c + alpha) / (total + alpha * k))
+            .collect()
+    }
+
+    /// The most likely direction sector (ties to the lowest index).
+    pub fn dominant(&self) -> usize {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_geom::Vec2;
+
+    #[test]
+    fn uniform_before_any_movement() {
+        let m = MarkovDirectionModel::new(4, 0.98);
+        let p = m.probabilities();
+        assert_eq!(p, vec![0.25; 4]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eastward_walk_dominates_east() {
+        let mut m = MarkovDirectionModel::new(4, 0.98);
+        let mut pos = Point2::new([0.0, 0.0]);
+        for _ in 0..30 {
+            m.observe(pos);
+            pos += Vec2::new([2.0, 0.1]);
+        }
+        assert_eq!(m.dominant(), 0);
+        let p = m.probabilities();
+        assert!(p[0] > 0.8, "{p:?}");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decay_adapts_to_turns() {
+        let mut m = MarkovDirectionModel::new(4, 0.9);
+        let mut pos = Point2::new([0.0, 0.0]);
+        for _ in 0..50 {
+            m.observe(pos);
+            pos += Vec2::new([2.0, 0.0]); // east
+        }
+        for _ in 0..25 {
+            m.observe(pos);
+            pos += Vec2::new([0.0, 2.0]); // then north
+        }
+        assert_eq!(m.dominant(), 1, "{:?}", m.probabilities());
+    }
+
+    #[test]
+    fn stationary_steps_are_ignored() {
+        let mut m = MarkovDirectionModel::new(4, 0.98);
+        let p0 = Point2::new([5.0, 5.0]);
+        for _ in 0..10 {
+            m.observe(p0);
+        }
+        assert_eq!(m.probabilities(), vec![0.25; 4]);
+    }
+
+    #[test]
+    fn probabilities_always_positive() {
+        let mut m = MarkovDirectionModel::new(8, 0.95);
+        let mut pos = Point2::new([0.0, 0.0]);
+        for _ in 0..100 {
+            m.observe(pos);
+            pos += Vec2::new([1.0, -0.5]);
+        }
+        for p in m.probabilities() {
+            assert!(p > 0.0);
+        }
+    }
+}

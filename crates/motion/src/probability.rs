@@ -1,0 +1,248 @@
+//! From predictions to block and direction probabilities (§V-B, Fig. 4).
+//!
+//! "Rather than calculating the probability of each possible point
+//! location … we divide the total space into grid cells and then calculate
+//! the probabilities for different blocks that can be visited." Each
+//! prediction contributes a bivariate normal `N(mean, cov)`; its mass is
+//! integrated over nearby cells (per-axis Gaussian CDFs) and the results
+//! are accumulated over the prediction horizon and normalised.
+//!
+//! Direction probabilities then follow the paper exactly: blocks are
+//! partitioned into `k` sectors around the client (with the alternating
+//! tie-break for blocks on partition lines), and each sector's probability
+//! is the normalised sum of its blocks' probabilities.
+
+use crate::predict::Prediction;
+use mar_geom::{BlockId, GridSpec, Point2, SectorPartition};
+use std::collections::HashMap;
+use std::f64::consts::TAU;
+
+/// Evaluates the bivariate normal density of `pred` at point `p`.
+/// Near-singular covariances are regularised with a small diagonal jitter.
+pub fn gaussian_density(pred: &Prediction, p: &Point2) -> f64 {
+    let mut cov = pred.cov.clone();
+    let jitter = 1e-9 + 1e-6 * (cov[(0, 0)] + cov[(1, 1)]).abs();
+    let (inv, det) = loop {
+        let det = cov.det2();
+        if det > 1e-12 {
+            if let Some(inv) = cov.inverse() {
+                break (inv, det);
+            }
+        }
+        cov[(0, 0)] += jitter.max(1e-6);
+        cov[(1, 1)] += jitter.max(1e-6);
+    };
+    let d = [p[0] - pred.mean[0], p[1] - pred.mean[1]];
+    let q = inv.quad_form(&d);
+    (-0.5 * q).exp() / (TAU * det.sqrt())
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun erf approximation
+/// (|error| < 1.5e-7 — far below anything the block probabilities need).
+pub fn normal_cdf(z: f64) -> f64 {
+    let x = z / std::f64::consts::SQRT_2;
+    let t = 1.0 / (1.0 + 0.3275911 * x.abs());
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erf_abs = 1.0 - poly * (-x * x).exp();
+    let erf = if x >= 0.0 { erf_abs } else { -erf_abs };
+    0.5 * (1.0 + erf)
+}
+
+/// Probability mass of `N(mu, sigma²)` inside `[lo, hi]`.
+fn interval_mass(mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
+    if sigma <= 1e-12 {
+        // Degenerate: a point mass.
+        return if (lo..=hi).contains(&mu) { 1.0 } else { 0.0 };
+    }
+    normal_cdf((hi - mu) / sigma) - normal_cdf((lo - mu) / sigma)
+}
+
+/// Integrates each prediction's Gaussian over grid blocks and returns
+/// normalised visit probabilities for every touched block.
+///
+/// Each cell's mass is the product of the per-axis interval probabilities
+/// (an axis-aligned approximation of the covariance — correlations rotate
+/// the ellipse slightly but never move mass across more than a cell at the
+/// scales involved). Exact CDF integration matters here: a confident
+/// predictor's σ can be far smaller than a block, where midpoint-rule
+/// densities underflow to zero everywhere.
+///
+/// Blocks farther than `3σ` (plus one block) from a prediction's mean
+/// contribute negligibly and are skipped.
+pub fn gaussian_block_probabilities(
+    grid: &GridSpec,
+    predictions: &[Prediction],
+) -> HashMap<BlockId, f64> {
+    let mut probs: HashMap<BlockId, f64> = HashMap::new();
+    for pred in predictions {
+        if !pred.mean.is_finite() {
+            continue;
+        }
+        let sigma_x = pred.cov[(0, 0)].max(0.0).sqrt();
+        let sigma_y = pred.cov[(1, 1)].max(0.0).sqrt();
+        let sigma = sigma_x.max(sigma_y);
+        let radius_space = 3.0 * sigma;
+        let radius_blocks = ((radius_space / grid.block_w().min(grid.block_h())).ceil() as i64)
+            .clamp(1, grid.nx.max(grid.ny) as i64);
+        // Project the mean into the space: the client cannot leave it, so
+        // an off-edge prediction means "pressed against this boundary" and
+        // must deposit its mass on the edge blocks (a far-outside mean
+        // would otherwise underflow every in-space cell to zero).
+        let clamped = Point2::new([
+            pred.mean[0].clamp(grid.space.lo[0], grid.space.hi[0]),
+            pred.mean[1].clamp(grid.space.lo[1], grid.space.hi[1]),
+        ]);
+        let center_block = grid.block_of(&clamped);
+        for b in grid.blocks_within_ring(&center_block, radius_blocks) {
+            let r = grid.block_rect(&b);
+            let mass = interval_mass(clamped[0], sigma_x, r.lo[0], r.hi[0])
+                * interval_mass(clamped[1], sigma_y, r.lo[1], r.hi[1]);
+            if mass > 0.0 {
+                *probs.entry(b).or_insert(0.0) += mass;
+            }
+        }
+    }
+    let total: f64 = probs.values().sum();
+    if total > 0.0 {
+        for v in probs.values_mut() {
+            *v /= total;
+        }
+    }
+    probs
+}
+
+/// Folds block probabilities into `k` direction probabilities around
+/// `center`, using the paper's sector assignment (alternating tie-break on
+/// partition lines). Returns a normalised vector of length `k`; uniform
+/// when no block carries probability.
+pub fn direction_probabilities(
+    grid: &GridSpec,
+    center: &Point2,
+    block_probs: &HashMap<BlockId, f64>,
+    partition: &SectorPartition,
+) -> Vec<f64> {
+    let k = partition.k();
+    let mut sums = vec![0.0f64; k];
+    let blocks: Vec<BlockId> = {
+        // Deterministic iteration order so the alternating tie-break is
+        // reproducible run to run.
+        let mut bs: Vec<BlockId> = block_probs.keys().copied().collect();
+        bs.sort_unstable();
+        bs
+    };
+    let tie_eps = 1e-9;
+    let assignment = partition.assign_blocks(grid, center, &blocks, tie_eps);
+    for (b, sector) in &assignment {
+        sums[*sector] += block_probs.get(b).copied().unwrap_or(0.0);
+    }
+    let total: f64 = sums.iter().sum();
+    if total <= 0.0 {
+        return vec![1.0 / k as f64; k];
+    }
+    for s in &mut sums {
+        *s /= total;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::Mat;
+    use mar_geom::Rect2;
+
+    fn grid() -> GridSpec {
+        GridSpec::new(
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([100.0, 100.0])),
+            10,
+            10,
+        )
+    }
+
+    fn pred(x: f64, y: f64, var: f64) -> Prediction {
+        Prediction {
+            mean: Point2::new([x, y]),
+            cov: Mat::identity(2).scale(var),
+        }
+    }
+
+    #[test]
+    fn density_peaks_at_mean() {
+        let p = pred(50.0, 50.0, 4.0);
+        let at_mean = gaussian_density(&p, &Point2::new([50.0, 50.0]));
+        let off = gaussian_density(&p, &Point2::new([56.0, 50.0]));
+        assert!(at_mean > off);
+        // Peak of N(0, 4I) is 1/(2π·4).
+        assert!((at_mean - 1.0 / (TAU * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_handles_singular_covariance() {
+        let p = Prediction {
+            mean: Point2::new([0.0, 0.0]),
+            cov: Mat::zeros(2, 2),
+        };
+        let d = gaussian_density(&p, &Point2::new([0.0, 0.0]));
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn block_probabilities_sum_to_one_and_peak_at_prediction() {
+        let g = grid();
+        let probs = gaussian_block_probabilities(&g, &[pred(55.0, 55.0, 25.0)]);
+        let total: f64 = probs.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        let peak = probs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(*peak.0, BlockId::new(5, 5));
+    }
+
+    #[test]
+    fn out_of_space_prediction_clamps_to_edge_blocks() {
+        let g = grid();
+        let probs = gaussian_block_probabilities(&g, &[pred(150.0, 50.0, 25.0)]);
+        // Probability mass exists and sits on the +x edge.
+        assert!(!probs.is_empty());
+        let peak = probs
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        assert_eq!(peak.0.ix, 9);
+    }
+
+    #[test]
+    fn multiple_predictions_spread_mass() {
+        let g = grid();
+        let near = gaussian_block_probabilities(&g, &[pred(25.0, 55.0, 16.0)]);
+        let both =
+            gaussian_block_probabilities(&g, &[pred(25.0, 55.0, 16.0), pred(75.0, 55.0, 16.0)]);
+        assert!(both.len() > near.len());
+        let left_mass: f64 = both.iter().filter(|(b, _)| b.ix < 5).map(|(_, p)| p).sum();
+        assert!((left_mass - 0.5).abs() < 0.05, "left mass {left_mass}");
+    }
+
+    #[test]
+    fn direction_probabilities_favor_motion_direction() {
+        let g = grid();
+        let center = Point2::new([50.0, 50.0]);
+        // Prediction due east of the client.
+        let probs = gaussian_block_probabilities(&g, &[pred(75.0, 50.0, 16.0)]);
+        let part = SectorPartition::axis_centered(4);
+        let dir = direction_probabilities(&g, &center, &probs, &part);
+        assert_eq!(dir.len(), 4);
+        assert!((dir.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(dir[0] > 0.8, "east sector must dominate: {dir:?}");
+    }
+
+    #[test]
+    fn empty_block_probs_give_uniform_directions() {
+        let g = grid();
+        let part = SectorPartition::axis_centered(4);
+        let dir = direction_probabilities(&g, &Point2::new([50.0, 50.0]), &HashMap::new(), &part);
+        assert_eq!(dir, vec![0.25; 4]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Recursive least-squares estimation of the transition matrix `A`.
+//!
+//! The paper (citing Yi et al. \[22\]) learns `A` such that
+//! `s_{t+1} ≈ A·s_t` from the stream of observed states. Because every
+//! output row shares the same regressor `s_t`, the classic RLS recursion
+//! can share one inverse-correlation matrix `P` across rows:
+//!
+//! ```text
+//! k   = P·x / (λ + xᵀ·P·x)
+//! θᵣ += k·(yᵣ − θᵣᵀ·x)        (for every output row r)
+//! P   = (P − k·xᵀ·P) / λ
+//! ```
+//!
+//! `λ ∈ (0, 1]` is the forgetting factor: `1.0` weighs all history equally,
+//! smaller values track non-stationary motion (a pedestrian changing gait)
+//! faster.
+
+use crate::linalg::Mat;
+
+/// Shared-regressor recursive least squares: learns `W` (out×in) with
+/// `y ≈ W·x` from `(x, y)` samples.
+#[derive(Debug, Clone)]
+pub struct RlsEstimator {
+    /// Learned coefficient matrix (out_dim × in_dim).
+    theta: Mat,
+    /// Shared inverse correlation matrix (in_dim × in_dim).
+    p: Mat,
+    /// Forgetting factor λ.
+    lambda: f64,
+    samples: usize,
+}
+
+impl RlsEstimator {
+    /// Creates an estimator for `in_dim → out_dim` with forgetting factor
+    /// `lambda` and initial `P = δ·I` (large `delta` ⇒ fast initial
+    /// adaptation).
+    pub fn new(in_dim: usize, out_dim: usize, lambda: f64, delta: f64) -> Self {
+        assert!(in_dim > 0 && out_dim > 0);
+        assert!(
+            (0.0..=1.0).contains(&lambda) && lambda > 0.0,
+            "λ must be in (0, 1]"
+        );
+        assert!(delta > 0.0);
+        Self {
+            theta: Mat::zeros(out_dim, in_dim),
+            p: Mat::identity(in_dim).scale(delta),
+            lambda,
+            samples: 0,
+        }
+    }
+
+    /// Number of samples consumed.
+    pub fn samples(&self) -> usize {
+        self.samples
+    }
+
+    /// The current coefficient matrix (out_dim × in_dim).
+    pub fn coefficients(&self) -> &Mat {
+        &self.theta
+    }
+
+    /// Feeds one `(x, y)` sample.
+    pub fn observe(&mut self, x: &[f64], y: &[f64]) {
+        assert_eq!(x.len(), self.p.rows(), "x dimension mismatch");
+        assert_eq!(y.len(), self.theta.rows(), "y dimension mismatch");
+        let n = x.len();
+        // px = P·x
+        let px = self.p.mul_vec(x);
+        let denom = self.lambda + x.iter().zip(&px).map(|(a, b)| a * b).sum::<f64>();
+        // Gain k = P·x / denom.
+        let k: Vec<f64> = px.iter().map(|v| v / denom).collect();
+        // Per-row coefficient update.
+        for r in 0..self.theta.rows() {
+            let pred: f64 = (0..n).map(|j| self.theta[(r, j)] * x[j]).sum();
+            let err = y[r] - pred;
+            for j in 0..n {
+                self.theta[(r, j)] += k[j] * err;
+            }
+        }
+        // P update: (P − k·(xᵀ·P)) / λ, where xᵀ·P = (P·x)ᵀ for symmetric P.
+        // Keep symmetry explicitly to fight round-off drift.
+        let xp = self.p.transpose().mul_vec(x);
+        for i in 0..n {
+            for j in 0..n {
+                self.p[(i, j)] = (self.p[(i, j)] - k[i] * xp[j]) / self.lambda;
+            }
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let avg = 0.5 * (self.p[(i, j)] + self.p[(j, i)]);
+                self.p[(i, j)] = avg;
+                self.p[(j, i)] = avg;
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Predicts `W·x`.
+    pub fn predict(&self, x: &[f64]) -> Vec<f64> {
+        self.theta.mul_vec(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_a_fixed_linear_map() {
+        // y = [2x0 − x1, 0.5x0 + 3x1]
+        let mut rls = RlsEstimator::new(2, 2, 1.0, 1e4);
+        for i in 0..200 {
+            let x = [((i * 7) % 13) as f64 - 6.0, ((i * 5) % 11) as f64 - 5.0];
+            let y = [2.0 * x[0] - x[1], 0.5 * x[0] + 3.0 * x[1]];
+            rls.observe(&x, &y);
+        }
+        let w = rls.coefficients();
+        assert!((w[(0, 0)] - 2.0).abs() < 1e-6, "{:?}", w);
+        assert!((w[(0, 1)] + 1.0).abs() < 1e-6);
+        assert!((w[(1, 0)] - 0.5).abs() < 1e-6);
+        assert!((w[(1, 1)] - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prediction_error_shrinks() {
+        // Noisy target: errors after convergence ≪ initial errors.
+        let mut rls = RlsEstimator::new(3, 1, 1.0, 1e4);
+        let truth = [1.5, -2.0, 0.25];
+        let mut early_err = 0.0;
+        let mut late_err = 0.0;
+        for i in 0..300 {
+            let x = [
+                ((i * 3) % 17) as f64 * 0.1,
+                ((i * 11) % 19) as f64 * 0.1,
+                ((i * 7) % 23) as f64 * 0.1,
+            ];
+            let y = truth.iter().zip(&x).map(|(t, v)| t * v).sum::<f64>();
+            let pred = rls.predict(&x)[0];
+            let e = (y - pred).abs();
+            if i < 5 {
+                early_err += e;
+            } else if i >= 295 {
+                late_err += e;
+            }
+            rls.observe(&x, &[y]);
+        }
+        assert!(
+            late_err < early_err * 1e-3 + 1e-9,
+            "early {early_err} late {late_err}"
+        );
+    }
+
+    #[test]
+    fn forgetting_tracks_a_changing_map() {
+        // Target switches halfway; λ<1 must adapt to the new map.
+        let mut rls = RlsEstimator::new(1, 1, 0.9, 1e4);
+        for i in 0..100 {
+            let x = [1.0 + (i % 5) as f64];
+            rls.observe(&x, &[2.0 * x[0]]);
+        }
+        for i in 0..100 {
+            let x = [1.0 + (i % 5) as f64];
+            rls.observe(&x, &[-3.0 * x[0]]);
+        }
+        let w = rls.coefficients()[(0, 0)];
+        assert!((w + 3.0).abs() < 0.05, "w = {w}");
+    }
+
+    #[test]
+    fn sample_counter() {
+        let mut rls = RlsEstimator::new(2, 2, 1.0, 100.0);
+        assert_eq!(rls.samples(), 0);
+        rls.observe(&[1.0, 0.0], &[1.0, 0.0]);
+        assert_eq!(rls.samples(), 1);
+    }
+}

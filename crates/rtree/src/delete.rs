@@ -1,0 +1,220 @@
+//! Deletion with tree condensation.
+//!
+//! Follows Guttman's Delete/CondenseTree: the leaf entry is located by
+//! rectangle + item equality, removed, and any node left underfull on the
+//! path is dissolved — its remaining items are collected and re-inserted.
+//! When the root becomes a single-child internal node the tree shrinks.
+
+use crate::node::Node;
+use crate::RTree;
+use mar_geom::Rect;
+
+impl<const N: usize, T: PartialEq> RTree<N, T> {
+    /// Removes one entry matching `rect` (exactly) and `item` (by
+    /// equality). Returns the removed item, or `None` when no such entry
+    /// exists.
+    pub fn remove(&mut self, rect: &Rect<N>, item: &T) -> Option<T> {
+        let mut orphans: Vec<(Rect<N>, T)> = Vec::new();
+        let removed = remove_rec(&mut self.root, rect, item, &mut orphans, &self.config)?;
+        self.len -= 1;
+        // Shrink the root while it is an internal node with one child.
+        loop {
+            let shrink = match &mut self.root {
+                Node::Internal { entries } if entries.len() == 1 => {
+                    Some(*entries.pop().expect("single child").child)
+                }
+                _ => None,
+            };
+            match shrink {
+                Some(child) => {
+                    self.root = child;
+                    self.height -= 1;
+                }
+                None => break,
+            }
+        }
+        // Re-insert orphaned items (len is restored by insert).
+        self.len -= orphans.len();
+        for (r, it) in orphans {
+            self.insert(r, it);
+        }
+        Some(removed)
+    }
+
+    /// Removes every entry whose rectangle intersects `window` and
+    /// satisfies `pred`, returning the removed items. Implemented as
+    /// repeated single deletions to reuse the condensation logic (deletion
+    /// is not on any experiment's hot path).
+    pub fn remove_where(
+        &mut self,
+        window: &Rect<N>,
+        mut pred: impl FnMut(&Rect<N>, &T) -> bool,
+    ) -> Vec<(Rect<N>, T)>
+    where
+        T: Clone,
+    {
+        let mut victims: Vec<(Rect<N>, T)> = Vec::new();
+        self.search(window, |r, t| {
+            if pred(r, t) {
+                victims.push((*r, t.clone()));
+            }
+        });
+        let mut out = Vec::with_capacity(victims.len());
+        for (r, t) in victims {
+            if let Some(item) = self.remove(&r, &t) {
+                out.push((r, item));
+            }
+        }
+        out
+    }
+}
+
+fn remove_rec<const N: usize, T: PartialEq>(
+    node: &mut Node<N, T>,
+    rect: &Rect<N>,
+    item: &T,
+    orphans: &mut Vec<(Rect<N>, T)>,
+    config: &crate::RTreeConfig,
+) -> Option<T> {
+    match node {
+        Node::Leaf { entries } => {
+            let pos = entries
+                .iter()
+                .position(|e| rects_match(&e.rect, rect) && &e.item == item)?;
+            Some(entries.remove(pos).item)
+        }
+        Node::Internal { entries } => {
+            let mut removed = None;
+            let mut touched = None;
+            for (i, e) in entries.iter_mut().enumerate() {
+                if e.rect.contains_rect(rect) || e.rect.intersects(rect) {
+                    if let Some(it) = remove_rec(&mut e.child, rect, item, orphans, config) {
+                        removed = Some(it);
+                        touched = Some(i);
+                        break;
+                    }
+                }
+            }
+            let removed = removed?;
+            let i = touched.expect("touched set with removed");
+            if entries[i].child.entry_count() < config.min_entries {
+                // Dissolve the underfull child; orphan its leaf items.
+                let child = entries.remove(i).child;
+                collect_items(*child, orphans);
+            } else {
+                entries[i].rect = entries[i].child.mbr().expect("non-empty child");
+            }
+            Some(removed)
+        }
+    }
+}
+
+/// Collects every leaf item of a subtree.
+fn collect_items<const N: usize, T>(node: Node<N, T>, out: &mut Vec<(Rect<N>, T)>) {
+    match node {
+        Node::Leaf { entries } => {
+            out.extend(entries.into_iter().map(|e| (e.rect, e.item)));
+        }
+        Node::Internal { entries } => {
+            for e in entries {
+                collect_items(*e.child, out);
+            }
+        }
+    }
+}
+
+fn rects_match<const N: usize>(a: &Rect<N>, b: &Rect<N>) -> bool {
+    (0..N).all(|i| a.lo[i] == b.lo[i] && a.hi[i] == b.hi[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeConfig, Variant};
+    use mar_geom::{Point2, Rect2};
+
+    fn pt(x: f64, y: f64) -> Rect2 {
+        Rect2::point(Point2::new([x, y]))
+    }
+
+    fn build(n: usize) -> RTree<2, usize> {
+        let mut t = RTree::new(RTreeConfig::new(6, Variant::RStar));
+        for i in 0..n {
+            t.insert(pt((i % 31) as f64, (i / 31) as f64), i);
+        }
+        t
+    }
+
+    #[test]
+    fn remove_existing_item() {
+        let mut t = build(100);
+        let r = pt(5.0, 0.0);
+        assert_eq!(t.remove(&r, &5), Some(5));
+        assert_eq!(t.len(), 99);
+        t.validate().expect("valid after remove");
+        let (found, _) = t.query(&r);
+        assert!(!found.contains(&&5));
+    }
+
+    #[test]
+    fn remove_missing_item_is_none() {
+        let mut t = build(50);
+        assert_eq!(t.remove(&pt(999.0, 999.0), &1), None);
+        assert_eq!(t.remove(&pt(5.0, 0.0), &9999), None);
+        assert_eq!(t.len(), 50);
+    }
+
+    #[test]
+    fn remove_everything_one_by_one() {
+        let mut t = build(300);
+        for i in 0..300 {
+            let r = pt((i % 31) as f64, (i / 31) as f64);
+            assert_eq!(t.remove(&r, &i), Some(i), "failed to remove {i}");
+            t.validate()
+                .unwrap_or_else(|e| panic!("invalid after removing {i}: {e}"));
+        }
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn tree_shrinks_after_mass_deletion() {
+        let mut t = build(500);
+        let h_before = t.height();
+        for i in 0..450 {
+            let r = pt((i % 31) as f64, (i / 31) as f64);
+            t.remove(&r, &i);
+        }
+        assert!(t.height() <= h_before);
+        assert_eq!(t.len(), 50);
+        t.validate().expect("valid");
+        // Remaining items still findable.
+        let (found, _) = t.query(&Rect2::new(
+            Point2::new([0.0, 0.0]),
+            Point2::new([31.0, 31.0]),
+        ));
+        assert_eq!(found.len(), 50);
+    }
+
+    #[test]
+    fn remove_where_bulk() {
+        let mut t = build(200);
+        let w = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([10.0, 10.0]));
+        let removed = t.remove_where(&w, |_, &i| i % 2 == 0);
+        assert!(!removed.is_empty());
+        t.validate().expect("valid");
+        let (left, _) = t.query(&w);
+        assert!(left.iter().all(|&&i| i % 2 == 1));
+    }
+
+    #[test]
+    fn duplicate_items_removed_one_at_a_time() {
+        let mut t: RTree<2, u8> = RTree::new(RTreeConfig::new(4, Variant::Guttman));
+        for _ in 0..5 {
+            t.insert(pt(1.0, 1.0), 7);
+        }
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.remove(&pt(1.0, 1.0), &7), Some(7));
+        assert_eq!(t.len(), 4);
+        t.validate().expect("valid");
+    }
+}

@@ -1,0 +1,197 @@
+//! k-nearest-neighbour queries (best-first search, Hjaltason & Samet).
+//!
+//! Not used by the paper's window-query workloads, but a standard part of
+//! any R-tree access method's API — and useful to downstream users of the
+//! wavelet index ("the nearest detailed object to the client"). The search
+//! expands nodes from a priority queue ordered by minimum distance, which
+//! visits the provably minimal set of nodes for a given `k`.
+
+use crate::node::Node;
+use crate::RTree;
+use mar_geom::Point;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A heap entry: either a node to expand or a candidate item.
+enum Entry<'a, const N: usize, T> {
+    Node(&'a Node<N, T>),
+    Item(&'a T),
+}
+
+struct Prioritized<'a, const N: usize, T> {
+    dist: f64,
+    entry: Entry<'a, N, T>,
+}
+
+impl<const N: usize, T> PartialEq for Prioritized<'_, N, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist
+    }
+}
+impl<const N: usize, T> Eq for Prioritized<'_, N, T> {}
+impl<const N: usize, T> PartialOrd for Prioritized<'_, N, T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<const N: usize, T> Ord for Prioritized<'_, N, T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversed comparison; NaN-free by construction.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+impl<const N: usize, T> RTree<N, T> {
+    /// Returns the `k` items nearest to `query` (by minimum distance from
+    /// the point to the item's rectangle), closest first, with the node
+    /// accesses performed. Fewer than `k` results when the tree is small.
+    pub fn nearest_neighbors(&self, query: &Point<N>, k: usize) -> (Vec<(f64, &T)>, u64) {
+        let mut out = Vec::with_capacity(k);
+        let mut accesses = 0u64;
+        if k == 0 || self.is_empty() {
+            return (out, accesses);
+        }
+        let mut heap: BinaryHeap<Prioritized<'_, N, T>> = BinaryHeap::new();
+        heap.push(Prioritized {
+            dist: 0.0,
+            entry: Entry::Node(&self.root),
+        });
+        while let Some(Prioritized { dist, entry }) = heap.pop() {
+            match entry {
+                Entry::Node(node) => {
+                    accesses += 1;
+                    match node {
+                        Node::Leaf { entries } => {
+                            for e in entries {
+                                heap.push(Prioritized {
+                                    dist: e.rect.min_distance(query),
+                                    entry: Entry::Item(&e.item),
+                                });
+                            }
+                        }
+                        Node::Internal { entries } => {
+                            for e in entries {
+                                heap.push(Prioritized {
+                                    dist: e.rect.min_distance(query),
+                                    entry: Entry::Node(&e.child),
+                                });
+                            }
+                        }
+                    }
+                }
+                Entry::Item(item) => {
+                    out.push((dist, item));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+            }
+        }
+        self.io.set(self.io.get() + accesses);
+        (out, accesses)
+    }
+
+    /// Convenience: the single nearest item.
+    pub fn nearest(&self, query: &Point<N>) -> Option<(f64, &T)> {
+        self.nearest_neighbors(query, 1).0.into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeConfig, Variant};
+    use mar_geom::{Point2, Rect2};
+
+    fn pt(x: f64, y: f64) -> Rect2 {
+        Rect2::point(Point2::new([x, y]))
+    }
+
+    fn grid_tree() -> RTree<2, (i32, i32)> {
+        let mut t = RTree::new(RTreeConfig::new(8, Variant::RStar));
+        for x in 0..15 {
+            for y in 0..15 {
+                t.insert(pt(x as f64, y as f64), (x, y));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn nearest_single() {
+        let t = grid_tree();
+        let (d, &(x, y)) = t.nearest(&Point2::new([7.2, 7.4])).unwrap();
+        assert_eq!((x, y), (7, 7));
+        assert!((d - (0.2f64.powi(2) + 0.4f64.powi(2)).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn knn_matches_bruteforce() {
+        let t = grid_tree();
+        let q = Point2::new([3.7, 11.2]);
+        let (got, io) = t.nearest_neighbors(&q, 10);
+        assert_eq!(got.len(), 10);
+        assert!(io >= 1);
+        // Distances are sorted ascending.
+        for w in got.windows(2) {
+            assert!(w[0].0 <= w[1].0 + 1e-12);
+        }
+        // Brute-force k-th distance must match.
+        let mut all: Vec<f64> = (0..15)
+            .flat_map(|x| (0..15).map(move |y| (x, y)))
+            .map(|(x, y)| q.distance(&Point2::new([x as f64, y as f64])))
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (i, (d, _)) in got.iter().enumerate() {
+            assert!((d - all[i]).abs() < 1e-9, "rank {i}: {d} vs {}", all[i]);
+        }
+    }
+
+    #[test]
+    fn knn_visits_fewer_nodes_than_full_scan() {
+        let t = grid_tree();
+        let (_, io) = t.nearest_neighbors(&Point2::new([1.0, 1.0]), 3);
+        assert!(
+            (io as usize) < t.node_count(),
+            "best-first must prune: {io} vs {} nodes",
+            t.node_count()
+        );
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let t: RTree<2, u8> = RTree::new(RTreeConfig::paper());
+        assert!(t.nearest(&Point2::new([0.0, 0.0])).is_none());
+        let full = grid_tree();
+        assert!(full
+            .nearest_neighbors(&Point2::new([0.0, 0.0]), 0)
+            .0
+            .is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_tree_returns_everything() {
+        let mut t: RTree<2, usize> = RTree::new(RTreeConfig::new(4, Variant::Guttman));
+        for i in 0..5 {
+            t.insert(pt(i as f64, 0.0), i);
+        }
+        let (got, _) = t.nearest_neighbors(&Point2::new([0.0, 0.0]), 50);
+        assert_eq!(got.len(), 5);
+    }
+
+    #[test]
+    fn rectangle_items_use_min_distance() {
+        let mut t: RTree<2, &str> = RTree::new(RTreeConfig::new(4, Variant::RStar));
+        t.insert(
+            Rect2::new(Point2::new([10.0, 0.0]), Point2::new([20.0, 10.0])),
+            "box",
+        );
+        t.insert(pt(5.0, 5.0), "point");
+        // Query inside the box: distance 0 beats the point at distance ~5.8.
+        let (d, &name) = t.nearest(&Point2::new([12.0, 3.0])).unwrap();
+        assert_eq!(name, "box");
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,243 @@
+//! # mar-rtree — N-dimensional R-tree / R*-tree with I/O accounting
+//!
+//! A from-scratch in-memory implementation of Guttman's R-tree \[16\] and
+//! the R*-tree of Beckmann et al. \[24\], the two access methods the paper
+//! builds its wavelet index on (§VI). Being in-memory, "I/O cost" is
+//! measured the way the paper reports it: as the number of **node (page)
+//! accesses** a query performs — that number depends only on tree geometry
+//! and the search algorithm, not on a physical disk.
+//!
+//! Features:
+//! * arbitrary dimension via const generics (`RTree<3, T>` is the paper's
+//!   experimental `x-y-w` tree, `RTree<4, T>` the full `x-y-z-w` design);
+//! * insertion with either Guttman's quadratic split or the R\* split with
+//!   forced reinsertion (selectable via [`RTreeConfig`]);
+//! * Sort-Tile-Recursive (STR) bulk loading for building large static
+//!   indexes quickly;
+//! * window (range) queries with per-query and cumulative node-access
+//!   counters;
+//! * deletion with tree condensation;
+//! * a structural [`RTree::validate`] used heavily by the test suite.
+//!
+//! The page geometry of the evaluation (4 KB pages, node capacity 20) is
+//! [`RTreeConfig::paper`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bulk;
+mod delete;
+mod insert;
+mod knn;
+mod stats;
+mod node;
+mod query;
+
+pub use node::{Entry, Node};
+pub use stats::{LevelStats, TreeStats};
+
+use mar_geom::Rect;
+use std::cell::Cell;
+
+/// Which insertion/split algorithm the tree uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Guttman's original R-tree: least-enlargement subtree choice,
+    /// quadratic split.
+    Guttman,
+    /// R*-tree: overlap-aware subtree choice, margin-driven split, forced
+    /// reinsertion at the leaf level.
+    RStar,
+}
+
+/// Tree parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RTreeConfig {
+    /// Maximum entries per node (`M`).
+    pub max_entries: usize,
+    /// Minimum entries per non-root node (`m`), `2 ≤ m ≤ M/2`.
+    pub min_entries: usize,
+    /// Algorithm variant.
+    pub variant: Variant,
+}
+
+impl RTreeConfig {
+    /// Creates a config with `m = max(2, ⌊0.4·M⌋)` (the R*-tree paper's
+    /// recommended fill).
+    pub fn new(max_entries: usize, variant: Variant) -> Self {
+        assert!(max_entries >= 4, "node capacity must be at least 4");
+        Self {
+            max_entries,
+            min_entries: (max_entries * 2 / 5).max(2),
+            variant,
+        }
+    }
+
+    /// The evaluation's page geometry: 4 KB pages with node capacity 20
+    /// (§VII-D), R*-tree variant.
+    pub fn paper() -> Self {
+        Self::new(20, Variant::RStar)
+    }
+
+    /// Number of entries the R* forced-reinsert removes on first overflow
+    /// (30 % of M, the original paper's `p`).
+    pub(crate) fn reinsert_count(&self) -> usize {
+        (self.max_entries * 3 / 10).max(1)
+    }
+}
+
+/// An N-dimensional R-tree over items of type `T`.
+///
+/// Each item is stored under an axis-aligned rectangle (possibly
+/// degenerate, for point data). The tree never inspects `T` except for
+/// equality during deletion.
+///
+/// ```
+/// use mar_rtree::{RTree, RTreeConfig};
+/// use mar_geom::{Point2, Rect2};
+/// let mut tree: RTree<2, &str> = RTree::new(RTreeConfig::paper());
+/// tree.insert(Rect2::point(Point2::new([1.0, 1.0])), "kiosk");
+/// tree.insert(Rect2::point(Point2::new([8.0, 8.0])), "tower");
+/// let window = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([2.0, 2.0]));
+/// let (hits, node_accesses) = tree.query(&window);
+/// assert_eq!(hits, vec![&"kiosk"]);
+/// assert!(node_accesses >= 1); // the paper's I/O metric
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree<const N: usize, T> {
+    pub(crate) config: RTreeConfig,
+    pub(crate) root: Node<N, T>,
+    /// Height of the tree: 1 for a single leaf node.
+    pub(crate) height: usize,
+    pub(crate) len: usize,
+    /// Cumulative node accesses across all queries since the last reset.
+    pub(crate) io: Cell<u64>,
+}
+
+impl<const N: usize, T> RTree<N, T> {
+    /// Creates an empty tree.
+    pub fn new(config: RTreeConfig) -> Self {
+        Self {
+            config,
+            root: Node::new_leaf(),
+            height: 1,
+            len: 0,
+            io: Cell::new(0),
+        }
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the tree stores nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 = a single leaf).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// The tree's configuration.
+    pub fn config(&self) -> &RTreeConfig {
+        &self.config
+    }
+
+    /// Total number of nodes (pages) in the tree.
+    pub fn node_count(&self) -> usize {
+        self.root.count_nodes()
+    }
+
+    /// MBR of everything stored, or `None` when empty.
+    pub fn bounding_rect(&self) -> Option<Rect<N>> {
+        self.root.mbr()
+    }
+
+    /// Cumulative node accesses performed by queries since the last
+    /// [`RTree::reset_io`].
+    pub fn io_count(&self) -> u64 {
+        self.io.get()
+    }
+
+    /// Resets the cumulative node-access counter.
+    pub fn reset_io(&self) {
+        self.io.set(0);
+    }
+
+    /// Checks every structural invariant (entry counts, MBR containment,
+    /// uniform leaf depth, length bookkeeping). Intended for tests; returns
+    /// a human-readable description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut total = 0usize;
+        self.root
+            .validate(&self.config, self.height, true, &mut total)?;
+        if total != self.len {
+            return Err(format!("len {} but counted {}", self.len, total));
+        }
+        Ok(())
+    }
+
+    /// Iterates over every `(rect, item)` in the tree (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect<N>, &T)> {
+        let mut stack = vec![&self.root];
+        let mut leaf_items: Vec<(&Rect<N>, &T)> = Vec::new();
+        while let Some(n) = stack.pop() {
+            match n {
+                Node::Leaf { entries } => {
+                    for e in entries {
+                        leaf_items.push((&e.rect, &e.item));
+                    }
+                }
+                Node::Internal { entries } => {
+                    for e in entries {
+                        stack.push(&e.child);
+                    }
+                }
+            }
+        }
+        leaf_items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mar_geom::{Point2, Rect2};
+
+    fn pt(x: f64, y: f64) -> Rect2 {
+        Rect2::point(Point2::new([x, y]))
+    }
+
+    #[test]
+    fn empty_tree_basics() {
+        let t: RTree<2, u32> = RTree::new(RTreeConfig::paper());
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.node_count(), 1);
+        assert!(t.bounding_rect().is_none());
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn paper_config_geometry() {
+        let c = RTreeConfig::paper();
+        assert_eq!(c.max_entries, 20);
+        assert_eq!(c.min_entries, 8);
+        assert_eq!(c.variant, Variant::RStar);
+        assert_eq!(c.reinsert_count(), 6);
+    }
+
+    #[test]
+    fn iter_visits_everything() {
+        let mut t: RTree<2, usize> = RTree::new(RTreeConfig::new(4, Variant::Guttman));
+        for i in 0..50 {
+            t.insert(pt(i as f64, (i * 7 % 13) as f64), i);
+        }
+        let mut seen: Vec<usize> = t.iter().map(|(_, &i)| i).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..50).collect::<Vec<_>>());
+    }
+}

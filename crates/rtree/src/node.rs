@@ -1,0 +1,131 @@
+//! Tree nodes and structural validation.
+
+use crate::RTreeConfig;
+use mar_geom::Rect;
+
+/// A leaf entry: one stored item under its rectangle.
+#[derive(Debug, Clone)]
+pub struct Entry<const N: usize, T> {
+    /// Bounding rectangle of the item.
+    pub rect: Rect<N>,
+    /// The stored item.
+    pub item: T,
+}
+
+/// An internal entry: a child node under its MBR.
+#[derive(Debug, Clone)]
+pub struct ChildEntry<const N: usize, T> {
+    /// MBR of everything under `child`.
+    pub rect: Rect<N>,
+    /// The child node.
+    pub child: Box<Node<N, T>>,
+}
+
+/// One page of the tree.
+#[derive(Debug, Clone)]
+pub enum Node<const N: usize, T> {
+    /// A leaf page holding items.
+    Leaf {
+        /// The stored entries.
+        entries: Vec<Entry<N, T>>,
+    },
+    /// An internal page holding children.
+    Internal {
+        /// The child entries.
+        entries: Vec<ChildEntry<N, T>>,
+    },
+}
+
+impl<const N: usize, T> Node<N, T> {
+    /// An empty leaf.
+    pub fn new_leaf() -> Self {
+        Node::Leaf {
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of entries in this node.
+    pub fn entry_count(&self) -> usize {
+        match self {
+            Node::Leaf { entries } => entries.len(),
+            Node::Internal { entries } => entries.len(),
+        }
+    }
+
+    /// True for leaf pages.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// MBR of all entries, or `None` for an empty node.
+    pub fn mbr(&self) -> Option<Rect<N>> {
+        match self {
+            Node::Leaf { entries } => entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+            Node::Internal { entries } => entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+        }
+    }
+
+    /// Total node count of the subtree (including `self`).
+    pub fn count_nodes(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { entries } => {
+                1 + entries.iter().map(|e| e.child.count_nodes()).sum::<usize>()
+            }
+        }
+    }
+
+    /// Recursively checks structural invariants. `depth_left` is the
+    /// expected remaining height (1 at leaves); `total` accumulates the
+    /// item count.
+    pub fn validate(
+        &self,
+        config: &RTreeConfig,
+        depth_left: usize,
+        is_root: bool,
+        total: &mut usize,
+    ) -> Result<(), String> {
+        let count = self.entry_count();
+        if count > config.max_entries {
+            return Err(format!("node overflow: {count} > {}", config.max_entries));
+        }
+        if !is_root && count < config.min_entries {
+            return Err(format!("node underflow: {count} < {}", config.min_entries));
+        }
+        match self {
+            Node::Leaf { entries } => {
+                if depth_left != 1 {
+                    return Err(format!("leaf at wrong depth ({depth_left} levels left)"));
+                }
+                *total += entries.len();
+                Ok(())
+            }
+            Node::Internal { entries } => {
+                if depth_left <= 1 {
+                    return Err("internal node at leaf depth".into());
+                }
+                if is_root && entries.len() < 2 {
+                    return Err("internal root must have at least 2 children".into());
+                }
+                for e in entries {
+                    let child_mbr = e
+                        .child
+                        .mbr()
+                        .ok_or_else(|| "empty child node".to_string())?;
+                    if !rects_equal(&e.rect, &child_mbr) {
+                        return Err(format!(
+                            "stale MBR: stored {:?}, actual {:?}",
+                            e.rect, child_mbr
+                        ));
+                    }
+                    e.child.validate(config, depth_left - 1, false, total)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn rects_equal<const N: usize>(a: &Rect<N>, b: &Rect<N>) -> bool {
+    (0..N).all(|i| (a.lo[i] - b.lo[i]).abs() < 1e-9 && (a.hi[i] - b.hi[i]).abs() < 1e-9)
+}

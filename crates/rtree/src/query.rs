@@ -1,0 +1,148 @@
+//! Window queries with node-access accounting.
+
+use crate::node::Node;
+use crate::RTree;
+use mar_geom::Rect;
+
+impl<const N: usize, T> RTree<N, T> {
+    /// Visits every `(rect, item)` whose rectangle intersects `window`,
+    /// returning the number of node (page) accesses the search performed.
+    /// The cumulative [`RTree::io_count`] is incremented by the same
+    /// amount.
+    pub fn search<'a>(
+        &'a self,
+        window: &Rect<N>,
+        mut visit: impl FnMut(&'a Rect<N>, &'a T),
+    ) -> u64 {
+        let mut accesses = 0u64;
+        let mut stack: Vec<&'a Node<N, T>> = vec![&self.root];
+        while let Some(node) = stack.pop() {
+            accesses += 1;
+            match node {
+                Node::Leaf { entries } => {
+                    for e in entries {
+                        if e.rect.intersects(window) {
+                            visit(&e.rect, &e.item);
+                        }
+                    }
+                }
+                Node::Internal { entries } => {
+                    for e in entries {
+                        if e.rect.intersects(window) {
+                            stack.push(&e.child);
+                        }
+                    }
+                }
+            }
+        }
+        self.io.set(self.io.get() + accesses);
+        accesses
+    }
+
+    /// Collects every item intersecting `window`; returns the items and the
+    /// node accesses.
+    pub fn query(&self, window: &Rect<N>) -> (Vec<&T>, u64) {
+        let mut out = Vec::new();
+        let io = self.search(window, |_, item| out.push(item));
+        (out, io)
+    }
+
+    /// Counts items intersecting `window` without materialising them.
+    pub fn count_in(&self, window: &Rect<N>) -> (usize, u64) {
+        let mut n = 0usize;
+        let io = self.search(window, |_, _| n += 1);
+        (n, io)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeConfig, Variant};
+    use mar_geom::{Point2, Rect2};
+
+    fn pt(x: f64, y: f64) -> Rect2 {
+        Rect2::point(Point2::new([x, y]))
+    }
+
+    fn grid_tree(variant: Variant) -> RTree<2, (i32, i32)> {
+        let mut t = RTree::new(RTreeConfig::new(8, variant));
+        for x in 0..20 {
+            for y in 0..20 {
+                t.insert(pt(x as f64, y as f64), (x, y));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn window_query_matches_bruteforce() {
+        for variant in [Variant::Guttman, Variant::RStar] {
+            let t = grid_tree(variant);
+            let w = Rect2::new(Point2::new([3.5, 2.5]), Point2::new([8.5, 6.5]));
+            let (mut got, io) = t.query(&w);
+            assert!(io >= 1);
+            let mut items: Vec<(i32, i32)> = got.drain(..).copied().collect();
+            items.sort_unstable();
+            let mut expect = Vec::new();
+            for x in 4..=8 {
+                for y in 3..=6 {
+                    expect.push((x, y));
+                }
+            }
+            assert_eq!(items, expect);
+        }
+    }
+
+    #[test]
+    fn boundary_inclusive() {
+        let t = grid_tree(Variant::RStar);
+        // A degenerate window exactly on a point.
+        let w = Rect2::point(Point2::new([5.0, 5.0]));
+        let (got, _) = t.query(&w);
+        assert_eq!(got.len(), 1);
+        assert_eq!(*got[0], (5, 5));
+    }
+
+    #[test]
+    fn empty_window_returns_nothing() {
+        let t = grid_tree(Variant::RStar);
+        let w = Rect2::new(Point2::new([100.0, 100.0]), Point2::new([110.0, 110.0]));
+        let (got, io) = t.query(&w);
+        assert!(got.is_empty());
+        assert_eq!(io, 1, "only the root should be touched");
+    }
+
+    #[test]
+    fn io_counter_accumulates_and_resets() {
+        let t = grid_tree(Variant::RStar);
+        t.reset_io();
+        let w = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([19.0, 19.0]));
+        let (_, io1) = t.query(&w);
+        let (_, io2) = t.query(&w);
+        assert_eq!(io1, io2);
+        assert_eq!(t.io_count(), io1 + io2);
+        t.reset_io();
+        assert_eq!(t.io_count(), 0);
+        // A full scan must touch every node.
+        assert_eq!(io1 as usize, t.node_count());
+    }
+
+    #[test]
+    fn smaller_windows_cost_fewer_accesses() {
+        let t = grid_tree(Variant::RStar);
+        let small = Rect2::new(Point2::new([5.0, 5.0]), Point2::new([6.0, 6.0]));
+        let big = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([19.0, 19.0]));
+        let (_, io_small) = t.query(&small);
+        let (_, io_big) = t.query(&big);
+        assert!(io_small < io_big);
+    }
+
+    #[test]
+    fn count_matches_query_len() {
+        let t = grid_tree(Variant::Guttman);
+        let w = Rect2::new(Point2::new([2.0, 2.0]), Point2::new([10.0, 4.0]));
+        let (items, _) = t.query(&w);
+        let (n, _) = t.count_in(&w);
+        assert_eq!(items.len(), n);
+    }
+}

@@ -1,0 +1,167 @@
+//! Structural statistics: node fill, per-level shape, overlap.
+//!
+//! The paper reports I/O, which is a function of tree *shape*; these
+//! statistics expose that shape directly. They drive the index-construction
+//! ablation (`abl_index`) and give downstream users the numbers that
+//! explain why one build strategy out-queries another: average node fill
+//! (space utilisation) and sibling overlap (the R\*-tree's target metric).
+
+use crate::node::Node;
+use crate::RTree;
+
+/// Aggregate statistics of one tree level (root = level 0).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelStats {
+    /// Nodes on this level.
+    pub nodes: usize,
+    /// Total entries across the level's nodes.
+    pub entries: usize,
+    /// Mean fill factor: entries / (nodes × max_entries).
+    pub fill: f64,
+    /// Total pairwise overlap volume between sibling MBRs, summed over
+    /// every node of this level (0 for leaves' contents).
+    pub sibling_overlap: f64,
+}
+
+/// Whole-tree structural statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeStats {
+    /// Per-level statistics, root first.
+    pub levels: Vec<LevelStats>,
+    /// Total nodes.
+    pub nodes: usize,
+    /// Mean leaf fill factor.
+    pub leaf_fill: f64,
+}
+
+impl<const N: usize, T> RTree<N, T> {
+    /// Computes structural statistics.
+    pub fn stats(&self) -> TreeStats {
+        let mut per_level: Vec<(usize, usize, f64)> = Vec::new(); // nodes, entries, overlap
+        collect(&self.root, 0, &mut per_level);
+        let levels: Vec<LevelStats> = per_level
+            .iter()
+            .map(|&(nodes, entries, sibling_overlap)| LevelStats {
+                nodes,
+                entries,
+                fill: entries as f64 / (nodes as f64 * self.config.max_entries as f64),
+                sibling_overlap,
+            })
+            .collect();
+        let nodes = levels.iter().map(|l| l.nodes).sum();
+        let leaf_fill = levels.last().map(|l| l.fill).unwrap_or(0.0);
+        TreeStats {
+            levels,
+            nodes,
+            leaf_fill,
+        }
+    }
+}
+
+fn collect<const N: usize, T>(
+    node: &Node<N, T>,
+    level: usize,
+    out: &mut Vec<(usize, usize, f64)>,
+) {
+    if out.len() <= level {
+        out.push((0, 0, 0.0));
+    }
+    out[level].0 += 1;
+    out[level].1 += node.entry_count();
+    if let Node::Internal { entries } = node {
+        // Pairwise overlap between this node's children.
+        let mut overlap = 0.0;
+        for i in 0..entries.len() {
+            for j in (i + 1)..entries.len() {
+                overlap += entries[i].rect.overlap_volume(&entries[j].rect);
+            }
+        }
+        out[level].2 += overlap;
+        for e in entries {
+            collect(&e.child, level + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{RTree, RTreeConfig, Variant};
+    use mar_geom::{Point2, Rect2};
+
+    fn scatter(n: usize) -> Vec<(Rect2, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = ((i * 37) % 1000) as f64 * 0.1;
+                let y = ((i * 61) % 1000) as f64 * 0.1;
+                (Rect2::point(Point2::new([x, y])), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn stats_counts_match_tree() {
+        let t = RTree::bulk_load(RTreeConfig::paper(), scatter(2000));
+        let s = t.stats();
+        assert_eq!(s.nodes, t.node_count());
+        assert_eq!(s.levels.len(), t.height());
+        // Leaf entries sum to the item count.
+        assert_eq!(s.levels.last().unwrap().entries, t.len());
+        // Every internal level's entries equal the next level's node count.
+        for w in s.levels.windows(2) {
+            assert_eq!(w[0].entries, w[1].nodes);
+        }
+    }
+
+    #[test]
+    fn bulk_load_fill_beats_min_fraction() {
+        let t = RTree::bulk_load(RTreeConfig::paper(), scatter(5000));
+        let s = t.stats();
+        // STR packs leaves near-full.
+        assert!(s.leaf_fill > 0.8, "leaf fill {}", s.leaf_fill);
+    }
+
+    #[test]
+    fn incremental_fill_within_legal_bounds() {
+        let mut t: RTree<2, usize> = RTree::new(RTreeConfig::new(10, Variant::RStar));
+        for (r, i) in scatter(2000) {
+            t.insert(r, i);
+        }
+        let s = t.stats();
+        // Non-root fill can never drop below m/M.
+        let min_fill = t.config().min_entries as f64 / t.config().max_entries as f64;
+        for (lvl, l) in s.levels.iter().enumerate().skip(1) {
+            assert!(
+                l.fill >= min_fill - 1e-9,
+                "level {lvl} fill {} below {min_fill}",
+                l.fill
+            );
+        }
+    }
+
+    #[test]
+    fn rstar_overlap_not_worse_than_guttman() {
+        // The R* split minimises sibling overlap; across a sizeable build
+        // it should not lose to the quadratic split.
+        let items = scatter(3000);
+        let mut g: RTree<2, usize> = RTree::new(RTreeConfig::new(10, Variant::Guttman));
+        let mut r: RTree<2, usize> = RTree::new(RTreeConfig::new(10, Variant::RStar));
+        for (rect, i) in items {
+            g.insert(rect, i);
+            r.insert(rect, i);
+        }
+        let og: f64 = g.stats().levels.iter().map(|l| l.sibling_overlap).sum();
+        let or: f64 = r.stats().levels.iter().map(|l| l.sibling_overlap).sum();
+        assert!(
+            or <= og * 1.1,
+            "R* overlap {or} should not exceed Guttman {og} by >10%"
+        );
+    }
+
+    #[test]
+    fn empty_tree_stats() {
+        let t: RTree<2, u8> = RTree::new(RTreeConfig::paper());
+        let s = t.stats();
+        assert_eq!(s.nodes, 1);
+        assert_eq!(s.leaf_fill, 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! Query-frame streams: the client's view window, one per tick.
+
+use crate::tour::Tour;
+use mar_geom::{Point2, Rect2};
+
+/// The query frame for a client at `pos`: a window whose width/height are
+/// `frac` of the data space's width/height (the paper's 5–20 %), clamped so
+/// the whole frame stays inside the space (the view cannot see beyond the
+/// city).
+pub fn frame_at(space: &Rect2, pos: &Point2, frac: f64) -> Rect2 {
+    assert!(frac > 0.0 && frac <= 1.0, "frame fraction out of range");
+    let w = space.extent(0) * frac;
+    let h = space.extent(1) * frac;
+    let cx = pos[0].clamp(space.lo[0] + w / 2.0, space.hi[0] - w / 2.0);
+    let cy = pos[1].clamp(space.lo[1] + h / 2.0, space.hi[1] - h / 2.0);
+    Rect2::centered(Point2::new([cx, cy]), [w / 2.0, h / 2.0])
+}
+
+/// A tour plus frame size: yields `(tick, frame, speed)` triples.
+#[derive(Debug, Clone)]
+pub struct FrameStream<'a> {
+    tour: &'a Tour,
+    space: Rect2,
+    frac: f64,
+}
+
+impl<'a> FrameStream<'a> {
+    /// Creates the stream.
+    pub fn new(tour: &'a Tour, space: Rect2, frac: f64) -> Self {
+        assert!(frac > 0.0 && frac <= 1.0);
+        Self { tour, space, frac }
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.tour.len()
+    }
+
+    /// True when the underlying tour is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tour.is_empty()
+    }
+
+    /// Iterates `(tick, frame, normalised speed, position)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, Rect2, f64, Point2)> + '_ {
+        self.tour.samples.iter().map(move |s| {
+            (
+                s.tick,
+                frame_at(&self.space, &s.pos, self.frac),
+                s.speed,
+                s.pos,
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_space;
+    use crate::tour::{tram_tour, TourConfig};
+
+    #[test]
+    fn frame_size_is_fraction_of_space() {
+        let space = paper_space();
+        let f = frame_at(&space, &Point2::new([500.0, 500.0]), 0.1);
+        assert!((f.extent(0) - 100.0).abs() < 1e-9);
+        assert!((f.extent(1) - 100.0).abs() < 1e-9);
+        assert_eq!(f.center(), Point2::new([500.0, 500.0]));
+    }
+
+    #[test]
+    fn frames_clamp_at_the_edge() {
+        let space = paper_space();
+        let f = frame_at(&space, &Point2::new([5.0, 995.0]), 0.2);
+        assert!(space.contains_rect(&f));
+        assert!((f.extent(0) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stream_covers_whole_tour_inside_space() {
+        let space = paper_space();
+        let tour = tram_tour(&TourConfig::new(space, 200, 3, 0.7));
+        let stream = FrameStream::new(&tour, space, 0.15);
+        assert_eq!(stream.len(), 200);
+        for (tick, frame, speed, pos) in stream.iter() {
+            assert!(tick < 200);
+            assert!(space.contains_rect(&frame));
+            assert!((0.0..=1.0).contains(&speed));
+            assert!(frame.contains_point(&pos) || !space.contains_point(&pos));
+        }
+    }
+
+    #[test]
+    fn bigger_fraction_bigger_frames() {
+        let space = paper_space();
+        let p = Point2::new([500.0, 500.0]);
+        assert!(frame_at(&space, &p, 0.2).volume() > frame_at(&space, &p, 0.05).volume());
+    }
+}

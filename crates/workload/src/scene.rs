@@ -1,0 +1,294 @@
+//! Scene (dataset) generation: N multiresolution objects placed over the
+//! data space, uniformly or Zipfian, sized to a target number of megabytes.
+
+use crate::paper_space;
+use mar_geom::{Point2, Point3, Rect2, Rect3};
+use mar_mesh::generate::{generate, ObjectKind, ObjectParams};
+use mar_mesh::{SizeModel, WaveletMesh};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// How object centres are distributed over the space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Placement {
+    /// Uniformly at random (the default of §VII-A).
+    Uniform,
+    /// Zipfian: objects cluster around hotspots whose popularity follows a
+    /// Zipf distribution with the given skew `theta` (Figs. 15).
+    Zipf {
+        /// Skew parameter (≈ 0.8 is the classic choice).
+        theta: f64,
+    },
+}
+
+/// Scene parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SceneConfig {
+    /// The (2-D) city data space.
+    pub space: Rect2,
+    /// Number of objects (paper: 100–400).
+    pub object_count: usize,
+    /// Subdivision levels per object.
+    pub levels: usize,
+    /// Target total dataset size in bytes (paper: 20–80 MB). The size
+    /// model's bytes-per-coefficient is fitted so the full-resolution scene
+    /// hits this exactly.
+    pub target_bytes: f64,
+    /// Placement distribution.
+    pub placement: Placement,
+    /// Seed for placement and object geometry.
+    pub seed: u64,
+    /// World-space half-extent of each object.
+    pub object_radius: f64,
+}
+
+impl SceneConfig {
+    /// The paper's configuration for a given object count: 0.2 MB/object
+    /// (100 → 20 MB … 400 → 80 MB), uniform placement, level-4 objects
+    /// (1020 coefficients each) over the 1000×1000 space.
+    pub fn paper(object_count: usize, seed: u64) -> Self {
+        Self {
+            space: paper_space(),
+            object_count,
+            levels: 4,
+            target_bytes: object_count as f64 * 0.2 * 1024.0 * 1024.0,
+            placement: Placement::Uniform,
+            seed,
+            object_radius: 14.0,
+        }
+    }
+}
+
+/// One placed object.
+#[derive(Debug, Clone)]
+pub struct SceneObject {
+    /// Scene-unique id.
+    pub id: u32,
+    /// The object's multiresolution mesh, already placed in world space.
+    pub mesh: WaveletMesh,
+}
+
+impl SceneObject {
+    /// Ground-plane footprint of the object.
+    pub fn footprint(&self) -> Rect2 {
+        let bb: Rect3 = self.mesh.bounding_box();
+        Rect2::from_corners(
+            Point2::new([bb.lo[0], bb.lo[1]]),
+            Point2::new([bb.hi[0], bb.hi[1]]),
+        )
+    }
+}
+
+/// A complete dataset.
+#[derive(Debug, Clone)]
+pub struct Scene {
+    /// The generating configuration.
+    pub config: SceneConfig,
+    /// All objects.
+    pub objects: Vec<SceneObject>,
+    /// Wire-size model fitted to `config.target_bytes`.
+    pub size_model: SizeModel,
+}
+
+impl Scene {
+    /// Generates the scene deterministically from its config.
+    pub fn generate(config: SceneConfig) -> Self {
+        assert!(config.object_count > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5EED_0003);
+        let centers = place_centers(&config, &mut rng);
+        let mut objects = Vec::with_capacity(config.object_count);
+        for (i, c) in centers.into_iter().enumerate() {
+            let kind = match rng.gen_range(0..10u8) {
+                0..=5 => ObjectKind::Building,
+                6..=8 => ObjectKind::BumpySphere,
+                _ => ObjectKind::Terrain,
+            };
+            let params = ObjectParams {
+                kind,
+                levels: config.levels,
+                seed: config.seed.wrapping_mul(31).wrapping_add(i as u64),
+                center: Point3::new([c[0], c[1], config.object_radius]),
+                radius: config.object_radius,
+                detail: 0.15,
+            };
+            objects.push(SceneObject {
+                id: i as u32,
+                mesh: generate(&params),
+            });
+        }
+        let total_coeffs: usize = objects.iter().map(|o| o.mesh.coeffs.len()).sum();
+        let total_base: usize = objects
+            .iter()
+            .map(|o| o.mesh.hierarchy.base.vertices.len())
+            .sum();
+        let size_model = SizeModel::fitted(config.target_bytes, total_coeffs, total_base);
+        Self {
+            config,
+            objects,
+            size_model,
+        }
+    }
+
+    /// Total full-resolution size of the scene in bytes.
+    pub fn total_bytes(&self) -> f64 {
+        self.objects
+            .iter()
+            .map(|o| self.size_model.object_bytes(&o.mesh))
+            .sum()
+    }
+
+    /// Total number of wavelet coefficients across all objects.
+    pub fn total_coeffs(&self) -> usize {
+        self.objects.iter().map(|o| o.mesh.coeffs.len()).sum()
+    }
+}
+
+/// Draws object centres per the configured placement, inset so whole
+/// objects stay inside the space.
+fn place_centers(config: &SceneConfig, rng: &mut StdRng) -> Vec<Point2> {
+    // Buildings stretch up to ~1.7x the nominal radius vertically and carry
+    // facade noise, so inset by a conservative multiple to keep every
+    // footprint fully inside the space.
+    let r = config.object_radius * 2.2;
+    let lo = [config.space.lo[0] + r, config.space.lo[1] + r];
+    let hi = [config.space.hi[0] - r, config.space.hi[1] - r];
+    match config.placement {
+        Placement::Uniform => (0..config.object_count)
+            .map(|_| Point2::new([rng.gen_range(lo[0]..hi[0]), rng.gen_range(lo[1]..hi[1])]))
+            .collect(),
+        Placement::Zipf { theta } => {
+            // Hotspot model: H cluster centres; object i joins cluster k
+            // with probability ∝ 1/(k+1)^theta, offset by a gaussian-ish
+            // spread around the hotspot.
+            let hotspots = 8usize;
+            let centers: Vec<Point2> = (0..hotspots)
+                .map(|_| Point2::new([rng.gen_range(lo[0]..hi[0]), rng.gen_range(lo[1]..hi[1])]))
+                .collect();
+            let weights: Vec<f64> = (0..hotspots)
+                .map(|k| 1.0 / ((k + 1) as f64).powf(theta))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            let spread = (hi[0] - lo[0]).min(hi[1] - lo[1]) * 0.08;
+            (0..config.object_count)
+                .map(|_| {
+                    let mut pick = rng.gen::<f64>() * total;
+                    let mut k = 0;
+                    for (i, w) in weights.iter().enumerate() {
+                        if pick < *w {
+                            k = i;
+                            break;
+                        }
+                        pick -= w;
+                        k = i;
+                    }
+                    let g = |rng: &mut StdRng| {
+                        (rng.gen::<f64>() + rng.gen::<f64>() + rng.gen::<f64>() - 1.5) * spread
+                    };
+                    let c = centers[k];
+                    Point2::new([
+                        (c[0] + g(rng)).clamp(lo[0], hi[0]),
+                        (c[1] + g(rng)).clamp(lo[1], hi[1]),
+                    ])
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(placement: Placement) -> SceneConfig {
+        SceneConfig {
+            object_count: 20,
+            levels: 3,
+            target_bytes: 4.0 * 1024.0 * 1024.0,
+            placement,
+            seed: 7,
+            ..SceneConfig::paper(20, 7)
+        }
+    }
+
+    #[test]
+    fn scene_is_deterministic() {
+        let a = Scene::generate(small(Placement::Uniform));
+        let b = Scene::generate(small(Placement::Uniform));
+        assert_eq!(a.objects.len(), b.objects.len());
+        for (x, y) in a.objects.iter().zip(&b.objects) {
+            assert_eq!(x.mesh.final_positions, y.mesh.final_positions);
+        }
+    }
+
+    #[test]
+    fn scene_hits_target_bytes() {
+        let s = Scene::generate(small(Placement::Uniform));
+        let got = s.total_bytes();
+        let want = s.config.target_bytes;
+        assert!(
+            (got - want).abs() / want < 0.01,
+            "scene bytes {got} vs target {want}"
+        );
+    }
+
+    #[test]
+    fn objects_inside_space() {
+        for placement in [Placement::Uniform, Placement::Zipf { theta: 0.8 }] {
+            let s = Scene::generate(small(placement));
+            for o in &s.objects {
+                let fp = o.footprint();
+                assert!(
+                    s.config.space.contains_rect(&fp),
+                    "object {} footprint {fp:?} escapes space",
+                    o.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_more_clustered_than_uniform() {
+        // Mean nearest-neighbour distance shrinks under clustering.
+        let nn = |s: &Scene| {
+            let centers: Vec<Point2> = s.objects.iter().map(|o| o.footprint().center()).collect();
+            let mut total = 0.0;
+            for (i, a) in centers.iter().enumerate() {
+                let mut best = f64::INFINITY;
+                for (j, b) in centers.iter().enumerate() {
+                    if i != j {
+                        best = best.min(a.distance(b));
+                    }
+                }
+                total += best;
+            }
+            total / centers.len() as f64
+        };
+        let mut uni = 0.0;
+        let mut zipf = 0.0;
+        for seed in 0..3 {
+            let mut cu = small(Placement::Uniform);
+            cu.seed = seed;
+            let mut cz = small(Placement::Zipf { theta: 0.8 });
+            cz.seed = seed;
+            uni += nn(&Scene::generate(cu));
+            zipf += nn(&Scene::generate(cz));
+        }
+        assert!(zipf < uni, "zipf nn {zipf} must beat uniform nn {uni}");
+    }
+
+    #[test]
+    fn paper_config_scales() {
+        let c100 = SceneConfig::paper(100, 1);
+        let c400 = SceneConfig::paper(400, 1);
+        assert!((c100.target_bytes - 20.0 * 1024.0 * 1024.0).abs() < 1.0);
+        assert!((c400.target_bytes - 80.0 * 1024.0 * 1024.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let s = Scene::generate(small(Placement::Uniform));
+        for (i, o) in s.objects.iter().enumerate() {
+            assert_eq!(o.id as usize, i);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Tour trace import/export.
+//!
+//! The paper ran on recorded head-movement traces of real tourists. This
+//! module lets a deployment do the same: a [`Tour`] round-trips through a
+//! plain-text trace format (`tick,x,y,speed` CSV with a `#`-comment
+//! header), so captured GPS/IMU logs can be replayed through every
+//! experiment in place of the synthetic generators.
+//!
+//! The format is deliberately serde-free: four columns, one sample per
+//! line, everything else is a parse error with a line number.
+
+use crate::tour::{Tour, TourKind, TourSample};
+use mar_geom::Point2;
+
+/// Errors from [`parse_trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// A line did not have exactly four comma-separated fields.
+    BadArity {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as a number.
+    BadNumber {
+        /// 1-based line number.
+        line: usize,
+        /// Field index (0 = tick).
+        field: usize,
+    },
+    /// Ticks were not consecutive from zero.
+    BadTick {
+        /// 1-based line number.
+        line: usize,
+        /// The tick found.
+        found: usize,
+        /// The tick expected.
+        expected: usize,
+    },
+    /// A speed was outside `[0, 1]` or not finite.
+    BadSpeed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The trace held no samples.
+    Empty,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadArity { line } => write!(f, "line {line}: expected 4 fields"),
+            TraceError::BadNumber { line, field } => {
+                write!(f, "line {line}: field {field} is not a number")
+            }
+            TraceError::BadTick {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: tick {found}, expected {expected}"),
+            TraceError::BadSpeed { line } => {
+                write!(f, "line {line}: speed outside [0, 1]")
+            }
+            TraceError::Empty => write!(f, "trace holds no samples"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serialises a tour to the trace format.
+pub fn format_trace(tour: &Tour) -> String {
+    let mut out = String::with_capacity(tour.len() * 32 + 64);
+    out.push_str(&format!(
+        "# mar tour trace; kind={:?}; max_step={}\n",
+        tour.kind, tour.max_step
+    ));
+    out.push_str("# tick,x,y,speed\n");
+    for s in &tour.samples {
+        out.push_str(&format!("{},{},{},{}\n", s.tick, s.pos[0], s.pos[1], s.speed));
+    }
+    out
+}
+
+/// Parses a trace. `kind` and `max_step` describe the capture (they are
+/// not stored per-sample); comment lines start with `#`.
+pub fn parse_trace(text: &str, kind: TourKind, max_step: f64) -> Result<Tour, TraceError> {
+    assert!(max_step > 0.0, "max_step must be positive");
+    let mut samples = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != 4 {
+            return Err(TraceError::BadArity { line });
+        }
+        let tick: usize = fields[0]
+            .trim()
+            .parse()
+            .map_err(|_| TraceError::BadNumber { line, field: 0 })?;
+        let mut nums = [0.0f64; 3];
+        for (i, f) in fields[1..].iter().enumerate() {
+            nums[i] = f
+                .trim()
+                .parse()
+                .map_err(|_| TraceError::BadNumber { line, field: i + 1 })?;
+        }
+        let expected = samples.len();
+        if tick != expected {
+            return Err(TraceError::BadTick {
+                line,
+                found: tick,
+                expected,
+            });
+        }
+        let speed = nums[2];
+        if !(0.0..=1.0).contains(&speed) || !speed.is_finite() {
+            return Err(TraceError::BadSpeed { line });
+        }
+        samples.push(TourSample {
+            tick,
+            pos: Point2::new([nums[0], nums[1]]),
+            speed,
+        });
+    }
+    if samples.is_empty() {
+        return Err(TraceError::Empty);
+    }
+    Ok(Tour {
+        kind,
+        samples,
+        max_step,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_space;
+    use crate::tour::{tram_tour, TourConfig};
+
+    #[test]
+    fn round_trip_preserves_tour() {
+        let tour = tram_tour(&TourConfig::new(paper_space(), 120, 9, 0.6));
+        let text = format_trace(&tour);
+        let back = parse_trace(&text, tour.kind, tour.max_step).unwrap();
+        assert_eq!(back, tour);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n0,1.0,2.0,0.5\n# mid comment\n1,2.0,3.0,0.6\n";
+        let t = parse_trace(text, TourKind::Pedestrian, 10.0).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.samples[1].pos, Point2::new([2.0, 3.0]));
+    }
+
+    #[test]
+    fn arity_error_reports_line() {
+        let text = "0,1.0,2.0,0.5\n1,2.0,3.0\n";
+        assert_eq!(
+            parse_trace(text, TourKind::Tram, 10.0),
+            Err(TraceError::BadArity { line: 2 })
+        );
+    }
+
+    #[test]
+    fn number_error_reports_field() {
+        let text = "0,1.0,zzz,0.5\n";
+        assert_eq!(
+            parse_trace(text, TourKind::Tram, 10.0),
+            Err(TraceError::BadNumber { line: 1, field: 2 })
+        );
+    }
+
+    #[test]
+    fn nonconsecutive_ticks_rejected() {
+        let text = "0,1.0,2.0,0.5\n5,2.0,3.0,0.5\n";
+        assert_eq!(
+            parse_trace(text, TourKind::Tram, 10.0),
+            Err(TraceError::BadTick {
+                line: 2,
+                found: 5,
+                expected: 1
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_speed_rejected() {
+        let text = "0,1.0,2.0,1.5\n";
+        assert_eq!(
+            parse_trace(text, TourKind::Tram, 10.0),
+            Err(TraceError::BadSpeed { line: 1 })
+        );
+    }
+
+    #[test]
+    fn empty_trace_rejected() {
+        assert_eq!(
+            parse_trace("# only comments\n", TourKind::Tram, 10.0),
+            Err(TraceError::Empty)
+        );
+    }
+
+    #[test]
+    fn parsed_trace_drives_experiments() {
+        // A hand-written trace is a first-class Tour.
+        let text = "0,100,500,0.0\n1,110,500,0.47\n2,121,500,0.52\n3,133,500,0.57\n";
+        let t = parse_trace(text, TourKind::Pedestrian, 21.2).unwrap();
+        assert_eq!(t.len(), 4);
+        assert!(t.mean_speed() > 0.3);
+        assert!(t.distance() > 30.0);
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = TraceError::BadTick {
+            line: 7,
+            found: 9,
+            expected: 6,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line 7") && msg.contains('9') && msg.contains('6'));
+    }
+}

@@ -1,0 +1,61 @@
+//! The paper's headline scenario (§VII-E): an augmented-reality city tour
+//! comparing the motion-aware system against the naive full-resolution
+//! system at several speeds, on tram and on foot.
+//!
+//! Run: `cargo run -p mar-examples --release --example city_tour`
+
+use mar_buffer::MotionAwarePrefetcher;
+use mar_core::system::{run_motion_aware_system, run_naive_system, SystemConfig};
+use mar_core::Server;
+use mar_workload::{paper_space, pedestrian_tour, tram_tour, Scene, SceneConfig, TourConfig};
+
+fn main() {
+    let mut cfg = SceneConfig::paper(80, 3);
+    cfg.levels = 3;
+    cfg.target_bytes = 16.0 * 1024.0 * 1024.0;
+    let scene = Scene::generate(cfg);
+    let sys_cfg = SystemConfig {
+        frame_frac: 0.05,
+        ..Default::default()
+    };
+    println!(
+        "city: {} objects, {:.0} MB; link {} Kbps / {} ms",
+        scene.objects.len(),
+        scene.total_bytes() / (1024.0 * 1024.0),
+        sys_cfg.link.bandwidth_bps / 1000.0,
+        sys_cfg.link.latency_s * 1000.0,
+    );
+    println!("\nmean query response time (seconds), 300-tick tours:\n");
+    println!("speed   mode  motion-aware      naive   speedup");
+    for &speed in &[0.1, 0.5, 1.0] {
+        for (label, tour) in [
+            (
+                "tram",
+                tram_tour(&TourConfig::new(paper_space(), 300, 11, speed)),
+            ),
+            (
+                "walk",
+                pedestrian_tour(&TourConfig::new(paper_space(), 300, 11, speed)),
+            ),
+        ] {
+            let mut server = Server::new(&scene);
+            let mut p = MotionAwarePrefetcher::new(4);
+            let ma = run_motion_aware_system(&mut server, &scene, &tour, &mut p, &sys_cfg);
+            let nv = run_naive_system(&server, &scene, &tour, &sys_cfg);
+            let speedup = if ma.mean_response() > 0.0 {
+                nv.mean_response() / ma.mean_response()
+            } else {
+                f64::INFINITY
+            };
+            println!(
+                "{speed:>5.2}  {label:>5}  {:>12.3}  {:>9.3}  {speedup:>7.1}x",
+                ma.mean_response(),
+                nv.mean_response(),
+            );
+        }
+    }
+    println!("\nthe naive system degrades as speed grows (more full-resolution");
+    println!("objects swept per second over a degrading link); the motion-aware");
+    println!("system holds steady by retrieving coarser data and prefetching");
+    println!("along the predicted path.");
+}

@@ -1,0 +1,71 @@
+//! Progressive streaming into a client-side decoder.
+//!
+//! Shows the full §III–§IV loop the way a renderer would drive it: the
+//! client looks at a building through a directional view frustum, the
+//! server streams coefficient bands as the client slows down, and a
+//! [`mar_mesh::ProgressiveDecoder`] integrates every batch incrementally —
+//! the mesh on screen sharpens with each round trip, and the error curve
+//! quantifies it.
+//!
+//! Run: `cargo run -p mar-examples --release --example progressive_streaming`
+
+use mar_geom::{Frustum, Point2};
+use mar_link::LinkConfig;
+use mar_mesh::{ProgressiveDecoder, ResolutionBand};
+use mar_workload::{Scene, SceneConfig};
+
+fn main() {
+    // One landmark building in the scene.
+    let mut cfg = SceneConfig::paper(8, 77);
+    cfg.levels = 4;
+    cfg.target_bytes = 2.0 * 1024.0 * 1024.0;
+    let scene = Scene::generate(cfg);
+    let obj = &scene.objects[0].mesh;
+    let footprint = scene.objects[0].footprint();
+    println!(
+        "landmark at ({:.0},{:.0}): {} coefficients, {:.0} KB at full resolution\n",
+        footprint.center()[0],
+        footprint.center()[1],
+        obj.coeffs.len(),
+        scene.size_model.object_bytes(obj) / 1024.0,
+    );
+
+    // The client stands south of it, looking north.
+    let apex = Point2::new([footprint.center()[0], footprint.lo[1] - 50.0]);
+    let view = Frustum::new(apex, std::f64::consts::FRAC_PI_2, 1.2, 200.0);
+    assert!(view.intersects_rect(&footprint), "the landmark is in view");
+
+    // Stream bands coarse→fine, as the speed-to-resolution map would emit
+    // while the client decelerates; decode incrementally.
+    let link = LinkConfig::paper();
+    let mut decoder = ProgressiveDecoder::new(obj.hierarchy.clone());
+    let mut elapsed = 0.0;
+    println!("band            coeffs   batch_KB   cum_time_s   rms_error");
+    let bands = [
+        ("w in [0.50,1.00]", ResolutionBand::new(0.5, 1.0)),
+        ("w in [0.25,0.50)", ResolutionBand::new(0.25, 0.4999999)),
+        ("w in [0.10,0.25)", ResolutionBand::new(0.1, 0.2499999)),
+        ("w in [0.00,0.10)", ResolutionBand::new(0.0, 0.0999999)),
+    ];
+    for (label, band) in bands {
+        let batch: Vec<_> = obj.coeffs.iter().filter(|c| band.contains(c.w)).collect();
+        let bytes = scene.size_model.coeff_count_bytes(batch.len());
+        elapsed += link.request_time(bytes, 0.0);
+        decoder.apply_batch(batch.iter().copied());
+        println!(
+            "{label}   {:>6}   {:>8.1}   {:>10.2}   {:>9.5}",
+            decoder.received_count(),
+            bytes / 1024.0,
+            elapsed,
+            decoder.rms_error_against(obj),
+        );
+    }
+    println!("\nthe first band carries the structure (error drops fastest per");
+    println!(
+        "byte); the last carries {}% of the coefficients but only the",
+        (100.0 * obj.count_in_band(ResolutionBand::new(0.0, 0.0999999)) as f64
+            / obj.coeffs.len() as f64) as u32
+    );
+    println!("final polish — exactly the §III argument for magnitude-ordered");
+    println!("selective transmission.");
+}

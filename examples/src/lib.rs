@@ -1,0 +1,1 @@
+//! Workspace examples; see the example targets.

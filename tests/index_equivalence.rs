@@ -1,0 +1,128 @@
+//! The wavelet support-region index must agree exactly with a brute-force
+//! scan for every window and band, and must dominate the naive point index
+//! on I/O — property-tested over random scenes and queries.
+
+use mar_core::{NaivePointIndex, SceneIndexData, WaveletIndex};
+use mar_geom::{Point2, Rect2};
+use mar_mesh::ResolutionBand;
+use mar_workload::{Scene, SceneConfig};
+use proptest::prelude::*;
+
+fn data(seed: u64, objects: usize) -> SceneIndexData {
+    let mut cfg = SceneConfig::paper(objects, seed);
+    cfg.levels = 2;
+    cfg.target_bytes = 500_000.0;
+    SceneIndexData::build(&Scene::generate(cfg))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn support_index_matches_bruteforce(
+        seed in 0u64..50,
+        qx in 0.0f64..800.0,
+        qy in 0.0f64..800.0,
+        qw in 10.0f64..250.0,
+        wmin in 0.0f64..1.0,
+    ) {
+        let d = data(seed, 6);
+        let idx = WaveletIndex::build(&d);
+        idx.validate().expect("valid tree");
+        let window = Rect2::new(Point2::new([qx, qy]), Point2::new([qx + qw, qy + qw]));
+        let band = ResolutionBand::new(wmin, 1.0);
+        let (mut got, io) = idx.query(&window, band);
+        prop_assert!(io >= 1);
+        got.sort_unstable();
+        let mut expect: Vec<_> = d
+            .records
+            .iter()
+            .filter(|r| r.support_xy.intersects(&window) && band.contains(r.w))
+            .map(|r| r.id)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn naive_index_never_loses_in_window_vertices(
+        seed in 0u64..50,
+        qx in 0.0f64..800.0,
+        qy in 0.0f64..800.0,
+        qw in 50.0f64..300.0,
+    ) {
+        let d = data(seed, 6);
+        let idx = NaivePointIndex::build(&d);
+        let window = Rect2::new(Point2::new([qx, qy]), Point2::new([qx + qw, qy + qw]));
+        let (got, _) = idx.query(&window, ResolutionBand::FULL);
+        for r in &d.records {
+            if window.contains_point(&r.vertex_xy) {
+                prop_assert!(got.contains(&r.id), "naive lost {:?}", r.id);
+            }
+        }
+    }
+}
+
+#[test]
+fn support_index_io_dominates_naive_on_average() {
+    let d = data(7, 10);
+    let good = WaveletIndex::build(&d);
+    let naive = NaivePointIndex::build(&d);
+    let mut io_g = 0u64;
+    let mut io_n = 0u64;
+    let mut windows = 0;
+    for i in 0..40 {
+        let x = (i * 97 % 800) as f64;
+        let y = (i * 53 % 800) as f64;
+        let w = Rect2::new(Point2::new([x, y]), Point2::new([x + 150.0, y + 150.0]));
+        for band in [ResolutionBand::FULL, ResolutionBand::new(0.5, 1.0)] {
+            io_g += good.query(&w, band).1;
+            io_n += naive.query(&w, band).1;
+            windows += 1;
+        }
+    }
+    assert!(windows > 0);
+    assert!(
+        io_g < io_n,
+        "support index {io_g} accesses must beat naive {io_n}"
+    );
+}
+
+#[test]
+fn band_io_decreases_as_band_narrows() {
+    // §VII-D: fast clients (narrow bands) need ~an order of magnitude less
+    // I/O than slow ones.
+    let mut cfg = SceneConfig::paper(12, 3);
+    cfg.levels = 3;
+    cfg.target_bytes = 1_000_000.0;
+    let d = SceneIndexData::build(&Scene::generate(cfg));
+    let idx = WaveletIndex::build(&d);
+    let w = Rect2::new(Point2::new([100.0, 100.0]), Point2::new([900.0, 900.0]));
+    let io_full = idx.query(&w, ResolutionBand::FULL).1;
+    let io_mid = idx.query(&w, ResolutionBand::new(0.5, 1.0)).1;
+    let io_top = idx.query(&w, ResolutionBand::new(0.9, 1.0)).1;
+    assert!(io_full > io_mid, "full {io_full} vs mid {io_mid}");
+    assert!(io_mid >= io_top, "mid {io_mid} vs top {io_top}");
+    assert!(
+        io_full as f64 >= 3.0 * io_top as f64,
+        "wide-to-narrow I/O ratio too small: {io_full} vs {io_top}"
+    );
+}
+
+#[test]
+fn minimality_every_returned_coefficient_contributes() {
+    // §VI-B: each returned coefficient's support intersects the window, so
+    // dropping it would lose detail inside the window.
+    let d = data(5, 6);
+    let idx = WaveletIndex::build(&d);
+    let w = Rect2::new(Point2::new([200.0, 200.0]), Point2::new([600.0, 600.0]));
+    let (hits, _) = idx.query(&w, ResolutionBand::FULL);
+    for id in hits {
+        let rec = d
+            .records
+            .iter()
+            .find(|r| r.id == id)
+            .expect("hit exists in records");
+        assert!(rec.support_xy.intersects(&w));
+    }
+}
