@@ -9,7 +9,13 @@
 //! * `abl_multires` — speed-scaled buffer resolutions on/off (§V final ¶).
 //! * `abl_smoothing` — raw vs smoothed speed→resolution mapping on
 //!   station-heavy tram tours.
+//!
+//! Like the figures, every ablation fans its sweep points through
+//! [`Engine::run`](crate::engine::Engine::run) and reassembles them in a
+//! fixed order, so serial and parallel runs agree byte-for-byte.
 
+use crate::engine::Engine;
+use crate::figs::mean;
 use crate::{Scale, Table};
 use mar_buffer::{AllocationStrategy, MotionAwarePrefetcher};
 use mar_core::bufsim::{run_buffer_sim, BufferSimConfig};
@@ -20,18 +26,16 @@ use mar_mesh::ResolutionBand;
 use mar_rtree::{RTree, RTreeConfig, Variant};
 use mar_workload::{frame_at, paper_space, tram_tour, Placement, TourConfig};
 
-fn mean(v: &[f64]) -> f64 {
-    if v.is_empty() {
-        0.0
-    } else {
-        v.iter().sum::<f64>() / v.len() as f64
-    }
-}
-
 /// Index ablation: average I/O per tram-tour query for four ways of
 /// building the same support-region index.
 pub fn abl_index(scale: &Scale) -> Table {
-    let scene = crate::figs::build_scene(scale, scale.objects_default, Placement::Uniform);
+    abl_index_with(&Engine::serial(), scale)
+}
+
+/// [`abl_index`] on an engine: the four index variants are built once and
+/// shared read-only; one sweep point per speed.
+pub fn abl_index_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
     let data = SceneIndexData::build(&scene);
     let build = |variant: Variant, bulk: bool| -> WaveletIndex {
         let cfg = RTreeConfig::new(20, variant);
@@ -52,28 +56,36 @@ pub fn abl_index(scale: &Scale) -> Table {
         ("guttman_bulk", build(Variant::Guttman, true)),
         ("guttman_insert", build(Variant::Guttman, false)),
     ];
+    let rows = engine.run(
+        scale.speeds.clone(),
+        || (),
+        |_, &speed| {
+            let tour = tram_tour(&TourConfig::new(
+                paper_space(),
+                scale.ticks,
+                scale.tour_seeds[0],
+                speed,
+            ));
+            variants
+                .iter()
+                .map(|(_, idx)| {
+                    let mut io = 0u64;
+                    for s in &tour.samples {
+                        let frame = frame_at(&paper_space(), &s.pos, 0.1);
+                        io += idx.query(&frame, ResolutionBand::new(s.speed, 1.0)).1;
+                    }
+                    io as f64 / tour.len() as f64
+                })
+                .collect::<Vec<f64>>()
+        },
+    );
     let mut t = Table::new(
         "abl_index",
         "index I/O per query: build strategy ablation",
         "speed",
         variants.iter().map(|(n, _)| n.to_string()).collect(),
     );
-    for &speed in &scale.speeds {
-        let tour = tram_tour(&TourConfig::new(
-            paper_space(),
-            scale.ticks,
-            scale.tour_seeds[0],
-            speed,
-        ));
-        let mut row = Vec::new();
-        for (_, idx) in &variants {
-            let mut io = 0u64;
-            for s in &tour.samples {
-                let frame = frame_at(&paper_space(), &s.pos, 0.1);
-                io += idx.query(&frame, ResolutionBand::new(s.speed, 1.0)).1;
-            }
-            row.push(io as f64 / tour.len() as f64);
-        }
+    for (&speed, row) in scale.speeds.iter().zip(rows) {
         t.push(speed, row);
     }
     t
@@ -81,183 +93,258 @@ pub fn abl_index(scale: &Scale) -> Table {
 
 /// Allocation ablation: hit rate under the three strategies.
 pub fn abl_alloc(scale: &Scale) -> Table {
-    let scene = crate::figs::build_scene(scale, scale.objects_default, Placement::Uniform);
+    abl_alloc_with(&Engine::serial(), scale)
+}
+
+/// [`abl_alloc`] on an engine: one point per (buffer size, strategy, seed).
+pub fn abl_alloc_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
     let strategies = [
         ("recursive_eq2", AllocationStrategy::Recursive),
         ("even_split", AllocationStrategy::Even),
         ("best_ordering", AllocationStrategy::BestOrdering),
     ];
+    let kbs = [16.0, 64.0];
+    let points: Vec<(f64, usize, u64)> = kbs
+        .iter()
+        .flat_map(|&kb| {
+            (0..strategies.len())
+                .flat_map(move |si| scale.tour_seeds.iter().map(move |&sd| (kb, si, sd)))
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(kb, si, seed)| {
+            let cfg = BufferSimConfig {
+                buffer_bytes: kb * 1024.0,
+                ..Default::default()
+            };
+            let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, 0.5));
+            let mut p = MotionAwarePrefetcher::with_strategy(4, strategies[si].1);
+            run_buffer_sim(server, &scene, &tour, &mut p, &cfg).hit_rate()
+        },
+    );
     let mut t = Table::new(
         "abl_alloc",
         "cache hit rate: buffer allocation strategy ablation",
         "buffer_kb",
         strategies.iter().map(|(n, _)| n.to_string()).collect(),
     );
-    for kb in [16.0, 64.0] {
-        let cfg = BufferSimConfig {
-            buffer_bytes: kb * 1024.0,
-            ..Default::default()
-        };
-        let mut row = Vec::new();
-        for (_, strat) in &strategies {
-            let mut hits = Vec::new();
-            for &seed in &scale.tour_seeds {
-                let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, 0.5));
-                let mut server = Server::new(&scene);
-                let mut p = MotionAwarePrefetcher::with_strategy(4, *strat);
-                hits.push(run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg).hit_rate());
-            }
-            row.push(mean(&hits));
-        }
-        t.push(kb, row);
+    let seeds = scale.tour_seeds.len();
+    let per_kb = strategies.len() * seeds;
+    for (i, &kb) in kbs.iter().enumerate() {
+        let chunk = &results[i * per_kb..(i + 1) * per_kb];
+        t.push(kb, chunk.chunks(seeds).map(mean).collect());
     }
     t
 }
 
 /// Sector-count ablation: hit rate for k ∈ {2, 4, 8, 16}.
 pub fn abl_sectors(scale: &Scale) -> Table {
-    let scene = crate::figs::build_scene(scale, scale.objects_default, Placement::Uniform);
+    abl_sectors_with(&Engine::serial(), scale)
+}
+
+/// [`abl_sectors`] on an engine: one point per (k, seed).
+pub fn abl_sectors_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
     let ks = [2usize, 4, 8, 16];
+    let cfg = BufferSimConfig {
+        buffer_bytes: 32.0 * 1024.0,
+        ..Default::default()
+    };
+    let points: Vec<(usize, u64)> = ks
+        .iter()
+        .flat_map(|&k| scale.tour_seeds.iter().map(move |&sd| (k, sd)))
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(k, seed)| {
+            let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, 0.5));
+            let mut p = MotionAwarePrefetcher::new(k);
+            let m = run_buffer_sim(server, &scene, &tour, &mut p, &cfg);
+            (m.hit_rate(), m.utilization())
+        },
+    );
     let mut t = Table::new(
         "abl_sectors",
         "cache hit rate vs number of direction sectors",
         "k",
         vec!["hit_rate".into(), "utilization".into()],
     );
-    let cfg = BufferSimConfig {
-        buffer_bytes: 32.0 * 1024.0,
-        ..Default::default()
-    };
-    for &k in &ks {
-        let mut hits = Vec::new();
-        let mut utils = Vec::new();
-        for &seed in &scale.tour_seeds {
-            let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, 0.5));
-            let mut server = Server::new(&scene);
-            let mut p = MotionAwarePrefetcher::new(k);
-            let m = run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg);
-            hits.push(m.hit_rate());
-            utils.push(m.utilization());
-        }
+    let seeds = scale.tour_seeds.len();
+    for (i, &k) in ks.iter().enumerate() {
+        let chunk = &results[i * seeds..(i + 1) * seeds];
+        let hits: Vec<f64> = chunk.iter().map(|r| r.0).collect();
+        let utils: Vec<f64> = chunk.iter().map(|r| r.1).collect();
         t.push(k as f64, vec![mean(&hits), mean(&utils)]);
+    }
+    t
+}
+
+/// Shared engine runner for the two-column on/off buffer ablations: for
+/// each speed, columns `[variant_a, variant_b]` where the variant flag
+/// feeds `cfg_of`; one point per (speed, variant, seed).
+fn on_off_buffer_ablation(
+    engine: &Engine,
+    scale: &Scale,
+    id: &'static str,
+    title: &'static str,
+    columns: [&str; 2],
+    cfg_of: impl Fn(bool) -> BufferSimConfig + Sync,
+) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
+    let points: Vec<(f64, bool, u64)> = scale
+        .speeds
+        .iter()
+        .flat_map(|&sp| {
+            [true, false]
+                .into_iter()
+                .flat_map(move |flag| scale.tour_seeds.iter().map(move |&sd| (sp, flag, sd)))
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(speed, flag, seed)| {
+            let cfg = cfg_of(flag);
+            let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
+            let mut p = MotionAwarePrefetcher::new(4);
+            run_buffer_sim(server, &scene, &tour, &mut p, &cfg).hit_rate()
+        },
+    );
+    let mut t = Table::new(
+        id,
+        title,
+        "speed",
+        columns.iter().map(|c| c.to_string()).collect(),
+    );
+    let seeds = scale.tour_seeds.len();
+    let per_speed = 2 * seeds;
+    for (i, &speed) in scale.speeds.iter().enumerate() {
+        let chunk = &results[i * per_speed..(i + 1) * per_speed];
+        t.push(speed, chunk.chunks(seeds).map(mean).collect());
     }
     t
 }
 
 /// Multiresolution-buffering ablation (§V final ¶) across speeds.
 pub fn abl_multires(scale: &Scale) -> Table {
-    let scene = crate::figs::build_scene(scale, scale.objects_default, Placement::Uniform);
-    let mut t = Table::new(
+    abl_multires_with(&Engine::serial(), scale)
+}
+
+/// [`abl_multires`] on an engine.
+pub fn abl_multires_with(engine: &Engine, scale: &Scale) -> Table {
+    on_off_buffer_ablation(
+        engine,
+        scale,
         "abl_multires",
         "cache hit rate: speed-scaled resolutions on/off (32 KB)",
-        "speed",
-        vec!["multires".into(), "full_res_only".into()],
-    );
-    for &speed in &scale.speeds {
-        let mut row = Vec::new();
-        for multires in [true, false] {
-            let cfg = BufferSimConfig {
-                buffer_bytes: 32.0 * 1024.0,
-                multires,
-                ..Default::default()
-            };
-            let mut hits = Vec::new();
-            for &seed in &scale.tour_seeds {
-                let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
-                let mut server = Server::new(&scene);
-                let mut p = MotionAwarePrefetcher::new(4);
-                hits.push(run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg).hit_rate());
-            }
-            row.push(mean(&hits));
-        }
-        t.push(speed, row);
-    }
-    t
+        ["multires", "full_res_only"],
+        |multires| BufferSimConfig {
+            buffer_bytes: 32.0 * 1024.0,
+            multires,
+            ..Default::default()
+        },
+    )
 }
 
 /// Speed-smoothing ablation: total KB retrieved per 1000 units on a
 /// station-heavy tram tour, with raw vs smoothed MapSpeedToResolution
 /// input.
 pub fn abl_smoothing(scale: &Scale) -> Table {
-    let scene = crate::figs::build_scene(scale, scale.objects_default, Placement::Uniform);
+    abl_smoothing_with(&Engine::serial(), scale)
+}
+
+/// [`abl_smoothing`] on an engine: one point per (speed, smoothed, seed).
+pub fn abl_smoothing_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
+    let points: Vec<(f64, bool, u64)> = scale
+        .speeds
+        .iter()
+        .flat_map(|&sp| {
+            [true, false]
+                .into_iter()
+                .flat_map(move |sm| scale.tour_seeds.iter().map(move |&sd| (sp, sm, sd)))
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(speed, smoothed, seed)| {
+            let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
+            let mut client = IncrementalClient::connect(server, LinearSpeedMap);
+            let mut smoother = SmoothedSpeed::default();
+            let mut first = 0.0;
+            for (i, s) in tour.samples.iter().enumerate() {
+                let sp = if smoothed {
+                    smoother.update(s.speed)
+                } else {
+                    s.speed
+                };
+                let frame = frame_at(&paper_space(), &s.pos, 0.1);
+                let r = client.tick(server, frame, sp);
+                if i == 0 {
+                    first = r.bytes;
+                }
+            }
+            let dist = tour.distance().max(1.0);
+            (client.metrics().bytes - first) / 1024.0 * 1000.0 / dist
+        },
+    );
     let mut t = Table::new(
         "abl_smoothing",
         "retrieval (KB/1000 units): raw vs smoothed speed mapping (tram)",
         "speed",
         vec!["smoothed_kb".into(), "raw_kb".into()],
     );
-    for &speed in &scale.speeds {
-        let mut row = Vec::new();
-        for smoothed in [true, false] {
-            let mut vals = Vec::new();
-            for &seed in &scale.tour_seeds {
-                let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
-                let mut server = Server::new(&scene);
-                let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
-                let mut smoother = SmoothedSpeed::default();
-                let mut first = 0.0;
-                for (i, s) in tour.samples.iter().enumerate() {
-                    let sp = if smoothed {
-                        smoother.update(s.speed)
-                    } else {
-                        s.speed
-                    };
-                    let frame = frame_at(&paper_space(), &s.pos, 0.1);
-                    let r = client.tick(&mut server, frame, sp);
-                    if i == 0 {
-                        first = r.bytes;
-                    }
-                }
-                let dist = tour.distance().max(1.0);
-                vals.push((client.metrics().bytes - first) / 1024.0 * 1000.0 / dist);
-            }
-            row.push(mean(&vals));
-        }
-        t.push(speed, row);
+    let seeds = scale.tour_seeds.len();
+    let per_speed = 2 * seeds;
+    for (i, &speed) in scale.speeds.iter().enumerate() {
+        let chunk = &results[i * per_speed..(i + 1) * per_speed];
+        t.push(speed, chunk.chunks(seeds).map(mean).collect());
     }
     t
-}
-
-/// Every ablation table.
-pub fn all_ablations(scale: &Scale) -> Vec<Table> {
-    vec![
-        abl_index(scale),
-        abl_alloc(scale),
-        abl_sectors(scale),
-        abl_multires(scale),
-        abl_smoothing(scale),
-        abl_direction(scale),
-    ]
 }
 
 /// Direction-estimator ablation: Kalman/RLS block probabilities vs the
 /// \[15\]-style empirical Markov direction model.
 pub fn abl_direction(scale: &Scale) -> Table {
-    let scene = crate::figs::build_scene(scale, scale.objects_default, Placement::Uniform);
-    let mut t = Table::new(
+    abl_direction_with(&Engine::serial(), scale)
+}
+
+/// [`abl_direction`] on an engine.
+pub fn abl_direction_with(engine: &Engine, scale: &Scale) -> Table {
+    // Column order is (kalman, markov) = (flag false, flag true), so the
+    // on/off runner's `[true, false]` order is inverted via the flag.
+    on_off_buffer_ablation(
+        engine,
+        scale,
         "abl_direction",
         "cache hit rate: Kalman/RLS vs Markov direction estimation (32 KB)",
-        "speed",
-        vec!["kalman_rls".into(), "markov".into()],
-    );
-    for &speed in &scale.speeds {
-        let mut row = Vec::new();
-        for markov in [false, true] {
-            let cfg = BufferSimConfig {
-                buffer_bytes: 32.0 * 1024.0,
-                markov_directions: markov,
-                ..Default::default()
-            };
-            let mut hits = Vec::new();
-            for &seed in &scale.tour_seeds {
-                let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
-                let mut server = Server::new(&scene);
-                let mut p = MotionAwarePrefetcher::new(4);
-                hits.push(run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg).hit_rate());
-            }
-            row.push(mean(&hits));
-        }
-        t.push(speed, row);
-    }
-    t
+        ["kalman_rls", "markov"],
+        |kalman_first| BufferSimConfig {
+            buffer_bytes: 32.0 * 1024.0,
+            markov_directions: !kalman_first,
+            ..Default::default()
+        },
+    )
+}
+
+/// Every ablation table on a serial engine.
+pub fn all_ablations(scale: &Scale) -> Vec<Table> {
+    all_ablations_with(&Engine::serial(), scale)
+}
+
+/// Every ablation table on the given engine.
+pub fn all_ablations_with(engine: &Engine, scale: &Scale) -> Vec<Table> {
+    vec![
+        abl_index_with(engine, scale),
+        abl_alloc_with(engine, scale),
+        abl_sectors_with(engine, scale),
+        abl_multires_with(engine, scale),
+        abl_smoothing_with(engine, scale),
+        abl_direction_with(engine, scale),
+    ]
 }

@@ -1,120 +1,312 @@
 //! Regenerates the paper's evaluation figures.
 //!
 //! ```text
-//! cargo run -p mar-bench --release --bin reproduce              # all, quick scale
-//! cargo run -p mar-bench --release --bin reproduce -- --paper   # full paper scale
+//! cargo run -p mar-bench --release --bin reproduce               # all, quick scale
+//! cargo run -p mar-bench --release --bin reproduce -- --paper    # full paper scale
 //! cargo run -p mar-bench --release --bin reproduce -- fig8 fig12
+//! cargo run -p mar-bench --release --bin reproduce -- --jobs 8   # 8 worker threads
+//! cargo run -p mar-bench --release --bin reproduce -- --serial   # force 1 worker
+//! cargo run -p mar-bench --release --bin reproduce -- --ablations
 //! ```
 //!
-//! Tables are printed to stdout and written as CSV to `results/`.
+//! Sweeps run on a deterministic parallel [`Engine`]: the worker count
+//! changes wall-clock time only, never the numbers (see DESIGN.md §6).
+//! Tables are printed to stdout and each is written to `results/<id>.csv`
+//! **as soon as it completes**, so a crash or interrupt in a later figure
+//! cannot lose earlier results.
+//!
+//! Positional arguments select experiments by exact table id (`fig9a`,
+//! `fig10b`, `abl_sectors`), experiment name (`fig10` = both of its
+//! tables), or group (`fig9`, `fig13`, `abl`). Unknown selectors are an
+//! error, not a silent no-op.
 
-use mar_bench::figs;
-use mar_bench::{Scale, Table};
-use std::io::Write;
+use mar_bench::engine::Engine;
+use mar_bench::{ablations, figs, Scale, Table};
+use mar_workload::Placement;
+use std::io::Write as _;
+
+/// One runnable unit: an experiment producing one or two tables.
+struct Experiment {
+    /// Experiment name (also a valid selector).
+    name: &'static str,
+    /// Table ids the experiment produces (each a valid selector).
+    ids: &'static [&'static str],
+    /// True for the ablation studies (excluded from the default run).
+    ablation: bool,
+    run: fn(&Engine, &Scale) -> Vec<Table>,
+}
+
+fn one(t: Table) -> Vec<Table> {
+    vec![t]
+}
+
+fn two((a, b): (Table, Table)) -> Vec<Table> {
+    vec![a, b]
+}
+
+const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        name: "fig8",
+        ids: &["fig8"],
+        ablation: false,
+        run: |e, s| one(figs::fig8_with(e, s)),
+    },
+    Experiment {
+        name: "fig9a",
+        ids: &["fig9a"],
+        ablation: false,
+        run: |e, s| one(figs::fig9a_with(e, s)),
+    },
+    Experiment {
+        name: "fig9b",
+        ids: &["fig9b"],
+        ablation: false,
+        run: |e, s| one(figs::fig9b_with(e, s)),
+    },
+    Experiment {
+        name: "fig10",
+        ids: &["fig10a", "fig10b"],
+        ablation: false,
+        run: |e, s| two(figs::fig10_with(e, s)),
+    },
+    Experiment {
+        name: "fig11",
+        ids: &["fig11a", "fig11b"],
+        ablation: false,
+        run: |e, s| two(figs::fig11_with(e, s)),
+    },
+    Experiment {
+        name: "fig12",
+        ids: &["fig12"],
+        ablation: false,
+        run: |e, s| one(figs::fig12_with(e, s)),
+    },
+    Experiment {
+        name: "fig13a",
+        ids: &["fig13a"],
+        ablation: false,
+        run: |e, s| one(figs::fig13a_with(e, s)),
+    },
+    Experiment {
+        name: "fig13b",
+        ids: &["fig13b"],
+        ablation: false,
+        run: |e, s| one(figs::fig13b_with(e, s)),
+    },
+    Experiment {
+        name: "fig14",
+        ids: &["fig14"],
+        ablation: false,
+        run: |e, s| one(figs::fig14_15_with(e, s, Placement::Uniform)),
+    },
+    Experiment {
+        name: "fig15",
+        ids: &["fig15"],
+        ablation: false,
+        run: |e, s| one(figs::fig14_15_with(e, s, Placement::Zipf { theta: 0.8 })),
+    },
+    Experiment {
+        name: "abl_index",
+        ids: &["abl_index"],
+        ablation: true,
+        run: |e, s| one(ablations::abl_index_with(e, s)),
+    },
+    Experiment {
+        name: "abl_alloc",
+        ids: &["abl_alloc"],
+        ablation: true,
+        run: |e, s| one(ablations::abl_alloc_with(e, s)),
+    },
+    Experiment {
+        name: "abl_sectors",
+        ids: &["abl_sectors"],
+        ablation: true,
+        run: |e, s| one(ablations::abl_sectors_with(e, s)),
+    },
+    Experiment {
+        name: "abl_multires",
+        ids: &["abl_multires"],
+        ablation: true,
+        run: |e, s| one(ablations::abl_multires_with(e, s)),
+    },
+    Experiment {
+        name: "abl_smoothing",
+        ids: &["abl_smoothing"],
+        ablation: true,
+        run: |e, s| one(ablations::abl_smoothing_with(e, s)),
+    },
+    Experiment {
+        name: "abl_direction",
+        ids: &["abl_direction"],
+        ablation: true,
+        run: |e, s| one(ablations::abl_direction_with(e, s)),
+    },
+];
+
+/// Predicate deciding whether a group selector covers an experiment.
+type GroupPred = fn(&Experiment) -> bool;
+
+/// Group selectors: a name expanding to several experiments.
+const GROUPS: &[(&str, GroupPred)] = &[
+    ("fig9", |e| e.name.starts_with("fig9")),
+    ("fig10", |e| e.name == "fig10"),
+    ("fig13", |e| e.name.starts_with("fig13")),
+    ("abl", |e| e.ablation),
+];
+
+fn selector_matches(exp: &Experiment, sel: &str) -> bool {
+    if exp.name == sel || exp.ids.contains(&sel) {
+        return true;
+    }
+    GROUPS.iter().any(|(g, pred)| *g == sel && pred(exp))
+}
+
+fn usage() -> String {
+    let names: Vec<&str> = EXPERIMENTS
+        .iter()
+        .flat_map(|e| e.ids.iter().copied())
+        .collect();
+    format!(
+        "usage: reproduce [--paper] [--ablations] [--jobs N | --serial] [SELECTOR...]\n\
+         selectors: exact table ids ({}), experiment names (fig10, fig11,\n\
+         fig14_15 parts as fig14/fig15), or groups (fig9, fig13, abl)",
+        names.join(", ")
+    )
+}
+
+struct Options {
+    paper: bool,
+    ablations: bool,
+    jobs: Option<usize>,
+    selectors: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        paper: false,
+        ablations: false,
+        jobs: None,
+        selectors: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--paper" => opts.paper = true,
+            "--ablations" => opts.ablations = true,
+            "--serial" => opts.jobs = Some(1),
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .ok_or_else(|| "--jobs needs a value".to_string())?;
+                opts.jobs = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("--jobs: not a number: {n}"))?
+                        .max(1),
+                );
+            }
+            _ if a.starts_with("--jobs=") => {
+                let n = &a["--jobs=".len()..];
+                opts.jobs = Some(
+                    n.parse::<usize>()
+                        .map_err(|_| format!("--jobs: not a number: {n}"))?
+                        .max(1),
+                );
+            }
+            _ if a.starts_with("--") => return Err(format!("unknown flag: {a}")),
+            _ => opts.selectors.push(a.clone()),
+        }
+    }
+    Ok(opts)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let paper = args.iter().any(|a| a == "--paper");
-    let wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.as_str())
-        .collect();
-    let scale = if paper {
-        Scale::paper()
-    } else {
-        Scale::quick()
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("reproduce: {e}\n{}", usage());
+            std::process::exit(2);
+        }
     };
-    eprintln!(
-        "reproduce: scale = {} ({} objects, {} ticks, {} speeds, {} seeds)",
-        if paper { "paper" } else { "quick" },
-        scale.objects_default,
-        scale.ticks,
-        scale.speeds.len(),
-        scale.tour_seeds.len(),
-    );
 
-    let run = |id: &str| -> bool { wanted.is_empty() || wanted.iter().any(|w| id.starts_with(w)) };
-    let t0 = std::time::Instant::now();
-    let mut tables: Vec<Table> = Vec::new();
-    if run("fig8") {
-        tables.push(figs::fig8(&scale));
-        progress(&tables, t0);
-    }
-    if run("fig9a") {
-        tables.push(figs::fig9a(&scale));
-        progress(&tables, t0);
-    }
-    if run("fig9b") {
-        tables.push(figs::fig9b(&scale));
-        progress(&tables, t0);
-    }
-    if run("fig10") {
-        let (a, b) = figs::fig10(&scale);
-        tables.push(a);
-        tables.push(b);
-        progress(&tables, t0);
-    }
-    if run("fig11") {
-        let (a, b) = figs::fig11(&scale);
-        tables.push(a);
-        tables.push(b);
-        progress(&tables, t0);
-    }
-    if run("fig12") {
-        tables.push(figs::fig12(&scale));
-        progress(&tables, t0);
-    }
-    if run("fig13a") {
-        tables.push(figs::fig13a(&scale));
-        progress(&tables, t0);
-    }
-    if run("fig13b") {
-        tables.push(figs::fig13b(&scale));
-        progress(&tables, t0);
-    }
-    if run("fig14") {
-        tables.push(figs::fig14_15(&scale, mar_workload::Placement::Uniform));
-        progress(&tables, t0);
-    }
-    if run("fig15") {
-        tables.push(figs::fig14_15(
-            &scale,
-            mar_workload::Placement::Zipf { theta: 0.8 },
-        ));
-        progress(&tables, t0);
-    }
-    if args.iter().any(|a| a == "--ablations") || wanted.iter().any(|w| w.starts_with("abl")) {
-        for table in mar_bench::ablations::all_ablations(&scale) {
-            if wanted.is_empty()
-                || wanted
-                    .iter()
-                    .any(|w| table.id.starts_with(w) || *w == "--ablations")
-            {
-                tables.push(table);
-                progress(&tables, t0);
+    // Resolve selectors to experiments — every selector must match
+    // something, and an unmatched one is an error (a bare `fig1` used to
+    // silently run fig10–fig15).
+    let mut selected = vec![false; EXPERIMENTS.len()];
+    if opts.selectors.is_empty() {
+        for (i, exp) in EXPERIMENTS.iter().enumerate() {
+            selected[i] = !exp.ablation || opts.ablations;
+        }
+    } else {
+        for sel in &opts.selectors {
+            let mut hit = false;
+            for (i, exp) in EXPERIMENTS.iter().enumerate() {
+                if selector_matches(exp, sel) {
+                    selected[i] = true;
+                    hit = true;
+                }
+            }
+            if !hit {
+                eprintln!("reproduce: no experiment matches '{sel}'\n{}", usage());
+                std::process::exit(2);
+            }
+        }
+        if opts.ablations {
+            for (i, exp) in EXPERIMENTS.iter().enumerate() {
+                if exp.ablation {
+                    selected[i] = true;
+                }
             }
         }
     }
 
+    let scale = if opts.paper {
+        Scale::paper()
+    } else {
+        Scale::quick()
+    };
+    let engine = match opts.jobs {
+        Some(n) => Engine::new(n),
+        None => Engine::auto(),
+    };
+    eprintln!(
+        "reproduce: scale = {} ({} objects, {} ticks, {} speeds, {} seeds), {} worker(s)",
+        if opts.paper { "paper" } else { "quick" },
+        scale.objects_default,
+        scale.ticks,
+        scale.speeds.len(),
+        scale.tour_seeds.len(),
+        engine.jobs(),
+    );
+
     std::fs::create_dir_all("results").expect("create results dir");
-    for t in &tables {
-        print!("{}", t.render());
-        let path = format!("results/{}.csv", t.id);
-        let mut f = std::fs::File::create(&path).expect("create csv");
-        f.write_all(t.to_csv().as_bytes()).expect("write csv");
+    let t0 = std::time::Instant::now();
+    let mut written = 0usize;
+    for (i, exp) in EXPERIMENTS.iter().enumerate() {
+        if !selected[i] {
+            continue;
+        }
+        for table in (exp.run)(&engine, &scale) {
+            // Persist before moving on: a panic in a later figure must not
+            // lose this one.
+            let path = format!("results/{}.csv", table.id);
+            let mut f = std::fs::File::create(&path).expect("create csv");
+            f.write_all(table.to_csv().as_bytes()).expect("write csv");
+            print!("{}", table.render());
+            eprintln!(
+                "  [{:6.1}s] {} done -> {}",
+                t0.elapsed().as_secs_f64(),
+                table.id,
+                path
+            );
+            written += 1;
+        }
     }
     eprintln!(
-        "\nreproduce: {} tables written to results/ in {:.1}s",
-        tables.len(),
-        t0.elapsed().as_secs_f64()
-    );
-}
-
-fn progress(tables: &[Table], t0: std::time::Instant) {
-    eprintln!(
-        "  [{:6.1}s] {} done",
+        "\nreproduce: {} tables written to results/ in {:.1}s ({} worker(s), {} cached scene(s))",
+        written,
         t0.elapsed().as_secs_f64(),
-        tables.last().map(|t| t.id).unwrap_or("?")
+        engine.jobs(),
+        engine.cache().len(),
     );
 }

@@ -1,6 +1,16 @@
 //! One row-generator per figure of §VII. See DESIGN.md §3 for the mapping
 //! and EXPERIMENTS.md for paper-vs-measured results.
+//!
+//! Every figure is expressed as a sweep over independent points (speed ×
+//! tour seed × size/fraction/combination) dispatched through
+//! [`Engine::run`](crate::engine::Engine::run): the points are enumerated
+//! in a fixed order, computed on however many workers the engine has, and
+//! reassembled in that order — so the tables are byte-identical whether
+//! the engine is serial or parallel (`crates/bench/tests/parallel.rs`).
+//! The `figN(scale)` entry points are serial wrappers around the
+//! `figN_with(engine, scale)` variants used by `reproduce --jobs N`.
 
+use crate::engine::Engine;
 use crate::{Scale, Table};
 use mar_buffer::{MotionAwarePrefetcher, NaivePrefetcher};
 use mar_core::bufsim::{run_buffer_sim, BufferSimConfig};
@@ -13,8 +23,10 @@ use mar_workload::{
     frame_at, paper_space, pedestrian_tour, tram_tour, Placement, Scene, SceneConfig, Tour,
     TourConfig,
 };
+use std::sync::Arc;
 
 /// Builds the scene for `objects` objects under the scale's parameters.
+/// Prefer [`Engine::scene`] where an engine is available — it memoises.
 pub fn build_scene(scale: &Scale, objects: usize, placement: Placement) -> Scene {
     let mut cfg = SceneConfig::paper(objects, scale.scene_seed);
     cfg.levels = scale.levels;
@@ -23,7 +35,7 @@ pub fn build_scene(scale: &Scale, objects: usize, placement: Placement) -> Scene
     Scene::generate(cfg)
 }
 
-fn mean(v: &[f64]) -> f64 {
+pub(crate) fn mean(v: &[f64]) -> f64 {
     if v.is_empty() {
         0.0
     } else {
@@ -63,35 +75,51 @@ fn retrieval_kb_per_kdist(scene: &Scene, server: &mut Server, tour: &Tour, frac:
     (client.metrics().bytes - first_bytes) / 1024.0 * 1000.0 / distance
 }
 
+/// Means of per-seed results, regrouped row-by-row: `results` is laid out
+/// `[outer0: seed0..seedN, outer1: seed0..seedN, ...]` and each chunk of
+/// `seeds` consecutive values is averaged. Accumulation order equals the
+/// point order, so the output is schedule-independent.
+fn mean_per_chunk(results: &[f64], seeds: usize) -> Vec<f64> {
+    results.chunks(seeds).map(mean).collect()
+}
+
 /// Fig. 8 — effect of speed on data retrieval (tram vs pedestrian).
 pub fn fig8(scale: &Scale) -> Table {
-    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
-    let mut server = Server::new(&scene);
+    fig8_with(&Engine::serial(), scale)
+}
+
+/// [`fig8`] on an engine: one sweep point per (speed, tour seed), each
+/// worker owning its own [`Server`] over the shared scene.
+pub fn fig8_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
+    let points: Vec<(f64, u64)> = scale
+        .speeds
+        .iter()
+        .flat_map(|&sp| scale.tour_seeds.iter().map(move |&sd| (sp, sd)))
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(speed, seed)| {
+            let ticks = ticks_for_distance(scale, speed);
+            let tcfg = TourConfig::new(paper_space(), ticks, seed, speed);
+            (
+                retrieval_kb_per_kdist(&scene, server, &tram_tour(&tcfg), 0.1),
+                retrieval_kb_per_kdist(&scene, server, &pedestrian_tour(&tcfg), 0.1),
+            )
+        },
+    );
     let mut t = Table::new(
         "fig8",
         "data retrieved (KB per 1000 units traveled) vs speed",
         "speed",
         vec!["tram_kb_per_kdist".into(), "walk_kb_per_kdist".into()],
     );
-    for &speed in &scale.speeds {
-        let ticks = ticks_for_distance(scale, speed);
-        let mut tram = Vec::new();
-        let mut walk = Vec::new();
-        for &seed in &scale.tour_seeds {
-            let tcfg = TourConfig::new(paper_space(), ticks, seed, speed);
-            tram.push(retrieval_kb_per_kdist(
-                &scene,
-                &mut server,
-                &tram_tour(&tcfg),
-                0.1,
-            ));
-            walk.push(retrieval_kb_per_kdist(
-                &scene,
-                &mut server,
-                &pedestrian_tour(&tcfg),
-                0.1,
-            ));
-        }
+    let seeds = scale.tour_seeds.len();
+    for (i, &speed) in scale.speeds.iter().enumerate() {
+        let chunk = &results[i * seeds..(i + 1) * seeds];
+        let tram: Vec<f64> = chunk.iter().map(|r| r.0).collect();
+        let walk: Vec<f64> = chunk.iter().map(|r| r.1).collect();
         t.push(speed, vec![mean(&tram), mean(&walk)]);
     }
     t
@@ -99,9 +127,31 @@ pub fn fig8(scale: &Scale) -> Table {
 
 /// Fig. 9(a) — retrieval vs speed for query sizes 5–20 % (tram tours).
 pub fn fig9a(scale: &Scale) -> Table {
-    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
-    let mut server = Server::new(&scene);
+    fig9a_with(&Engine::serial(), scale)
+}
+
+/// [`fig9a`] on an engine: one point per (speed, query fraction, seed).
+pub fn fig9a_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
     let fracs = [0.05, 0.10, 0.15, 0.20];
+    let points: Vec<(f64, f64, u64)> = scale
+        .speeds
+        .iter()
+        .flat_map(|&sp| {
+            fracs
+                .iter()
+                .flat_map(move |&f| scale.tour_seeds.iter().map(move |&sd| (sp, f, sd)))
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(speed, frac, seed)| {
+            let ticks = ticks_for_distance(scale, speed);
+            let tour = tram_tour(&TourConfig::new(paper_space(), ticks, seed, speed));
+            retrieval_kb_per_kdist(&scene, server, &tour, frac)
+        },
+    );
     let mut t = Table::new(
         "fig9a",
         "KB per 1000 units vs speed, per query size (tram)",
@@ -111,87 +161,100 @@ pub fn fig9a(scale: &Scale) -> Table {
             .map(|f| format!("q{:.0}%_kb", f * 100.0))
             .collect(),
     );
-    for &speed in &scale.speeds {
-        let ticks = ticks_for_distance(scale, speed);
-        let mut row = Vec::new();
-        for &frac in &fracs {
-            let mut vals = Vec::new();
-            for &seed in &scale.tour_seeds {
-                let tour = tram_tour(&TourConfig::new(paper_space(), ticks, seed, speed));
-                vals.push(retrieval_kb_per_kdist(&scene, &mut server, &tour, frac));
-            }
-            row.push(mean(&vals));
-        }
-        t.push(speed, row);
+    let seeds = scale.tour_seeds.len();
+    let per_speed = fracs.len() * seeds;
+    for (i, &speed) in scale.speeds.iter().enumerate() {
+        let chunk = &results[i * per_speed..(i + 1) * per_speed];
+        t.push(speed, mean_per_chunk(chunk, seeds));
     }
     t
 }
 
 /// Fig. 9(b) — retrieval vs speed for dataset sizes 20–80 MB (tram tours).
 pub fn fig9b(scale: &Scale) -> Table {
+    fig9b_with(&Engine::serial(), scale)
+}
+
+/// [`fig9b`] on an engine: one point per (speed, dataset size, seed); each
+/// worker lazily builds a server per size it encounters, over the
+/// engine-cached scenes.
+pub fn fig9b_with(engine: &Engine, scale: &Scale) -> Table {
     let sizes = [100usize, 200, 300, 400];
     let scaled: Vec<usize> = sizes
         .iter()
         .map(|&n| (n * scale.objects_default / 300).max(4))
         .collect();
+    let scenes: Vec<Arc<Scene>> = scaled
+        .iter()
+        .map(|&n| engine.scene(scale, n, Placement::Uniform))
+        .collect();
+    let points: Vec<(f64, usize, u64)> = scale
+        .speeds
+        .iter()
+        .flat_map(|&sp| {
+            (0..scenes.len())
+                .flat_map(move |si| scale.tour_seeds.iter().map(move |&sd| (sp, si, sd)))
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || scenes.iter().map(|_| None).collect::<Vec<Option<Server>>>(),
+        |servers, &(speed, si, seed)| {
+            let server = servers[si].get_or_insert_with(|| Server::new(&scenes[si]));
+            let ticks = ticks_for_distance(scale, speed);
+            let tour = tram_tour(&TourConfig::new(paper_space(), ticks, seed, speed));
+            retrieval_kb_per_kdist(&scenes[si], server, &tour, 0.1)
+        },
+    );
     let mut t = Table::new(
         "fig9b",
         "KB per 1000 units vs speed, per dataset size (tram)",
         "speed",
         sizes.iter().map(|n| format!("{}MB_kb", n / 5)).collect(),
     );
-    let scenes: Vec<(Scene, Server)> = scaled
-        .iter()
-        .map(|&n| {
-            let scene = build_scene(scale, n, Placement::Uniform);
-            let server = Server::new(&scene);
-            (scene, server)
-        })
-        .collect();
-    let mut scenes = scenes;
-    for &speed in &scale.speeds {
-        let ticks = ticks_for_distance(scale, speed);
-        let mut row = Vec::new();
-        for (scene, server) in &mut scenes {
-            let mut vals = Vec::new();
-            for &seed in &scale.tour_seeds {
-                let tour = tram_tour(&TourConfig::new(paper_space(), ticks, seed, speed));
-                vals.push(retrieval_kb_per_kdist(scene, server, &tour, 0.1));
-            }
-            row.push(mean(&vals));
-        }
-        t.push(speed, row);
+    let seeds = scale.tour_seeds.len();
+    let per_speed = scenes.len() * seeds;
+    for (i, &speed) in scale.speeds.iter().enumerate() {
+        let chunk = &results[i * per_speed..(i + 1) * per_speed];
+        t.push(speed, mean_per_chunk(chunk, seeds));
     }
     t
 }
 
-/// Shared runner for the buffer experiments: returns
-/// `(hit, util)` for a prefetcher over tours of one kind.
-fn buffer_point(
+/// The four prefetcher/tour combinations every buffer experiment sweeps.
+const BUFFER_COMBOS: [(bool, bool); 4] = [
+    (true, true),   // motion-aware, tram
+    (true, false),  // motion-aware, pedestrian
+    (false, true),  // naive, tram
+    (false, false), // naive, pedestrian
+];
+
+/// Runs one buffer-simulation sweep point: the given tour kind under the
+/// given prefetcher. Returns `(hit_rate, utilization)`.
+fn buffer_sim_point(
+    server: &mut Server,
     scene: &Scene,
-    tours: &[Tour],
+    tour: &Tour,
     motion_aware: bool,
     cfg: &BufferSimConfig,
 ) -> (f64, f64) {
-    let mut hits = Vec::new();
-    let mut utils = Vec::new();
-    for tour in tours {
-        let mut server = Server::new(scene);
-        let m = if motion_aware {
-            let mut p = MotionAwarePrefetcher::new(4);
-            run_buffer_sim(&mut server, scene, tour, &mut p, cfg)
-        } else {
-            let mut p = NaivePrefetcher;
-            run_buffer_sim(&mut server, scene, tour, &mut p, cfg)
-        };
-        hits.push(m.hit_rate());
-        utils.push(m.utilization());
-    }
-    (mean(&hits), mean(&utils))
+    let m = if motion_aware {
+        let mut p = MotionAwarePrefetcher::new(4);
+        run_buffer_sim(server, scene, tour, &mut p, cfg)
+    } else {
+        let mut p = NaivePrefetcher;
+        run_buffer_sim(server, scene, tour, &mut p, cfg)
+    };
+    (m.hit_rate(), m.utilization())
 }
 
+/// Shared engine runner for the buffer experiments: for each x, a
+/// `(BufferSimConfig, speed)` pair; points fan out over
+/// (x, combo, seed) and each worker reuses one server (simulations open
+/// their own sessions, so reuse is exact).
 #[allow(clippy::too_many_arguments)] // two parallel tables share one sweep
-fn buffer_tables(
+fn buffer_tables_with(
+    engine: &Engine,
     scale: &Scale,
     xs: &[f64],
     mut cfg_of: impl FnMut(f64) -> (BufferSimConfig, f64),
@@ -201,7 +264,29 @@ fn buffer_tables(
     title_util: &'static str,
     xlabel: &'static str,
 ) -> (Table, Table) {
-    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
+    let configs: Vec<(BufferSimConfig, f64)> = xs.iter().map(|&x| cfg_of(x)).collect();
+    let points: Vec<(usize, usize, u64)> = (0..xs.len())
+        .flat_map(|xi| {
+            (0..BUFFER_COMBOS.len())
+                .flat_map(move |ci| scale.tour_seeds.iter().map(move |&sd| (xi, ci, sd)))
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(xi, ci, seed)| {
+            let (cfg, speed) = &configs[xi];
+            let (motion_aware, tram) = BUFFER_COMBOS[ci];
+            let tcfg = TourConfig::new(paper_space(), scale.ticks, seed, *speed);
+            let tour = if tram {
+                tram_tour(&tcfg)
+            } else {
+                pedestrian_tour(&tcfg)
+            };
+            buffer_sim_point(server, &scene, &tour, motion_aware, cfg)
+        },
+    );
     let cols = vec![
         "ma_tram".to_string(),
         "ma_walk".to_string(),
@@ -210,24 +295,14 @@ fn buffer_tables(
     ];
     let mut t_hit = Table::new(id_hit, title_hit, xlabel, cols.clone());
     let mut t_util = Table::new(id_util, title_util, xlabel, cols);
-    for &x in xs {
-        let (cfg, speed) = cfg_of(x);
-        let trams: Vec<Tour> = scale
-            .tour_seeds
-            .iter()
-            .map(|&s| tram_tour(&TourConfig::new(paper_space(), scale.ticks, s, speed)))
-            .collect();
-        let walks: Vec<Tour> = scale
-            .tour_seeds
-            .iter()
-            .map(|&s| pedestrian_tour(&TourConfig::new(paper_space(), scale.ticks, s, speed)))
-            .collect();
-        let (h_mt, u_mt) = buffer_point(&scene, &trams, true, &cfg);
-        let (h_mw, u_mw) = buffer_point(&scene, &walks, true, &cfg);
-        let (h_nt, u_nt) = buffer_point(&scene, &trams, false, &cfg);
-        let (h_nw, u_nw) = buffer_point(&scene, &walks, false, &cfg);
-        t_hit.push(x, vec![h_mt, h_mw, h_nt, h_nw]);
-        t_util.push(x, vec![u_mt, u_mw, u_nt, u_nw]);
+    let seeds = scale.tour_seeds.len();
+    let per_x = BUFFER_COMBOS.len() * seeds;
+    for (xi, &x) in xs.iter().enumerate() {
+        let chunk = &results[xi * per_x..(xi + 1) * per_x];
+        let hits: Vec<f64> = chunk.iter().map(|r| r.0).collect();
+        let utils: Vec<f64> = chunk.iter().map(|r| r.1).collect();
+        t_hit.push(x, mean_per_chunk(&hits, seeds));
+        t_util.push(x, mean_per_chunk(&utils, seeds));
     }
     (t_hit, t_util)
 }
@@ -235,8 +310,14 @@ fn buffer_tables(
 /// Fig. 10(a)+(b) — cache hit rate and data utilization vs buffer size
 /// (16–128 KB), motion-aware vs naive, tram & pedestrian.
 pub fn fig10(scale: &Scale) -> (Table, Table) {
+    fig10_with(&Engine::serial(), scale)
+}
+
+/// [`fig10`] on an engine.
+pub fn fig10_with(engine: &Engine, scale: &Scale) -> (Table, Table) {
     let sizes = [16.0, 32.0, 64.0, 128.0];
-    buffer_tables(
+    buffer_tables_with(
+        engine,
         scale,
         &sizes,
         |kb| {
@@ -259,8 +340,14 @@ pub fn fig10(scale: &Scale) -> (Table, Table) {
 /// Fig. 11(a)+(b) — cache hit rate and data utilization vs speed
 /// (multiresolution buffering), 64 KB buffer.
 pub fn fig11(scale: &Scale) -> (Table, Table) {
+    fig11_with(&Engine::serial(), scale)
+}
+
+/// [`fig11`] on an engine.
+pub fn fig11_with(engine: &Engine, scale: &Scale) -> (Table, Table) {
     let speeds = scale.speeds.clone();
-    buffer_tables(
+    buffer_tables_with(
+        engine,
         scale,
         &speeds,
         |speed| {
@@ -280,94 +367,154 @@ pub fn fig11(scale: &Scale) -> (Table, Table) {
     )
 }
 
-/// Average index I/O per query frame over tram tours for both access
-/// methods.
-fn index_io_point(
-    data: &SceneIndexData,
+/// Average index I/O per query frame over one tram tour for both access
+/// methods. Queries are read-only — the indexes are shared across workers.
+fn index_io_seed(
     good: &WaveletIndex,
     naive: &NaivePointIndex,
     scale: &Scale,
     speed: f64,
     frac: f64,
+    seed: u64,
 ) -> (f64, f64) {
-    let _ = data;
-    let mut io_good = Vec::new();
-    let mut io_naive = Vec::new();
-    for &seed in &scale.tour_seeds {
-        let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
-        let mut g = 0u64;
-        let mut n = 0u64;
-        for s in &tour.samples {
-            let frame = frame_at(&paper_space(), &s.pos, frac);
-            let band = ResolutionBand::new(s.speed, 1.0);
-            g += good.query(&frame, band).1;
-            n += naive.query(&frame, band).1;
-        }
-        io_good.push(g as f64 / tour.len() as f64);
-        io_naive.push(n as f64 / tour.len() as f64);
+    let tour = tram_tour(&TourConfig::new(paper_space(), scale.ticks, seed, speed));
+    let mut g = 0u64;
+    let mut n = 0u64;
+    for s in &tour.samples {
+        let frame = frame_at(&paper_space(), &s.pos, frac);
+        let band = ResolutionBand::new(s.speed, 1.0);
+        g += good.query(&frame, band).1;
+        n += naive.query(&frame, band).1;
     }
-    (mean(&io_good), mean(&io_naive))
+    (g as f64 / tour.len() as f64, n as f64 / tour.len() as f64)
+}
+
+/// Regroups per-seed `(good, naive)` I/O pairs into per-x mean rows.
+fn index_io_rows(results: &[(f64, f64)], seeds: usize) -> Vec<Vec<f64>> {
+    results
+        .chunks(seeds)
+        .map(|chunk| {
+            let g: Vec<f64> = chunk.iter().map(|r| r.0).collect();
+            let n: Vec<f64> = chunk.iter().map(|r| r.1).collect();
+            vec![mean(&g), mean(&n)]
+        })
+        .collect()
 }
 
 /// Fig. 12 — index I/O vs speed: support-region index vs naive point
 /// index.
 pub fn fig12(scale: &Scale) -> Table {
-    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    fig12_with(&Engine::serial(), scale)
+}
+
+/// [`fig12`] on an engine: indexes built once, shared read-only across
+/// workers; one point per (speed, seed).
+pub fn fig12_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
     let data = SceneIndexData::build(&scene);
     let good = WaveletIndex::build(&data);
     let naive = NaivePointIndex::build(&data);
+    let points: Vec<(f64, u64)> = scale
+        .speeds
+        .iter()
+        .flat_map(|&sp| scale.tour_seeds.iter().map(move |&sd| (sp, sd)))
+        .collect();
+    let results = engine.run(
+        points,
+        || (),
+        |_, &(speed, seed)| index_io_seed(&good, &naive, scale, speed, 0.1, seed),
+    );
     let mut t = Table::new(
         "fig12",
         "index node accesses per query vs speed",
         "speed",
         vec!["motion_aware_io".into(), "naive_io".into()],
     );
-    for &speed in &scale.speeds {
-        let (g, n) = index_io_point(&data, &good, &naive, scale, speed, 0.1);
-        t.push(speed, vec![g, n]);
+    for (&speed, row) in scale
+        .speeds
+        .iter()
+        .zip(index_io_rows(&results, scale.tour_seeds.len()))
+    {
+        t.push(speed, row);
     }
     t
 }
 
 /// Fig. 13(a) — index I/O vs query size at speed 0.5.
 pub fn fig13a(scale: &Scale) -> Table {
-    let scene = build_scene(scale, scale.objects_default, Placement::Uniform);
+    fig13a_with(&Engine::serial(), scale)
+}
+
+/// [`fig13a`] on an engine: one point per (query fraction, seed).
+pub fn fig13a_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
     let data = SceneIndexData::build(&scene);
     let good = WaveletIndex::build(&data);
     let naive = NaivePointIndex::build(&data);
+    let fracs = [0.05, 0.10, 0.15, 0.20];
+    let points: Vec<(f64, u64)> = fracs
+        .iter()
+        .flat_map(|&f| scale.tour_seeds.iter().map(move |&sd| (f, sd)))
+        .collect();
+    let results = engine.run(
+        points,
+        || (),
+        |_, &(frac, seed)| index_io_seed(&good, &naive, scale, 0.5, frac, seed),
+    );
     let mut t = Table::new(
         "fig13a",
         "index node accesses per query vs query size (speed 0.5)",
         "query_pct",
         vec!["motion_aware_io".into(), "naive_io".into()],
     );
-    for frac in [0.05, 0.10, 0.15, 0.20] {
-        let (g, n) = index_io_point(&data, &good, &naive, scale, 0.5, frac);
-        t.push(frac * 100.0, vec![g, n]);
+    for (&frac, row) in fracs
+        .iter()
+        .zip(index_io_rows(&results, scale.tour_seeds.len()))
+    {
+        t.push(frac * 100.0, row);
     }
     t
 }
 
 /// Fig. 13(b) — index I/O vs dataset size at speed 0.5, 10 % frames.
 pub fn fig13b(scale: &Scale) -> Table {
+    fig13b_with(&Engine::serial(), scale)
+}
+
+/// [`fig13b`] on an engine: one point per dataset size; each point builds
+/// its indexes over the engine-cached scene of that size.
+pub fn fig13b_with(engine: &Engine, scale: &Scale) -> Table {
     let sizes = [100usize, 200, 300, 400];
     let scaled: Vec<usize> = sizes
         .iter()
         .map(|&n| (n * scale.objects_default / 300).max(4))
         .collect();
+    let results = engine.run(
+        scaled.clone(),
+        || (),
+        |_, &n| {
+            let scene = engine.scene(scale, n, Placement::Uniform);
+            let data = SceneIndexData::build(&scene);
+            let good = WaveletIndex::build(&data);
+            let naive = NaivePointIndex::build(&data);
+            let per_seed: Vec<(f64, f64)> = scale
+                .tour_seeds
+                .iter()
+                .map(|&sd| index_io_seed(&good, &naive, scale, 0.5, 0.1, sd))
+                .collect();
+            let g: Vec<f64> = per_seed.iter().map(|r| r.0).collect();
+            let nv: Vec<f64> = per_seed.iter().map(|r| r.1).collect();
+            (mean(&g), mean(&nv))
+        },
+    );
     let mut t = Table::new(
         "fig13b",
         "index node accesses per query vs dataset size (speed 0.5)",
         "dataset_mb",
         vec!["motion_aware_io".into(), "naive_io".into()],
     );
-    for (&label, &n) in sizes.iter().zip(&scaled) {
-        let scene = build_scene(scale, n, Placement::Uniform);
-        let data = SceneIndexData::build(&scene);
-        let good = WaveletIndex::build(&data);
-        let naive = NaivePointIndex::build(&data);
-        let (g, nv) = index_io_point(&data, &good, &naive, scale, 0.5, 0.1);
-        t.push((label / 5) as f64, vec![g, nv]);
+    for (&label, &(g, n)) in sizes.iter().zip(&results) {
+        t.push((label / 5) as f64, vec![g, n]);
     }
     t
 }
@@ -375,12 +522,44 @@ pub fn fig13b(scale: &Scale) -> Table {
 /// Figs. 14 & 15 — end-to-end query response time vs speed, motion-aware
 /// vs naive system, for uniform (fig14) or Zipfian (fig15) data.
 pub fn fig14_15(scale: &Scale, placement: Placement) -> Table {
+    fig14_15_with(&Engine::serial(), scale, placement)
+}
+
+/// [`fig14_15`] on an engine: one point per (speed, seed, tour kind).
+pub fn fig14_15_with(engine: &Engine, scale: &Scale, placement: Placement) -> Table {
     let (id, title): (&'static str, &'static str) = match placement {
         Placement::Uniform => ("fig14", "query response time (s) vs speed (uniform)"),
         Placement::Zipf { .. } => ("fig15", "query response time (s) vs speed (Zipf)"),
     };
-    let scene = build_scene(scale, scale.objects_default, placement);
+    let scene = engine.scene(scale, scale.objects_default, placement);
     let cfg = SystemConfig::default();
+    // Point order: speed → seed → (tram, walk).
+    let points: Vec<(f64, u64, bool)> = scale
+        .speeds
+        .iter()
+        .flat_map(|&sp| {
+            scale
+                .tour_seeds
+                .iter()
+                .flat_map(move |&sd| [(sp, sd, true), (sp, sd, false)])
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || Server::new(&scene),
+        |server, &(speed, seed, tram)| {
+            let tcfg = TourConfig::new(paper_space(), scale.ticks, seed, speed);
+            let tour = if tram {
+                tram_tour(&tcfg)
+            } else {
+                pedestrian_tour(&tcfg)
+            };
+            let mut p = MotionAwarePrefetcher::new(4);
+            let ma = run_motion_aware_system(server, &scene, &tour, &mut p, &cfg);
+            let nv = run_naive_system(server, &scene, &tour, &cfg);
+            (ma.mean_response(), nv.mean_response())
+        },
+    );
     let mut t = Table::new(
         id,
         title,
@@ -392,43 +571,50 @@ pub fn fig14_15(scale: &Scale, placement: Placement) -> Table {
             "naive_walk_s".into(),
         ],
     );
-    for &speed in &scale.speeds {
-        let mut vals = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
-        for &seed in &scale.tour_seeds {
-            let tcfg = TourConfig::new(paper_space(), scale.ticks, seed, speed);
-            let tram = tram_tour(&tcfg);
-            let walk = pedestrian_tour(&tcfg);
-            for (i, tour) in [&tram, &walk].into_iter().enumerate() {
-                let mut server = Server::new(&scene);
-                let mut p = MotionAwarePrefetcher::new(4);
-                let ma = run_motion_aware_system(&mut server, &scene, tour, &mut p, &cfg);
-                vals[i].push(ma.mean_response());
-                let nv = run_naive_system(&server, &scene, tour, &cfg);
-                vals[i + 2].push(nv.mean_response());
-            }
-        }
-        t.push(speed, vals.iter().map(|v| mean(v)).collect());
+    let seeds = scale.tour_seeds.len();
+    let per_speed = seeds * 2;
+    for (i, &speed) in scale.speeds.iter().enumerate() {
+        let chunk = &results[i * per_speed..(i + 1) * per_speed];
+        // chunk is [seed0 tram, seed0 walk, seed1 tram, ...].
+        let col = |kind: usize, which: fn(&(f64, f64)) -> f64| -> f64 {
+            let vals: Vec<f64> = chunk.iter().skip(kind).step_by(2).map(which).collect();
+            mean(&vals)
+        };
+        t.push(
+            speed,
+            vec![
+                col(0, |r| r.0),
+                col(1, |r| r.0),
+                col(0, |r| r.1),
+                col(1, |r| r.1),
+            ],
+        );
     }
     t
 }
 
-/// Every figure at the given scale, in paper order. `fig10`/`fig11` each
-/// contribute two tables.
+/// Every figure at the given scale, in paper order, on a serial engine.
+/// `fig10`/`fig11` each contribute two tables.
 pub fn all_figures(scale: &Scale) -> Vec<Table> {
+    all_figures_with(&Engine::serial(), scale)
+}
+
+/// Every figure at the given scale on the given engine, in paper order.
+pub fn all_figures_with(engine: &Engine, scale: &Scale) -> Vec<Table> {
     let mut out = Vec::new();
-    out.push(fig8(scale));
-    out.push(fig9a(scale));
-    out.push(fig9b(scale));
-    let (a, b) = fig10(scale);
+    out.push(fig8_with(engine, scale));
+    out.push(fig9a_with(engine, scale));
+    out.push(fig9b_with(engine, scale));
+    let (a, b) = fig10_with(engine, scale);
     out.push(a);
     out.push(b);
-    let (a, b) = fig11(scale);
+    let (a, b) = fig11_with(engine, scale);
     out.push(a);
     out.push(b);
-    out.push(fig12(scale));
-    out.push(fig13a(scale));
-    out.push(fig13b(scale));
-    out.push(fig14_15(scale, Placement::Uniform));
-    out.push(fig14_15(scale, Placement::Zipf { theta: 0.8 }));
+    out.push(fig12_with(engine, scale));
+    out.push(fig13a_with(engine, scale));
+    out.push(fig13b_with(engine, scale));
+    out.push(fig14_15_with(engine, scale, Placement::Uniform));
+    out.push(fig14_15_with(engine, scale, Placement::Zipf { theta: 0.8 }));
     out
 }

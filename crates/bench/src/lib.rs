@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod engine;
 pub mod figs;
 
 /// A result table: one labelled x column plus named data series.

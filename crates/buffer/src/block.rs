@@ -7,7 +7,7 @@
 //! tracked here, at block granularity, exactly as defined.
 
 use mar_geom::BlockId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Cumulative cache statistics.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -58,7 +58,10 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct BlockCache {
     capacity: usize,
-    slots: HashMap<BlockId, Slot>,
+    // BTreeMap, not HashMap: eviction picks victims by iteration
+    // order, and hash order differs per map instance, which made two
+    // identical runs disagree. Key order is stable.
+    slots: BTreeMap<BlockId, Slot>,
     stats: CacheStats,
 }
 
@@ -67,7 +70,7 @@ impl BlockCache {
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            slots: HashMap::with_capacity(capacity),
+            slots: BTreeMap::new(),
             stats: CacheStats::default(),
         }
     }

@@ -15,7 +15,7 @@
 use crate::alloc::{allocate_directions, best_ordering_allocation};
 use mar_geom::{BlockId, GridSpec, Point2, SectorPartition};
 use mar_motion::probability::direction_probabilities;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Everything a prefetcher may look at when planning.
 #[derive(Debug)]
@@ -30,7 +30,7 @@ pub struct PrefetchContext<'a> {
     pub budget: usize,
     /// Visit probabilities of surrounding blocks (from the motion
     /// predictor); may be empty for a cold predictor.
-    pub block_probs: &'a HashMap<BlockId, f64>,
+    pub block_probs: &'a BTreeMap<BlockId, f64>,
     /// Optional externally supplied direction probabilities (length `k`),
     /// e.g. from a [`mar_motion::MarkovDirectionModel`]. When set, the
     /// prefetcher uses these for the budget allocation instead of folding
@@ -120,13 +120,14 @@ impl Prefetcher for MotionAwarePrefetcher {
         // topping up with proximity when the predictor offered too few.
         let exclude: HashSet<BlockId> = ctx.frame_blocks.iter().copied().collect();
         let center_block = ctx.grid.block_of(&ctx.position);
-        let mut candidates: Vec<BlockId> = ctx
+        // Already in key order (BTreeMap), so the bucket fill below is
+        // deterministic.
+        let candidates: Vec<BlockId> = ctx
             .block_probs
             .keys()
             .copied()
             .filter(|b| !exclude.contains(b))
             .collect();
-        candidates.sort_unstable();
         let assignment = self
             .partition
             .assign_blocks(ctx.grid, &ctx.position, &candidates, 1e-9);
@@ -235,9 +236,9 @@ mod tests {
         )
     }
 
-    fn probs_east(_grid: &GridSpec) -> HashMap<BlockId, f64> {
+    fn probs_east(_grid: &GridSpec) -> BTreeMap<BlockId, f64> {
         // Mass concentrated east of the centre block (5,5).
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         for d in 1..4i64 {
             m.insert(BlockId::new(5 + d, 5), 0.5 / d as f64);
             m.insert(BlockId::new(5 + d, 6), 0.1 / d as f64);
@@ -294,7 +295,7 @@ mod tests {
     #[test]
     fn cold_predictor_still_fills_budget() {
         let g = grid();
-        let probs = HashMap::new();
+        let probs = BTreeMap::new();
         let frame = [BlockId::new(5, 5)];
         let ctx = PrefetchContext {
             grid: &g,
@@ -311,7 +312,7 @@ mod tests {
     #[test]
     fn naive_fills_rings_symmetrically() {
         let g = grid();
-        let probs = HashMap::new();
+        let probs = BTreeMap::new();
         let frame = [BlockId::new(5, 5)];
         let ctx = PrefetchContext {
             grid: &g,
@@ -350,7 +351,7 @@ mod tests {
     #[test]
     fn edge_of_space_budget_truncates_gracefully() {
         let g = grid();
-        let probs = HashMap::new();
+        let probs = BTreeMap::new();
         let frame = [BlockId::new(0, 0)];
         let ctx = PrefetchContext {
             grid: &g,

@@ -179,9 +179,16 @@ mod tests {
 
     #[test]
     fn stationary_client_retrieves_once() {
-        let mut srv = server();
+        // Anchor the frame on a real object so the first tick has data to
+        // fetch no matter where the seeded placement put things.
+        let mut cfg = SceneConfig::paper(8, 33);
+        cfg.levels = 3;
+        cfg.target_bytes = 1_000_000.0;
+        let scene = Scene::generate(cfg);
+        let c = scene.objects[0].footprint().center();
+        let mut srv = Server::new(&scene);
         let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
-        let f = frame(300.0, 300.0);
+        let f = frame(c[0] - 100.0, c[1] - 100.0);
         let r1 = client.tick(&mut srv, f, 0.0);
         let r2 = client.tick(&mut srv, f, 0.0);
         let r3 = client.tick(&mut srv, f, 0.0);

@@ -66,11 +66,7 @@ pub struct RatePoint {
 
 /// Sweeps magnitude thresholds and returns the bytes-vs-error trade-off,
 /// coarsest (fewest bytes) first.
-pub fn rate_distortion(
-    wm: &WaveletMesh,
-    size: &SizeModel,
-    thresholds: &[f64],
-) -> Vec<RatePoint> {
+pub fn rate_distortion(wm: &WaveletMesh, size: &SizeModel, thresholds: &[f64]) -> Vec<RatePoint> {
     let mut points: Vec<RatePoint> = thresholds
         .iter()
         .map(|&w_min| {

@@ -14,7 +14,7 @@
 
 use crate::predict::Prediction;
 use mar_geom::{BlockId, GridSpec, Point2, SectorPartition};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::f64::consts::TAU;
 
 /// Evaluates the bivariate normal density of `pred` at point `p`.
@@ -74,8 +74,8 @@ fn interval_mass(mu: f64, sigma: f64, lo: f64, hi: f64) -> f64 {
 pub fn gaussian_block_probabilities(
     grid: &GridSpec,
     predictions: &[Prediction],
-) -> HashMap<BlockId, f64> {
-    let mut probs: HashMap<BlockId, f64> = HashMap::new();
+) -> BTreeMap<BlockId, f64> {
+    let mut probs: BTreeMap<BlockId, f64> = BTreeMap::new();
     for pred in predictions {
         if !pred.mean.is_finite() {
             continue;
@@ -120,22 +120,21 @@ pub fn gaussian_block_probabilities(
 pub fn direction_probabilities(
     grid: &GridSpec,
     center: &Point2,
-    block_probs: &HashMap<BlockId, f64>,
+    block_probs: &BTreeMap<BlockId, f64>,
     partition: &SectorPartition,
 ) -> Vec<f64> {
     let k = partition.k();
     let mut sums = vec![0.0f64; k];
-    let blocks: Vec<BlockId> = {
-        // Deterministic iteration order so the alternating tie-break is
-        // reproducible run to run.
-        let mut bs: Vec<BlockId> = block_probs.keys().copied().collect();
-        bs.sort_unstable();
-        bs
-    };
+    // Key order is the iteration order (BTreeMap), so both the alternating
+    // tie-break and the floating-point accumulation below are reproducible
+    // run to run.
+    let blocks: Vec<BlockId> = block_probs.keys().copied().collect();
     let tie_eps = 1e-9;
     let assignment = partition.assign_blocks(grid, center, &blocks, tie_eps);
-    for (b, sector) in &assignment {
-        sums[*sector] += block_probs.get(b).copied().unwrap_or(0.0);
+    for b in &blocks {
+        if let Some(&sector) = assignment.get(b) {
+            sums[sector] += block_probs.get(b).copied().unwrap_or(0.0);
+        }
     }
     let total: f64 = sums.iter().sum();
     if total <= 0.0 {
@@ -242,7 +241,7 @@ mod tests {
     fn empty_block_probs_give_uniform_directions() {
         let g = grid();
         let part = SectorPartition::axis_centered(4);
-        let dir = direction_probabilities(&g, &Point2::new([50.0, 50.0]), &HashMap::new(), &part);
+        let dir = direction_probabilities(&g, &Point2::new([50.0, 50.0]), &BTreeMap::new(), &part);
         assert_eq!(dir, vec![0.25; 4]);
     }
 }

@@ -12,7 +12,6 @@
 use crate::node::{ChildEntry, Entry, Node};
 use crate::{RTree, RTreeConfig};
 use mar_geom::Rect;
-use std::cell::Cell;
 
 impl<const N: usize, T> RTree<N, T> {
     /// Builds a tree from `(rect, item)` pairs using STR packing.
@@ -70,7 +69,7 @@ impl<const N: usize, T> RTree<N, T> {
             root: *root,
             height,
             len,
-            io: Cell::new(0),
+            io: std::sync::atomic::AtomicU64::new(0),
         }
     }
 }

@@ -29,15 +29,15 @@ mod bulk;
 mod delete;
 mod insert;
 mod knn;
-mod stats;
 mod node;
 mod query;
+mod stats;
 
 pub use node::{Entry, Node};
 pub use stats::{LevelStats, TreeStats};
 
 use mar_geom::Rect;
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which insertion/split algorithm the tree uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -103,7 +103,7 @@ impl RTreeConfig {
 /// assert_eq!(hits, vec![&"kiosk"]);
 /// assert!(node_accesses >= 1); // the paper's I/O metric
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct RTree<const N: usize, T> {
     pub(crate) config: RTreeConfig,
     pub(crate) root: Node<N, T>,
@@ -111,7 +111,22 @@ pub struct RTree<const N: usize, T> {
     pub(crate) height: usize,
     pub(crate) len: usize,
     /// Cumulative node accesses across all queries since the last reset.
-    pub(crate) io: Cell<u64>,
+    /// Atomic (not `Cell`) so a read-only tree can be shared across
+    /// threads: queries take `&self` yet still tally the paper's I/O
+    /// metric.
+    pub(crate) io: AtomicU64,
+}
+
+impl<const N: usize, T: Clone> Clone for RTree<N, T> {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            root: self.root.clone(),
+            height: self.height,
+            len: self.len,
+            io: AtomicU64::new(self.io.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl<const N: usize, T> RTree<N, T> {
@@ -122,7 +137,7 @@ impl<const N: usize, T> RTree<N, T> {
             root: Node::new_leaf(),
             height: 1,
             len: 0,
-            io: Cell::new(0),
+            io: AtomicU64::new(0),
         }
     }
 
@@ -159,12 +174,12 @@ impl<const N: usize, T> RTree<N, T> {
     /// Cumulative node accesses performed by queries since the last
     /// [`RTree::reset_io`].
     pub fn io_count(&self) -> u64 {
-        self.io.get()
+        self.io.load(Ordering::Relaxed)
     }
 
     /// Resets the cumulative node-access counter.
     pub fn reset_io(&self) {
-        self.io.set(0);
+        self.io.store(0, Ordering::Relaxed);
     }
 
     /// Checks every structural invariant (entry counts, MBR containment,

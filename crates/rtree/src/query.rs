@@ -35,7 +35,8 @@ impl<const N: usize, T> RTree<N, T> {
                 }
             }
         }
-        self.io.set(self.io.get() + accesses);
+        self.io
+            .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
         accesses
     }
 

@@ -58,11 +58,7 @@ impl<const N: usize, T> RTree<N, T> {
     }
 }
 
-fn collect<const N: usize, T>(
-    node: &Node<N, T>,
-    level: usize,
-    out: &mut Vec<(usize, usize, f64)>,
-) {
+fn collect<const N: usize, T>(node: &Node<N, T>, level: usize, out: &mut Vec<(usize, usize, f64)>) {
     if out.len() <= level {
         out.push((0, 0, 0.0));
     }

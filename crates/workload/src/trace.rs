@@ -76,7 +76,10 @@ pub fn format_trace(tour: &Tour) -> String {
     ));
     out.push_str("# tick,x,y,speed\n");
     for s in &tour.samples {
-        out.push_str(&format!("{},{},{},{}\n", s.tick, s.pos[0], s.pos[1], s.speed));
+        out.push_str(&format!(
+            "{},{},{},{}\n",
+            s.tick, s.pos[0], s.pos[1], s.speed
+        ));
     }
     out
 }

@@ -1,0 +1,240 @@
+//! Vendored, dependency-free stand-in for the subset of the `criterion`
+//! API this workspace's benches use (see `vendor/rand` for why the
+//! workspace vendors its external dev dependencies).
+//!
+//! This is a micro-benchmark *runner*, not a statistics engine: each
+//! `bench_function` warms up briefly, times batches of iterations for
+//! roughly the configured measurement window, and prints the mean
+//! per-iteration time with min/max batch means. There are no HTML
+//! reports, no outlier analysis, and no baseline comparisons.
+//!
+//! Under `cargo test` the bench targets run too (they default to
+//! `test = true`); to keep the suite fast the runner detects the
+//! `--test` flavour via the `CRITERION_QUICK_TEST` heuristic below and
+//! collapses to one warm-up plus one measured iteration per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (upstream deprecates its own
+/// copy in favour of the std one).
+pub use std::hint::black_box;
+
+/// True when the binary was invoked by `cargo test` (cargo passes the
+/// libtest harness flags even to `harness = false` targets) — run each
+/// bench once as a smoke test instead of measuring.
+fn smoke_test_mode() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--list")
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\nbench group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        self.benchmark_group("ungrouped").bench_function(name, f);
+    }
+}
+
+/// A group of benchmarks sharing sample/timing settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed batches.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark. `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`].
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        let name = name.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some(r) => eprintln!(
+                "  {}/{name}: mean {} (batch means {} .. {}, {} iters)",
+                self.name,
+                fmt_ns(r.mean_ns),
+                fmt_ns(r.min_ns),
+                fmt_ns(r.max_ns),
+                r.iters,
+            ),
+            None => eprintln!("  {}/{name}: no iterations recorded", self.name),
+        }
+    }
+
+    /// Ends the group (printing is incremental; this is a no-op kept for
+    /// API compatibility).
+    pub fn finish(self) {}
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    iters: u64,
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    report: Option<Report>,
+}
+
+impl Bencher {
+    /// Measures `routine`, keeping its return value alive via
+    /// [`black_box`] so the work is not optimised away.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if smoke_test_mode() {
+            black_box(routine());
+            self.report = Some(Report {
+                mean_ns: 0.0,
+                min_ns: 0.0,
+                max_ns: 0.0,
+                iters: 1,
+            });
+            return;
+        }
+
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Split the measurement budget into `sample_size` batches.
+        let budget = self.measurement_time.as_secs_f64();
+        let batch_iters = ((budget / self.sample_size as f64 / per_iter.max(1e-9)) as u64).max(1);
+        let mut means = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_nanos() as f64 / batch_iters as f64;
+            means.push(ns);
+            total_iters += batch_iters;
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        let min = means.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = means.iter().copied().fold(0.0f64, f64::max);
+        self.report = Some(Report {
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iters: total_iters,
+        });
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group-runner function invoking each target with a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_report() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_self_test");
+        group.sample_size(2);
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        group.bench_function("count", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert!(ran > 0, "routine must have run");
+    }
+
+    #[test]
+    fn ns_formatting_scales() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

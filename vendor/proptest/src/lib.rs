@@ -1,0 +1,432 @@
+//! Vendored, dependency-free stand-in for the subset of the `proptest`
+//! API this workspace uses (see `vendor/rand` for why the workspace
+//! vendors its external test dependencies).
+//!
+//! Differences from upstream proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs in
+//!   the panic message instead of a minimised counterexample.
+//! * **Fixed seeding.** Each property derives its RNG seed from the test's
+//!   module path and name, so runs are fully deterministic; there is no
+//!   `PROPTEST_*` environment handling and no regression-file persistence.
+//! * **Rejections** (`prop_assume!`) skip the case rather than re-drawing
+//!   it; with the low rejection rates in this workspace the effective case
+//!   count stays close to the configured one.
+//!
+//! The supported surface is exactly what the workspace's property tests
+//! exercise: `proptest! { #![proptest_config(...)] fn ... }`, strategies
+//! built from primitive ranges, tuples, [`Just`], [`Strategy::prop_map`],
+//! `prop_oneof!` (weighted and unweighted), `prop::collection::vec`, and
+//! the `prop_assert!`/`prop_assert_eq!`/`prop_assume!` macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The generator handed to strategies. Deterministic per property.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG for a named property. Used by the
+/// [`proptest!`] macro; public only for the macro expansion.
+pub fn rng_for(name: &str) -> TestRng {
+    // FNV-1a over the fully qualified test name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// Per-`proptest!`-block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a generated case did not produce a pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject(String),
+    /// `prop_assert!`/`prop_assert_eq!` failed; the property fails.
+    Fail(String),
+}
+
+/// Result type the generated property bodies return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A value generator. The mini equivalent of proptest's `Strategy`:
+/// generation only, no shrink tree.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($s,)+) = self;
+                ($($s.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy; used by `prop_oneof!` so every arm unifies to one
+/// trait-object type without turbofish at the call site.
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// Weighted union of strategies (the `prop_oneof!` backend).
+pub struct OneOf<V> {
+    arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>,
+}
+
+impl<V> OneOf<V> {
+    /// Builds the union. Panics when `arms` is empty or all weights are 0.
+    pub fn new(arms: Vec<(u32, Box<dyn Strategy<Value = V>>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        Self { arms }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let total: u32 = self.arms.iter().map(|(w, _)| *w).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weighted pick below total weight")
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Generates `Vec`s with a length drawn from `len` and elements drawn
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    /// The [`vec`] strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual `use proptest::prelude::*;` import surface.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Declares deterministic property tests. See the crate docs for the
+/// differences from upstream proptest.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let outcome: $crate::TestCaseResult = (|| {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        ::core::panic!(
+                            "property {} failed at case {}/{}: {}",
+                            ::core::stringify!($name),
+                            case,
+                            config.cases,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Weighted (`w => strategy`) or unweighted union of strategies, all
+/// producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![$( ($weight as u32, $crate::boxed($strat)) ),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(::std::vec![$( (1u32, $crate::boxed($strat)) ),+])
+    };
+}
+
+/// Asserts a condition inside a property; failure fails the case with the
+/// stringified condition (plus an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", ::core::stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion failed: {}: {}",
+                    ::core::stringify!($cond),
+                    ::std::format!($($fmt)+)
+                ),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return ::core::result::Result::Err($crate::TestCaseError::Fail(::std::format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                ::std::format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(::core::stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.0f64..10.0, n in 1usize..5) {
+            prop_assert!((0.0..10.0).contains(&x));
+            prop_assert!((1..5).contains(&n), "n was {n}");
+        }
+
+        #[test]
+        fn map_and_tuple_compose(p in (0u32..10, 0u32..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 19);
+        }
+
+        #[test]
+        fn oneof_picks_every_weighted_arm(
+            vals in prop::collection::vec(
+                prop_oneof![2 => Just(1u8), 1 => (5u8..7).prop_map(|v| v)],
+                64..65,
+            ),
+        ) {
+            for v in vals {
+                prop_assert!(v == 1 || v == 5 || v == 6);
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let strat = (0.0f64..1.0, 0u32..1000);
+        let a: Vec<_> = {
+            let mut rng = crate::rng_for("x");
+            (0..20).map(|_| strat.generate(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = crate::rng_for("x");
+            (0..20).map(|_| strat.generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(x in 0u32..10) {
+                prop_assert!(x > 100);
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,236 @@
+//! Vendored, dependency-free stand-in for the subset of the `rand` crate
+//! API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the three external dev/test dependencies as minimal shims (see
+//! `vendor/` and DESIGN.md §6). This crate provides:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator. It is
+//!   **not** the upstream ChaCha-based `StdRng`; identical seeds produce a
+//!   different stream than upstream `rand 0.8`. Every consumer in this
+//!   workspace only requires determinism for a fixed seed, which this
+//!   guarantees.
+//! * [`SeedableRng::seed_from_u64`], [`Rng::gen`], [`Rng::gen_range`] and
+//!   [`Rng::gen_bool`] over the primitive types the workspace samples.
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::{Rng, SeedableRng};
+//! let mut a = StdRng::seed_from_u64(7);
+//! let mut b = StdRng::seed_from_u64(7);
+//! assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+//! let x = a.gen_range(10..20u32);
+//! assert!((10..20).contains(&x));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::ops::Range;
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore + Sized {
+    /// Samples a value of a [`Standard`]-distributed type: `f64` in
+    /// `[0, 1)`, `bool` with probability 1/2, or uniform integers.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open range. Panics on an empty range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types samplable by [`Rng::gen`] (the upstream `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value from `rng` uniformly over the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Lemire multiply-shift: maps 64 random bits onto the span
+                // with bias below 2^-64 per draw — irrelevant here, where
+                // only determinism and approximate uniformity matter.
+                let off = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The bundled generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (see crate docs: this is a
+    /// vendored stand-in, not upstream's ChaCha12 `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            Self {
+                s: core::array::from_fn(|_| splitmix64(&mut sm)),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.gen::<f64>() == b.gen::<f64>()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = r.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = r.gen_range(0..4u8);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..200 {
+            let v = r.gen_range(-10..10i64);
+            assert!((-10..10).contains(&v));
+            let w = r.gen_range(40..120u32);
+            assert!((40..120).contains(&w));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = StdRng::seed_from_u64(0);
+        let _ = r.gen_range(5..5u32);
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((hits as f64 / 10_000.0 - 0.25).abs() < 0.02);
+    }
+}
