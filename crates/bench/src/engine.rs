@@ -25,13 +25,13 @@
 
 use crate::Scale;
 use mar_workload::{Placement, Scene, SceneConfig};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Cache key identifying a generated scene. `theta` and the byte target
-/// are stored as IEEE bit patterns so the key can be hashed exactly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// are stored as IEEE bit patterns so the key can be compared exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SceneKey {
     /// Object count.
     pub objects: usize,
@@ -67,7 +67,7 @@ impl SceneKey {
 /// `crates/bench/tests/parallel.rs`).
 #[derive(Debug, Default)]
 pub struct SceneCache {
-    scenes: Mutex<HashMap<SceneKey, Arc<Scene>>>,
+    scenes: Mutex<BTreeMap<SceneKey, Arc<Scene>>>,
 }
 
 impl SceneCache {
@@ -84,6 +84,7 @@ impl SceneCache {
     /// second builder from wasting a multi-second generation.
     pub fn scene(&self, scale: &Scale, objects: usize, placement: Placement) -> Arc<Scene> {
         let key = SceneKey::new(scale, objects, placement);
+        // mar-lint: allow(D004) — poisoning implies a worker already panicked; propagate
         let mut scenes = self.scenes.lock().expect("scene cache poisoned");
         Arc::clone(scenes.entry(key).or_insert_with(|| {
             let mut cfg = SceneConfig::paper(objects, scale.scene_seed);
@@ -96,6 +97,7 @@ impl SceneCache {
 
     /// Number of distinct scenes currently cached.
     pub fn len(&self) -> usize {
+        // mar-lint: allow(D004) — poisoning implies a worker already panicked; propagate
         self.scenes.lock().expect("scene cache poisoned").len()
     }
 
@@ -191,6 +193,7 @@ impl Engine {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(point) = points.get(i) else { break };
                         let result = run(&mut ctx, point);
+                        // mar-lint: allow(D004) — poisoning implies a sibling worker panicked
                         *slots[i].lock().expect("result slot poisoned") = Some(result);
                     }
                 });
@@ -200,7 +203,9 @@ impl Engine {
             .into_iter()
             .map(|slot| {
                 slot.into_inner()
+                    // mar-lint: allow(D004) — poisoning implies a worker panicked
                     .expect("result slot poisoned")
+                    // mar-lint: allow(D004) — the scoped fan-out covers every index
                     .expect("every sweep point produced a result")
             })
             .collect()

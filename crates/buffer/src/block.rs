@@ -81,12 +81,11 @@ impl BlockCache {
     }
 
     /// Changes the capacity (the multiresolution policy grows the block
-    /// budget at speed); excess blocks are evicted arbitrarily.
+    /// budget at speed); excess blocks are evicted smallest key first.
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
         while self.slots.len() > self.capacity {
-            let k = *self.slots.keys().next().expect("non-empty");
-            self.slots.remove(&k);
+            self.slots.pop_first();
         }
     }
 

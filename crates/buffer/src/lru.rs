@@ -2,31 +2,32 @@
 //! policy ("we also use a simple Least Recently Used (LRU) scheme").
 
 use std::borrow::Borrow;
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// A capacity-bounded LRU map.
 ///
-/// Implemented with a recency counter per entry (capacities here are a few
+/// Implemented with a recency counter per entry over a `BTreeMap`
+/// (ties in the eviction scan resolve to the smallest key, so behaviour
+/// is a pure function of the call sequence; capacities here are a few
 /// hundred blocks, so the O(n) eviction scan is irrelevant next to the
 /// simulated wireless costs it models).
 #[derive(Debug, Clone)]
 pub struct LruCache<K, V> {
     capacity: usize,
     tick: u64,
-    map: HashMap<K, (u64, V)>,
+    map: BTreeMap<K, (u64, V)>,
     hits: u64,
     lookups: u64,
 }
 
-impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+impl<K: Ord + Clone, V> LruCache<K, V> {
     /// Creates a cache holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LRU capacity must be positive");
         Self {
             capacity,
             tick: 0,
-            map: HashMap::with_capacity(capacity),
+            map: BTreeMap::new(),
             hits: 0,
             lookups: 0,
         }
@@ -46,7 +47,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn get<Q>(&mut self, k: &Q) -> Option<&V>
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.lookups += 1;
         self.tick += 1;
@@ -66,7 +67,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn peek<Q>(&self, k: &Q) -> bool
     where
         K: Borrow<Q>,
-        Q: Eq + Hash + ?Sized,
+        Q: Ord + ?Sized,
     {
         self.map.contains_key(k)
     }

@@ -15,7 +15,7 @@
 use crate::alloc::{allocate_directions, best_ordering_allocation};
 use mar_geom::{BlockId, GridSpec, Point2, SectorPartition};
 use mar_motion::probability::direction_probabilities;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything a prefetcher may look at when planning.
 #[derive(Debug)]
@@ -118,7 +118,7 @@ impl Prefetcher for MotionAwarePrefetcher {
         let alloc = self.allocate(ctx.budget, &dir_probs);
         // (iii) within each direction pick the highest-probability blocks,
         // topping up with proximity when the predictor offered too few.
-        let exclude: HashSet<BlockId> = ctx.frame_blocks.iter().copied().collect();
+        let exclude: BTreeSet<BlockId> = ctx.frame_blocks.iter().copied().collect();
         let center_block = ctx.grid.block_of(&ctx.position);
         // Already in key order (BTreeMap), so the bucket fill below is
         // deterministic.
@@ -142,7 +142,7 @@ impl Prefetcher for MotionAwarePrefetcher {
             bucket.sort_by(|a, b| {
                 let pa = ctx.block_probs.get(a).copied().unwrap_or(0.0);
                 let pb = ctx.block_probs.get(b).copied().unwrap_or(0.0);
-                pb.partial_cmp(&pa).unwrap().then_with(|| {
+                pb.total_cmp(&pa).then_with(|| {
                     center_block
                         .ring_distance(a)
                         .cmp(&center_block.ring_distance(b))
@@ -150,7 +150,7 @@ impl Prefetcher for MotionAwarePrefetcher {
             });
         }
         let mut picked: Vec<BlockId> = Vec::with_capacity(ctx.budget);
-        let mut picked_set: HashSet<BlockId> = HashSet::with_capacity(ctx.budget);
+        let mut picked_set: BTreeSet<BlockId> = BTreeSet::new();
         for (sector, want) in alloc.iter().enumerate() {
             let mut got = 0usize;
             for b in &buckets[sector] {
@@ -198,7 +198,7 @@ pub struct NaivePrefetcher;
 
 impl Prefetcher for NaivePrefetcher {
     fn plan(&mut self, ctx: &PrefetchContext<'_>) -> Vec<BlockId> {
-        let exclude: HashSet<BlockId> = ctx.frame_blocks.iter().copied().collect();
+        let exclude: BTreeSet<BlockId> = ctx.frame_blocks.iter().copied().collect();
         let center = ctx.grid.block_of(&ctx.position);
         let mut picked = Vec::with_capacity(ctx.budget);
         let ring_max = ((ctx.budget as f64).sqrt() as i64 + 3).max(3);
@@ -285,7 +285,7 @@ mod tests {
         };
         let mut p = MotionAwarePrefetcher::new(4);
         let picked = p.plan(&ctx);
-        let set: HashSet<_> = picked.iter().collect();
+        let set: BTreeSet<_> = picked.iter().collect();
         assert_eq!(set.len(), picked.len(), "duplicates in {picked:?}");
         for b in &frame {
             assert!(!picked.contains(b));
@@ -364,7 +364,7 @@ mod tests {
         let picked = NaivePrefetcher.plan(&ctx);
         // Cannot exceed the number of existing non-frame blocks.
         assert!(picked.len() <= 99);
-        let set: HashSet<_> = picked.iter().collect();
+        let set: BTreeSet<_> = picked.iter().collect();
         assert_eq!(set.len(), picked.len());
     }
 }

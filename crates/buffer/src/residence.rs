@@ -132,8 +132,7 @@ mod tests {
                 let best_int = (1..a)
                     .max_by(|&x, &y| {
                         expected_residence(a, x, pl, pr)
-                            .partial_cmp(&expected_residence(a, y, pl, pr))
-                            .unwrap()
+                            .total_cmp(&expected_residence(a, y, pl, pr))
                     })
                     .unwrap();
                 assert!(

@@ -22,7 +22,7 @@ use mar_geom::GridSpec;
 use mar_mesh::ResolutionBand;
 use mar_motion::{MotionPredictor, PredictorConfig};
 use mar_workload::{frame_at, Scene, Tour};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Simulation parameters.
 #[derive(Debug, Clone, Copy)]
@@ -78,7 +78,7 @@ pub fn run_buffer_sim(
     let data = server.data();
     let total_coeffs = data.len() as f64;
     let mut sorted_w: Vec<f64> = data.records.iter().map(|r| r.w).collect();
-    sorted_w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted_w.sort_by(f64::total_cmp);
     let coeff_bytes = data.coeff_bytes;
     let n_blocks = grid.block_count() as f64;
     let frac_at_least = move |w: f64| -> f64 {
@@ -153,7 +153,7 @@ pub fn run_buffer_sim(
         };
         let plan = prefetcher.plan(&ctx);
         // Keep the frame plus the plan; evict the rest.
-        let keep: HashSet<mar_geom::BlockId> =
+        let keep: BTreeSet<mar_geom::BlockId> =
             frame_blocks.iter().chain(plan.iter()).copied().collect();
         cache.retain(|b| keep.contains(b));
         for b in &plan {

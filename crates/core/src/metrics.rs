@@ -137,7 +137,7 @@ impl SystemMetrics {
             return 0.0;
         }
         let mut v = self.response_times.clone();
-        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v.sort_by(f64::total_cmp);
         let idx = ((p / 100.0) * (v.len() - 1) as f64).round() as usize;
         v[idx.min(v.len() - 1)]
     }

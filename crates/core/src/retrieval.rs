@@ -53,7 +53,9 @@ impl<M: SpeedResolutionMap> IncrementalClient<M> {
         let mut regions = Vec::new();
         match self.prev_frame {
             Some(prev) if prev.intersects(frame) => {
+                // mar-lint: allow(D004) — guarded by the `intersects` match arm
                 let overlap = frame.intersection(&prev).expect("checked intersects");
+                // mar-lint: allow(D004) — always set together with `prev_frame`
                 let prev_band = self.prev_band.expect("band recorded with frame");
                 if band.w_min < prev_band.w_min {
                     // Finer resolution needed: fetch the missing band over

@@ -11,7 +11,9 @@ use crate::index::WaveletIndex;
 use mar_geom::Rect2;
 use mar_mesh::ResolutionBand;
 use mar_workload::Scene;
-use std::collections::{HashMap, HashSet};
+// mar-lint: allow(D001) — `HashSet` here backs the membership-only session
+// filters below; their iteration order is never observed.
+use std::collections::{BTreeMap, HashSet};
 
 /// One sub-query: a region and the resolution band needed inside it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,7 +39,12 @@ pub struct QueryResult {
 
 #[derive(Debug, Default)]
 struct Session {
+    // Membership-only sets on the per-query hot path: every coefficient hit
+    // is tested against them, they are never iterated, so O(1) hashing is
+    // safe and worthwhile here.
+    // mar-lint: allow(D001) — membership-only; iteration order never observed
     sent: HashSet<CoeffRef>,
+    // mar-lint: allow(D001) — membership-only; iteration order never observed
     sent_base: HashSet<u32>,
 }
 
@@ -46,7 +53,7 @@ struct Session {
 pub struct Server {
     data: SceneIndexData,
     index: WaveletIndex,
-    sessions: HashMap<u64, Session>,
+    sessions: BTreeMap<u64, Session>,
     next_session: u64,
 }
 
@@ -58,7 +65,7 @@ impl Server {
         Self {
             data,
             index,
-            sessions: HashMap::new(),
+            sessions: BTreeMap::new(),
             next_session: 0,
         }
     }
@@ -92,6 +99,8 @@ impl Server {
     /// # Panics
     /// Panics on an unknown session id.
     pub fn query(&mut self, session: u64, regions: &[QueryRegion]) -> QueryResult {
+        // mar-lint: allow(D004) — documented `# Panics` contract, covered by the
+        // `unknown_session_panics` test.
         let sess = self.sessions.get_mut(&session).expect("unknown session id");
         let mut result = QueryResult::default();
         for q in regions {

@@ -23,7 +23,7 @@ use mar_mesh::ResolutionBand;
 use mar_motion::{MotionPredictor, PredictorConfig};
 use mar_rtree::{RTree, RTreeConfig};
 use mar_workload::{frame_at, Scene, Tour};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Shared system parameters.
 #[derive(Debug, Clone, Copy)]
@@ -75,7 +75,7 @@ pub fn run_motion_aware_system(
     let data = server.data();
     let total_coeffs = data.len() as f64;
     let mut sorted_w: Vec<f64> = data.records.iter().map(|r| r.w).collect();
-    sorted_w.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted_w.sort_by(f64::total_cmp);
     let coeff_bytes = data.coeff_bytes;
     let n_blocks = grid.block_count() as f64;
     let bytes_per_block = move |w: f64| -> f64 {
@@ -157,7 +157,7 @@ pub fn run_motion_aware_system(
             direction_hint: markov_probs.as_deref(),
         };
         let plan = prefetcher.plan(&ctx);
-        let keep: HashSet<mar_geom::BlockId> =
+        let keep: BTreeSet<mar_geom::BlockId> =
             frame_blocks.iter().chain(plan.iter()).copied().collect();
         cache.retain(|b| keep.contains(b));
         for b in &plan {
@@ -199,7 +199,7 @@ pub fn run_naive_system(
     let mut lru: LruCache<u32, ()> = LruCache::new(capacity);
     // Objects currently on screen: the renderer holds them regardless of
     // the cache, so a tiny LRU cannot thrash on the visible set.
-    let mut visible: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    let mut visible: BTreeSet<u32> = BTreeSet::new();
     let mut metrics = SystemMetrics::default();
 
     for s in &tour.samples {
@@ -207,7 +207,7 @@ pub fn run_naive_system(
         let (hits, io) = tree.query(&frame);
         metrics.io += io;
         let mut bytes = 0.0;
-        let mut now_visible = std::collections::HashSet::with_capacity(hits.len());
+        let mut now_visible = BTreeSet::new();
         for &obj in hits {
             now_visible.insert(obj);
             if !visible.contains(&obj) && lru.get(&obj).is_none() {

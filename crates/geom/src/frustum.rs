@@ -59,6 +59,7 @@ impl Frustum {
         if d2 == 0.0 || self.fov >= TAU {
             return true;
         }
+        // mar-lint: allow(D004) — the `d2 == 0.0` case early-returns above
         let angle = v.angle().expect("non-zero checked");
         let diff =
             (angle - self.heading + std::f64::consts::PI).rem_euclid(TAU) - std::f64::consts::PI;

@@ -13,7 +13,7 @@
 //! are "east", "north", "west", "south"), matching the paper's figure.
 
 use crate::{BlockId, GridSpec, Point2, Vec2};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::f64::consts::TAU;
 
 /// A division of the plane around a reference point into `k` equal angular
@@ -86,10 +86,10 @@ impl SectorPartition {
         center: &Point2,
         blocks: &[BlockId],
         tie_eps: f64,
-    ) -> HashMap<BlockId, usize> {
-        let mut out = HashMap::with_capacity(blocks.len());
+    ) -> BTreeMap<BlockId, usize> {
+        let mut out = BTreeMap::new();
         // Per-boundary toggle used to alternate tied blocks.
-        let mut toggles: HashMap<usize, bool> = HashMap::new();
+        let mut toggles: BTreeMap<usize, bool> = BTreeMap::new();
         let w = self.sector_width();
         for b in blocks {
             let v = grid.block_center(b) - *center;

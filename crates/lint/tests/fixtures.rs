@@ -1,0 +1,123 @@
+//! Fixture-based tests: each rule has one failing and one passing fixture
+//! under `tests/fixtures/`, linted here under a pretend deterministic-crate
+//! library path (the walker skips `fixtures` directories, so the deliberate
+//! violations never pollute a workspace run).
+
+use mar_lint::{lint_source, Finding, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lints a fixture as if it were library code inside `mar-core`.
+fn lint_as_core_lib(name: &str) -> Vec<Finding> {
+    lint_source("crates/core/src/fixture.rs", &fixture(name))
+}
+
+#[test]
+fn d001_failing_fixture() {
+    let f = lint_as_core_lib("d001_fail.rs");
+    assert_eq!(f.len(), 3, "one finding per HashMap token: {f:#?}");
+    assert!(f.iter().all(|x| x.rule == Rule::D001));
+    assert_eq!((f[0].line, f[0].col), (1, 23), "use-declaration site");
+    assert!(f[0].message.contains("BTreeMap"));
+}
+
+#[test]
+fn d001_passing_fixture() {
+    assert!(lint_as_core_lib("d001_pass.rs").is_empty());
+}
+
+#[test]
+fn d001_allow_fixture_suppresses_with_reason() {
+    assert!(lint_as_core_lib("d001_allow.rs").is_empty());
+}
+
+#[test]
+fn d001_allow_without_reason_is_rejected() {
+    let f = lint_as_core_lib("d001_allow_missing_reason.rs");
+    // The bare annotation is itself a D000 finding AND fails to suppress
+    // the D001 on the use-declaration it precedes.
+    assert_eq!(
+        f.iter().map(|x| x.rule).collect::<Vec<_>>(),
+        vec![Rule::D000, Rule::D001],
+        "{f:#?}"
+    );
+    assert_eq!(f[0].line, 1, "the malformed annotation line");
+    assert_eq!(f[1].line, 2, "the unsuppressed use-declaration");
+    assert!(f[0].message.contains("reason"));
+}
+
+#[test]
+fn d002_failing_fixture() {
+    let f = lint_as_core_lib("d002_fail.rs");
+    assert!(f.iter().any(|x| x.rule == Rule::D002), "{f:#?}");
+    let d002 = f.iter().find(|x| x.rule == Rule::D002).unwrap();
+    assert_eq!(d002.line, 2);
+    assert!(d002.message.contains("total_cmp"));
+}
+
+#[test]
+fn d002_passing_fixture() {
+    assert!(lint_as_core_lib("d002_pass.rs").is_empty());
+}
+
+#[test]
+fn d003_failing_fixture() {
+    let f = lint_as_core_lib("d003_fail.rs");
+    assert_eq!(
+        f.iter().map(|x| x.rule).collect::<Vec<_>>(),
+        vec![Rule::D003]
+    );
+    assert_eq!(f[0].line, 2);
+    // D003 applies even in bin targets outside the annotated timing layer.
+    let binf = lint_source("crates/bench/src/bin/fixture.rs", &fixture("d003_fail.rs"));
+    assert_eq!(binf.len(), 1);
+}
+
+#[test]
+fn d003_passing_fixture() {
+    assert!(lint_as_core_lib("d003_pass.rs").is_empty());
+}
+
+#[test]
+fn d004_failing_fixture() {
+    let f = lint_as_core_lib("d004_fail.rs");
+    assert_eq!(
+        f.iter().map(|x| x.rule).collect::<Vec<_>>(),
+        vec![Rule::D004]
+    );
+    assert_eq!(f[0].line, 2);
+    // The same code is fine in a bin target.
+    assert!(lint_source("crates/bench/src/bin/fixture.rs", &fixture("d004_fail.rs")).is_empty());
+}
+
+#[test]
+fn d004_passing_fixture_includes_test_module_unwrap() {
+    assert!(lint_as_core_lib("d004_pass.rs").is_empty());
+}
+
+#[test]
+fn d005_failing_fixture() {
+    let f = lint_source("crates/core/src/lib.rs", &fixture("d005_fail.rs"));
+    assert_eq!(
+        f.iter().map(|x| x.rule).collect::<Vec<_>>(),
+        vec![Rule::D005]
+    );
+    assert_eq!((f[0].line, f[0].col), (1, 1));
+}
+
+#[test]
+fn d005_passing_fixture() {
+    assert!(lint_source("crates/core/src/lib.rs", &fixture("d005_pass.rs")).is_empty());
+}
+
+#[test]
+fn findings_render_as_file_line_col_rule() {
+    let f = lint_as_core_lib("d004_fail.rs");
+    assert_eq!(
+        f[0].to_string(),
+        format!("crates/core/src/fixture.rs:2:16 [D004] {}", f[0].message)
+    );
+}

@@ -1,0 +1,7 @@
+// mar-lint: allow(D001)
+use std::collections::HashSet;
+
+pub fn dedup_count(xs: &[u32]) -> usize {
+    let seen: HashSet<u32> = xs.iter().copied().collect(); // mar-lint: allow(D001) — membership-only
+    seen.len()
+}

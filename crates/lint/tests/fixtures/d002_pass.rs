@@ -1,0 +1,3 @@
+pub fn sort_desc(v: &mut [f64]) {
+    v.sort_by(|a, b| b.total_cmp(a));
+}

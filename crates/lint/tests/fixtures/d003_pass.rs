@@ -1,0 +1,3 @@
+pub fn stamp(tick: u64) -> u64 {
+    tick + 1
+}

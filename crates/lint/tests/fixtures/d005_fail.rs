@@ -1,0 +1,3 @@
+//! A crate root without the unsafe-code forbid.
+
+pub fn f() {}

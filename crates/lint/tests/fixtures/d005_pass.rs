@@ -1,0 +1,5 @@
+//! A crate root with the unsafe-code forbid.
+
+#![forbid(unsafe_code)]
+
+pub fn f() {}

@@ -1,0 +1,24 @@
+//! The workspace must lint clean: `mar-lint` run over the repository root
+//! reports zero findings. This is the test that keeps the determinism
+//! invariants (DESIGN.md) enforced rather than aspirational.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_zero_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels below the workspace root");
+    let findings = mar_lint::lint_workspace(root).expect("walk workspace");
+    assert!(
+        findings.is_empty(),
+        "mar-lint found {} violation(s):\n{}",
+        findings.len(),
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -80,7 +80,7 @@ pub fn rate_distortion(wm: &WaveletMesh, size: &SizeModel, thresholds: &[f64]) -
             }
         })
         .collect();
-    points.sort_by(|a, b| a.bytes.partial_cmp(&b.bytes).unwrap());
+    points.sort_by(|a, b| a.bytes.total_cmp(&b.bytes));
     points
 }
 

@@ -121,6 +121,7 @@ fn generate_terrain(params: &ObjectParams) -> WaveletMesh {
         ],
         vec![[0, 1, 2], [0, 2, 3]],
     )
+    // mar-lint: allow(D004) — static 4-vertex, 2-face literal; validity is structural
     .expect("terrain base is valid");
     let (h, mut fine) = SubdivisionHierarchy::build(base, params.levels);
     for v in &mut fine.vertices {

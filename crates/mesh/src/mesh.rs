@@ -7,7 +7,7 @@
 //! "neighbouring vertices" filtering (paper §IV, Figure 3) are built from.
 
 use mar_geom::Point3;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An indexed triangle mesh.
 #[derive(Debug, Clone, PartialEq)]
@@ -115,8 +115,8 @@ impl TriMesh {
     }
 
     /// Map from undirected edge to the (1 or 2) faces containing it.
-    pub fn edge_faces(&self) -> HashMap<(u32, u32), Vec<u32>> {
-        let mut out: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+    pub fn edge_faces(&self) -> BTreeMap<(u32, u32), Vec<u32>> {
+        let mut out: BTreeMap<(u32, u32), Vec<u32>> = BTreeMap::new();
         for (fi, f) in self.faces.iter().enumerate() {
             for (a, b) in [(f[0], f[1]), (f[1], f[2]), (f[2], f[0])] {
                 out.entry((a.min(b), a.max(b))).or_default().push(fi as u32);

@@ -20,7 +20,7 @@ use crate::subdivision::SubdivisionHierarchy;
 use crate::wavelet::{WaveletCoeff, WaveletMesh};
 use crate::TriMesh;
 use mar_geom::{Point3, Vec3};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The client-side progressive state of one object.
 #[derive(Debug, Clone)]
@@ -30,7 +30,7 @@ pub struct ProgressiveDecoder {
     /// coefficient set.
     positions: Vec<Point3>,
     /// Received details, by vertex index.
-    received: HashMap<u32, Vec3>,
+    received: BTreeMap<u32, Vec3>,
     /// children[v] = vertices whose parent edge includes `v`.
     children: Vec<Vec<u32>>,
     /// Parent edge of every inserted vertex.
@@ -67,7 +67,7 @@ impl ProgressiveDecoder {
         Self {
             hierarchy,
             positions,
-            received: HashMap::new(),
+            received: BTreeMap::new(),
             children,
             parents,
         }

@@ -13,7 +13,7 @@
 //! exists.
 
 use crate::mesh::TriMesh;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The connectivity delta of one subdivision step.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,7 +53,7 @@ pub fn subdivide(mesh: &TriMesh) -> (TriMesh, SubdivisionStep) {
     let nv = mesh.vertices.len() as u32;
     let mut vertices = mesh.vertices.clone();
     let mut parents = Vec::new();
-    let mut midpoint_of: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut midpoint_of: BTreeMap<(u32, u32), u32> = BTreeMap::new();
     let mut faces = Vec::with_capacity(mesh.faces.len() * 4);
 
     let mut midpoint = |a: u32, b: u32, vertices: &mut Vec<mar_geom::Point3>| -> u32 {

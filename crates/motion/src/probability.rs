@@ -193,10 +193,7 @@ mod tests {
         let probs = gaussian_block_probabilities(&g, &[pred(55.0, 55.0, 25.0)]);
         let total: f64 = probs.values().sum();
         assert!((total - 1.0).abs() < 1e-9);
-        let peak = probs
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let peak = probs.iter().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
         assert_eq!(*peak.0, BlockId::new(5, 5));
     }
 
@@ -206,10 +203,7 @@ mod tests {
         let probs = gaussian_block_probabilities(&g, &[pred(150.0, 50.0, 25.0)]);
         // Probability mass exists and sits on the +x edge.
         assert!(!probs.is_empty());
-        let peak = probs
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap();
+        let peak = probs.iter().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
         assert_eq!(peak.0.ix, 9);
     }
 

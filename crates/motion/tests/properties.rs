@@ -118,7 +118,7 @@ fn dominant_direction_wins_across_headings() {
         let best = dir
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .unwrap()
             .0;
         assert_eq!(best, expect_sector, "heading {heading}: probs {dir:?}");

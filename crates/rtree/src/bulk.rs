@@ -37,6 +37,7 @@ impl<const N: usize, T> RTree<N, T> {
                     .iter()
                     .map(|e| e.rect)
                     .reduce(|a, b| a.union(&b))
+                    // mar-lint: allow(D004) — grouping emits no empty chunks
                     .expect("non-empty leaf group");
                 (mbr, Box::new(Node::Leaf { entries: g }))
             })
@@ -57,12 +58,14 @@ impl<const N: usize, T> RTree<N, T> {
                         .iter()
                         .map(|e| e.rect)
                         .reduce(|a, b| a.union(&b))
+                        // mar-lint: allow(D004) — grouping emits no empty chunks
                         .expect("non-empty internal group");
                     (mbr, Box::new(Node::Internal { entries: g }))
                 })
                 .collect();
             height += 1;
         }
+        // mar-lint: allow(D004) — the pack loop terminates with exactly one root
         let (_, root) = nodes.pop().expect("at least one node");
         Self {
             config,
@@ -97,11 +100,7 @@ fn str_tile<const N: usize, R: crate::insert::HasRect<N>>(
         out.push(items);
         return;
     }
-    items.sort_by(|a, b| {
-        center_coord(a.rect(), dim)
-            .partial_cmp(&center_coord(b.rect(), dim))
-            .unwrap()
-    });
+    items.sort_by(|a, b| center_coord(a.rect(), dim).total_cmp(&center_coord(b.rect(), dim)));
     if dim + 1 == N {
         // Last dimension: emit balanced groups of at most `cap`.
         let groups = n.div_ceil(cap);

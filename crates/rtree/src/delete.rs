@@ -21,6 +21,7 @@ impl<const N: usize, T: PartialEq> RTree<N, T> {
         loop {
             let shrink = match &mut self.root {
                 Node::Internal { entries } if entries.len() == 1 => {
+                    // mar-lint: allow(D004) — `entries.len() == 1` matched above
                     Some(*entries.pop().expect("single child").child)
                 }
                 _ => None,
@@ -96,12 +97,14 @@ fn remove_rec<const N: usize, T: PartialEq>(
                 }
             }
             let removed = removed?;
+            // mar-lint: allow(D004) — `removed` is only Some after `touched` is set
             let i = touched.expect("touched set with removed");
             if entries[i].child.entry_count() < config.min_entries {
                 // Dissolve the underfull child; orphan its leaf items.
                 let child = entries.remove(i).child;
                 collect_items(*child, orphans);
             } else {
+                // mar-lint: allow(D004) — child holds ≥ min_entries per the branch above
                 entries[i].rect = entries[i].child.mbr().expect("non-empty child");
             }
             Some(removed)

@@ -41,6 +41,7 @@ fn mbr_of<const N: usize, R: HasRect<N>>(items: &[R]) -> Rect<N> {
         .iter()
         .map(|i| *i.rect())
         .reduce(|a, b| a.union(&b))
+        // mar-lint: allow(D004) — callers only pass non-empty entry slices
         .expect("mbr of empty set")
 }
 
@@ -70,6 +71,7 @@ impl<const N: usize, T> RTree<N, T> {
 
     fn grow_root(&mut self, sibling_rect: Rect<N>, sibling: Box<Node<N, T>>) {
         let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+        // mar-lint: allow(D004) — a node that just split holds ≥ min_entries
         let old_rect = old_root.mbr().expect("split root cannot be empty");
         self.root = Node::Internal {
             entries: vec![
@@ -125,6 +127,7 @@ fn insert_rec<const N: usize, T>(
             entries[idx].rect = entries[idx]
                 .child
                 .mbr()
+                // mar-lint: allow(D004) — insertion only ever adds entries
                 .expect("child emptied during insert");
             if let Some((rect, child)) = split {
                 entries.push(ChildEntry { rect, child });
@@ -156,7 +159,7 @@ fn force_reinsert<const N: usize, T>(
     order.sort_by(|&a, &b| {
         let da = entries[a].rect.center().distance(&node_center);
         let db = entries[b].rect.center().distance(&node_center);
-        db.partial_cmp(&da).unwrap()
+        db.total_cmp(&da)
     });
     let to_remove: Vec<usize> = order.into_iter().take(p).collect();
     let mut removed: Vec<Entry<N, T>> = Vec::with_capacity(p);
@@ -170,7 +173,7 @@ fn force_reinsert<const N: usize, T>(
     removed.sort_by(|a, b| {
         let da = a.rect.center().distance(&node_center);
         let db = b.rect.center().distance(&node_center);
-        db.partial_cmp(&da).unwrap()
+        db.total_cmp(&da)
     });
     reinserts.extend(removed);
 }
@@ -296,7 +299,7 @@ fn quadratic_split<const N: usize, R: HasRect<N>>(
         let it = items.swap_remove(pick);
         let da = mbr_a.enlargement(it.rect());
         let db = mbr_b.enlargement(it.rect());
-        let to_a = match da.partial_cmp(&db).unwrap() {
+        let to_a = match da.total_cmp(&db) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => {
@@ -334,9 +337,9 @@ fn rstar_split<const N: usize, R: HasRect<N>>(
         order.sort_by(|&a, &b| {
             let ra = items[a].rect();
             let rb = items[b].rect();
-            (ra.lo[axis], ra.hi[axis])
-                .partial_cmp(&(rb.lo[axis], rb.hi[axis]))
-                .unwrap()
+            ra.lo[axis]
+                .total_cmp(&rb.lo[axis])
+                .then(ra.hi[axis].total_cmp(&rb.hi[axis]))
         });
         let mut margin_sum = 0.0;
         for k in m..=(total - m) {
@@ -355,9 +358,9 @@ fn rstar_split<const N: usize, R: HasRect<N>>(
     order.sort_by(|&a, &b| {
         let ra = items[a].rect();
         let rb = items[b].rect();
-        (ra.lo[best_axis], ra.hi[best_axis])
-            .partial_cmp(&(rb.lo[best_axis], rb.hi[best_axis]))
-            .unwrap()
+        ra.lo[best_axis]
+            .total_cmp(&rb.lo[best_axis])
+            .then(ra.hi[best_axis].total_cmp(&rb.hi[best_axis]))
     });
     let mut best_k = m;
     let mut best_key = (f64::INFINITY, f64::INFINITY);
@@ -375,10 +378,12 @@ fn rstar_split<const N: usize, R: HasRect<N>>(
     let mut slots: Vec<Option<R>> = items.into_iter().map(Some).collect();
     let left: Vec<R> = order[..best_k]
         .iter()
+        // mar-lint: allow(D004) — `order` is a permutation; each index once
         .map(|&i| slots[i].take().expect("index used twice"))
         .collect();
     let right: Vec<R> = order[best_k..]
         .iter()
+        // mar-lint: allow(D004) — `order` is a permutation; each index once
         .map(|&i| slots[i].take().expect("index used twice"))
         .collect();
     (left, right)
@@ -388,6 +393,7 @@ fn mbr_of_indices<const N: usize, R: HasRect<N>>(items: &[R], idx: &[usize]) -> 
     idx.iter()
         .map(|&i| *items[i].rect())
         .reduce(|a, b| a.union(&b))
+        // mar-lint: allow(D004) — split distributions are never empty (k ≥ m)
         .expect("mbr of empty slice")
 }
 

@@ -37,10 +37,7 @@ impl<const N: usize, T> PartialOrd for Prioritized<'_, N, T> {
 impl<const N: usize, T> Ord for Prioritized<'_, N, T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap via reversed comparison; NaN-free by construction.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .unwrap_or(Ordering::Equal)
+        other.dist.total_cmp(&self.dist)
     }
 }
 
@@ -144,7 +141,7 @@ mod tests {
             .flat_map(|x| (0..15).map(move |y| (x, y)))
             .map(|(x, y)| q.distance(&Point2::new([x as f64, y as f64])))
             .collect();
-        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        all.sort_by(f64::total_cmp);
         for (i, (d, _)) in got.iter().enumerate() {
             assert!((d - all[i]).abs() < 1e-9, "rank {i}: {d} vs {}", all[i]);
         }

@@ -1,1 +1,3 @@
 //! Workspace examples; see the example targets.
+
+#![forbid(unsafe_code)]

@@ -1,1 +1,3 @@
 //! Cross-crate integration tests.
+
+#![forbid(unsafe_code)]
