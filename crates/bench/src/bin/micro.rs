@@ -1,0 +1,376 @@
+//! `micro` — the microbenchmark harness (`mar-bench micro`).
+//!
+//! Times the hot operations the figure sweeps are built from — index
+//! construction and window-query throughput — plus one end-to-end figure
+//! pair, and writes machine-readable JSON next to the human-readable
+//! stderr report:
+//!
+//! * `BENCH_micro.json` — per-operation statistics (see EXPERIMENTS.md
+//!   for the schema),
+//! * `BENCH_reproduce.json` — wall time of the end-to-end tables.
+//!
+//! ```text
+//! cargo run -p mar-bench --release --bin micro            # full run
+//! cargo run -p mar-bench --release --bin micro -- --smoke # CI smoke
+//! cargo run -p mar-bench --release --bin micro -- --out-dir target
+//! ```
+//!
+//! `--smoke` collapses every measurement to a tiny scene and a couple of
+//! iterations so CI can prove the harness end-to-end in seconds; the
+//! numbers it writes are *not* meaningful measurements and are flagged as
+//! `"mode": "smoke"` in both files.
+
+use criterion::{black_box, Criterion, Measurement};
+use mar_bench::figs;
+use mar_bench::{Scale, Table};
+use mar_core::{SceneIndexData, WaveletIndex};
+use mar_geom::{Point2, Rect3};
+use mar_mesh::ResolutionBand;
+use mar_rtree::{RTree, RTreeConfig, Variant};
+use mar_workload::{frame_at, Placement, Scene};
+use std::time::Duration;
+
+/// One serialised benchmark entry.
+struct Entry {
+    group: &'static str,
+    name: String,
+    m: Measurement,
+    /// Queries executed per iteration (1 for non-query benches) so
+    /// per-query time can be derived from the per-iteration mean.
+    ops_per_iter: u64,
+}
+
+struct Options {
+    smoke: bool,
+    out_dir: String,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        out_dir: ".".to_string(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--out-dir" => {
+                opts.out_dir = it
+                    .next()
+                    .ok_or_else(|| "--out-dir needs a value".to_string())?
+                    .clone();
+            }
+            _ if a.starts_with("--out-dir=") => {
+                opts.out_dir = a["--out-dir=".len()..].to_string();
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument: {other}\nusage: micro [--smoke] [--out-dir DIR]"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// The measurement scale: scene size and timing budgets.
+struct MicroScale {
+    objects: usize,
+    levels: usize,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl MicroScale {
+    fn full() -> Self {
+        Self {
+            objects: 60,
+            levels: 3,
+            sample_size: 10,
+            measurement: Duration::from_millis(1500),
+            warm_up: Duration::from_millis(200),
+        }
+    }
+
+    fn smoke() -> Self {
+        Self {
+            objects: 12,
+            levels: 2,
+            sample_size: 2,
+            measurement: Duration::from_millis(30),
+            warm_up: Duration::from_millis(5),
+        }
+    }
+}
+
+/// Lifted `(rect, id)` items for the 3-D support index.
+fn index_items(data: &SceneIndexData) -> Vec<(Rect3, mar_core::CoeffRef)> {
+    data.records
+        .iter()
+        .map(|r| (r.support_xy.lift(r.w, r.w), r.id))
+        .collect()
+}
+
+/// An evenly spaced `k × k` grid of query centers inside the space.
+fn query_centers(scene: &Scene, k: usize) -> Vec<Point2> {
+    let space = scene.config.space;
+    let mut out = Vec::with_capacity(k * k);
+    for iy in 0..k {
+        for ix in 0..k {
+            let fx = (ix as f64 + 0.5) / k as f64;
+            let fy = (iy as f64 + 0.5) / k as f64;
+            out.push(Point2::new([
+                space.lo[0] + fx * space.extent(0),
+                space.lo[1] + fy * space.extent(1),
+            ]));
+        }
+    }
+    out
+}
+
+fn bench_index_build(
+    c: &mut Criterion,
+    ms: &MicroScale,
+    data: &SceneIndexData,
+    entries: &mut Vec<Entry>,
+) {
+    let mut group = c.benchmark_group("index_build");
+    group
+        .sample_size(ms.sample_size)
+        .measurement_time(ms.measurement)
+        .warm_up_time(ms.warm_up);
+    if let Some(m) = group.bench_function_measured("wavelet_str_bulk", |b| {
+        b.iter(|| WaveletIndex::build(black_box(data)))
+    }) {
+        entries.push(Entry {
+            group: "index_build",
+            name: "wavelet_str_bulk".into(),
+            m,
+            ops_per_iter: 1,
+        });
+    }
+    let paper = RTreeConfig::paper();
+    for (label, variant) in [
+        ("guttman_insert", Variant::Guttman),
+        ("rstar_insert", Variant::RStar),
+    ] {
+        let items = index_items(data);
+        if let Some(m) = group.bench_function_measured(label, |b| {
+            b.iter(|| {
+                let mut tree: RTree<3, mar_core::CoeffRef> =
+                    RTree::new(RTreeConfig::new(paper.max_entries, variant));
+                for (rect, id) in &items {
+                    tree.insert(*rect, *id);
+                }
+                tree
+            })
+        }) {
+            entries.push(Entry {
+                group: "index_build",
+                name: label.into(),
+                m,
+                ops_per_iter: 1,
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_window_queries(
+    c: &mut Criterion,
+    ms: &MicroScale,
+    scene: &Scene,
+    index: &WaveletIndex,
+    entries: &mut Vec<Entry>,
+) {
+    let centers = query_centers(scene, 4);
+    let bands: [(&str, ResolutionBand); 3] = [
+        ("full", ResolutionBand::FULL),
+        ("half", ResolutionBand::new(0.5, 1.0)),
+        ("top", ResolutionBand::new(0.9, 1.0)),
+    ];
+    let mut group = c.benchmark_group("window_query");
+    group
+        .sample_size(ms.sample_size)
+        .measurement_time(ms.measurement)
+        .warm_up_time(ms.warm_up);
+    for frac in [0.01, 0.05, 0.10, 0.25] {
+        for (band_label, band) in bands {
+            let name = format!("frac{:02}_{band_label}", (frac * 100.0) as u32);
+            let windows: Vec<_> = centers
+                .iter()
+                .map(|p| frame_at(&scene.config.space, p, frac))
+                .collect();
+            if let Some(m) = group.bench_function_measured(&name, |b| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for w in &windows {
+                        total += index.count_in(black_box(w), band).0;
+                    }
+                    total
+                })
+            }) {
+                entries.push(Entry {
+                    group: "window_query",
+                    name,
+                    m,
+                    ops_per_iter: windows.len() as u64,
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+/// End-to-end: regenerate one index figure and one system figure at the
+/// CI scale, recording wall time per table.
+fn bench_end_to_end(smoke: bool) -> (Vec<(String, f64, usize)>, f64) {
+    let scale = if smoke {
+        let mut s = Scale::quick();
+        s.ticks = 60;
+        s.speeds = vec![0.5];
+        s.objects_default = 12;
+        s.levels = 2;
+        s
+    } else {
+        Scale::quick()
+    };
+    let mut rows: Vec<(String, f64, usize)> = Vec::new();
+    let mut total = 0.0;
+    let mut run = |label: &str, table: Box<dyn FnOnce() -> Table>| {
+        // mar-lint: allow(D003) — wall-time measurement is this harness's job
+        let t0 = std::time::Instant::now();
+        let t = table();
+        let secs = t0.elapsed().as_secs_f64();
+        eprintln!("  end_to_end/{label}: {secs:.3} s ({} rows)", t.rows.len());
+        rows.push((label.to_string(), secs, t.rows.len()));
+        total += secs;
+    };
+    let s13 = scale.clone();
+    run("fig13a", Box::new(move || figs::fig13a(&s13)));
+    let s14 = scale.clone();
+    run(
+        "fig14",
+        Box::new(move || figs::fig14_15(&s14, Placement::Uniform)),
+    );
+    (rows, total)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_micro_json(
+    path: &str,
+    mode: &str,
+    scene: &Scene,
+    coeffs: usize,
+    entries: &[Entry],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mar-bench-micro/1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!(
+        "  \"scene\": {{\"objects\": {}, \"coefficients\": {}, \"levels\": {}}},\n",
+        scene.objects.len(),
+        coeffs,
+        scene.config.levels
+    ));
+    out.push_str("  \"results\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        let per_op = e.m.mean_ns / e.ops_per_iter as f64;
+        out.push_str(&format!(
+            "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {:.1}, \
+             \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}, \
+             \"ops_per_iter\": {}, \"per_op_ns\": {:.1}}}{}\n",
+            json_escape(e.group),
+            json_escape(&e.name),
+            e.m.mean_ns,
+            e.m.min_ns,
+            e.m.max_ns,
+            e.m.iters,
+            e.ops_per_iter,
+            per_op,
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
+fn write_reproduce_json(
+    path: &str,
+    mode: &str,
+    tables: &[(String, f64, usize)],
+    total: f64,
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mar-bench-reproduce/1\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"scale\": \"quick\",\n");
+    out.push_str("  \"tables\": [\n");
+    for (i, (id, secs, rows)) in tables.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"seconds\": {:.3}, \"rows\": {}}}{}\n",
+            json_escape(id),
+            secs,
+            rows,
+            if i + 1 == tables.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"total_seconds\": {total:.3}\n"));
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let mode = if opts.smoke { "smoke" } else { "full" };
+    let ms = if opts.smoke {
+        MicroScale::smoke()
+    } else {
+        MicroScale::full()
+    };
+    eprintln!(
+        "micro: {mode} run ({} objects, {} levels)",
+        ms.objects, ms.levels
+    );
+
+    let mut scale = Scale::quick();
+    scale.objects_default = ms.objects;
+    scale.levels = ms.levels;
+    let scene = figs::build_scene(&scale, ms.objects, Placement::Uniform);
+    let data = SceneIndexData::build(&scene);
+    let index = WaveletIndex::build(&data);
+
+    let mut c = Criterion::default();
+    let mut entries: Vec<Entry> = Vec::new();
+    bench_index_build(&mut c, &ms, &data, &mut entries);
+    bench_window_queries(&mut c, &ms, &scene, &index, &mut entries);
+
+    eprintln!("\nbench group: end_to_end");
+    let (tables, total) = bench_end_to_end(opts.smoke);
+
+    let micro_path = format!("{}/BENCH_micro.json", opts.out_dir);
+    let repro_path = format!("{}/BENCH_reproduce.json", opts.out_dir);
+    if let Err(e) = write_micro_json(&micro_path, mode, &scene, data.len(), &entries) {
+        eprintln!("micro: cannot write {micro_path}: {e}");
+        std::process::exit(1);
+    }
+    if let Err(e) = write_reproduce_json(&repro_path, mode, &tables, total) {
+        eprintln!("micro: cannot write {repro_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("\nmicro: wrote {micro_path} and {repro_path}");
+}

@@ -1,0 +1,50 @@
+//! Golden-output regression test: regenerates one small figure table and
+//! asserts the CSV is byte-identical to the committed fixture.
+//!
+//! The full reproduction (`results/*.csv`) is the real determinism
+//! contract, but it takes too long for the test suite. This pins a scaled
+//! down fig13a instead: any change that perturbs float operation order or
+//! values anywhere along the pipeline (scene generation, prediction,
+//! indexing, query counting) shows up here as a one-line diff.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! MAR_UPDATE_GOLDEN=1 cargo test -p mar-bench --test golden
+//! ```
+//!
+//! then re-run without the variable and commit the updated fixture.
+
+use mar_bench::{figs, Scale};
+
+/// The reduced scale: same shape as `Scale::quick` but small enough that
+/// the table builds in about a second even unoptimised.
+fn small_scale() -> Scale {
+    let mut s = Scale::quick();
+    s.ticks = 60;
+    s.speeds = vec![0.5];
+    s.objects_default = 12;
+    s.levels = 2;
+    s
+}
+
+#[test]
+fn fig13a_small_matches_golden_csv() {
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/fig13a_small.csv");
+    let table = figs::fig13a(&small_scale());
+    let csv = table.to_csv();
+
+    if std::env::var_os("MAR_UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &csv).expect("write golden fixture");
+        eprintln!("updated {golden_path}");
+        return;
+    }
+
+    let golden = std::fs::read_to_string(golden_path)
+        .expect("missing golden fixture; run with MAR_UPDATE_GOLDEN=1 to create it");
+    assert_eq!(
+        csv, golden,
+        "fig13a output drifted from the committed golden CSV; if the \
+         change is intentional, regenerate with MAR_UPDATE_GOLDEN=1"
+    );
+}

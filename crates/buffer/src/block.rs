@@ -109,6 +109,14 @@ impl BlockCache {
     /// (absent, or cached too coarse). Hit blocks are marked used.
     pub fn access(&mut self, frame_blocks: &[BlockId], w_min: f64) -> Vec<BlockId> {
         let mut misses = Vec::new();
+        self.access_into(frame_blocks, w_min, &mut misses);
+        misses
+    }
+
+    /// Like [`BlockCache::access`], but reuses `misses` (cleared first) so
+    /// per-tick simulation loops allocate nothing in steady state.
+    pub fn access_into(&mut self, frame_blocks: &[BlockId], w_min: f64, misses: &mut Vec<BlockId>) {
+        misses.clear();
         for b in frame_blocks {
             self.stats.lookups += 1;
             match self.slots.get_mut(b) {
@@ -122,7 +130,6 @@ impl BlockCache {
                 _ => misses.push(*b),
             }
         }
-        misses
     }
 
     /// Installs blocks fetched on demand (they are "used" by definition).

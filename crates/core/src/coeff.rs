@@ -49,6 +49,11 @@ pub struct SceneIndexData {
     pub base_bytes: Vec<f64>,
     /// Wire bytes of each object at full resolution.
     pub object_bytes: Vec<f64>,
+    /// Every coefficient magnitude, sorted ascending (`total_cmp`).
+    /// Computed once at build time so the per-run planning closures in the
+    /// system and buffer simulations (`bytes_per_block`) can
+    /// `partition_point` directly instead of re-sorting per run.
+    pub sorted_w: Vec<f64>,
 }
 
 impl SceneIndexData {
@@ -92,12 +97,15 @@ impl SceneIndexData {
             base_bytes.push(scene.size_model.base_bytes(&obj.mesh));
             object_bytes.push(scene.size_model.object_bytes(&obj.mesh));
         }
+        let mut sorted_w: Vec<f64> = records.iter().map(|r| r.w).collect();
+        sorted_w.sort_by(f64::total_cmp);
         Self {
             records,
             footprints,
             coeff_bytes: scene.size_model.coeff_bytes,
             base_bytes,
             object_bytes,
+            sorted_w,
         }
     }
 

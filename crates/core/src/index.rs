@@ -64,14 +64,39 @@ impl WaveletIndex {
         self.tree.node_count()
     }
 
+    /// Executes `Q(R, w_max, w_min)` as a visitor: `visit` is called once
+    /// per matching coefficient, in index search order, without
+    /// materialising a hit vector. Returns the node accesses (I/O).
+    ///
+    /// This is the single query path — [`WaveletIndex::query`] and
+    /// [`WaveletIndex::count_in`] (and through them every server entry
+    /// point, session-filtered or stateless) route here, so the answers
+    /// cannot drift apart.
+    pub fn for_each(
+        &self,
+        region: &Rect2,
+        band: ResolutionBand,
+        mut visit: impl FnMut(CoeffRef),
+    ) -> u64 {
+        let window: Rect3 = region.lift(band.w_min, band.w_max);
+        self.tree.search(&window, |_, id| visit(*id))
+    }
+
     /// Executes `Q(R, w_max, w_min)`: every coefficient whose support
     /// region intersects `region` and whose magnitude lies in `band`.
     /// Returns the hits and the node accesses (I/O).
     pub fn query(&self, region: &Rect2, band: ResolutionBand) -> (Vec<CoeffRef>, u64) {
-        let window: Rect3 = region.lift(band.w_min, band.w_max);
         let mut hits = Vec::new();
-        let io = self.tree.search(&window, |_, id| hits.push(*id));
+        let io = self.for_each(region, band, |id| hits.push(id));
         (hits, io)
+    }
+
+    /// Counts the coefficients `Q(R, w_max, w_min)` would return without
+    /// materialising them. Returns the count and the node accesses.
+    pub fn count_in(&self, region: &Rect2, band: ResolutionBand) -> (usize, u64) {
+        let mut n = 0usize;
+        let io = self.for_each(region, band, |_| n += 1);
+        (n, io)
     }
 
     /// Cumulative I/O across queries (see [`mar_rtree::RTree::io_count`]).

@@ -102,20 +102,25 @@ impl Server {
         // mar-lint: allow(D004) — documented `# Panics` contract, covered by the
         // `unknown_session_panics` test.
         let sess = self.sessions.get_mut(&session).expect("unknown session id");
+        // Split borrows: the visitor mutates the session and the result
+        // while the index (a sibling field) runs the search, so no
+        // per-sub-query hit vector is ever materialised — the session
+        // filter runs inside the tree walk, in index search order.
+        let index = &self.index;
+        let data = &self.data;
         let mut result = QueryResult::default();
         for q in regions {
-            let (hits, io) = self.index.query(&q.region, q.band);
-            result.io += io;
-            for id in hits {
+            let io = index.for_each(&q.region, q.band, |id| {
                 if sess.sent.insert(id) {
                     result.coeffs += 1;
-                    result.bytes += self.data.coeff_bytes;
+                    result.bytes += data.coeff_bytes;
                     if sess.sent_base.insert(id.object) {
                         result.new_objects += 1;
-                        result.bytes += self.data.base_bytes[id.object as usize];
+                        result.bytes += data.base_bytes[id.object as usize];
                     }
                 }
-            }
+            });
+            result.io += io;
         }
         result
     }
@@ -144,9 +149,11 @@ impl Server {
     }
 
     /// Stateless byte size of a block at a band (planning/estimation).
+    /// Only the hit *count* matters here, so the index counts in place
+    /// instead of materialising the hit vector.
     pub fn block_bytes_stateless(&self, block: &Rect2, band: ResolutionBand) -> (f64, u64) {
-        let (hits, io) = self.index.query(block, band);
-        (hits.len() as f64 * self.data.coeff_bytes, io)
+        let (n, io) = self.index.count_in(block, band);
+        (n as f64 * self.data.coeff_bytes, io)
     }
 
     /// How many coefficients a session has been sent.

@@ -74,8 +74,9 @@ pub fn run_motion_aware_system(
     let policy = MultiresPolicy::new(cfg.buffer_bytes);
     let data = server.data();
     let total_coeffs = data.len() as f64;
-    let mut sorted_w: Vec<f64> = data.records.iter().map(|r| r.w).collect();
-    sorted_w.sort_by(f64::total_cmp);
+    // Sorted once in `SceneIndexData::build`; cloned here (not re-sorted)
+    // because the closure must outlive this immutable borrow of the server.
+    let sorted_w = data.sorted_w.clone();
     let coeff_bytes = data.coeff_bytes;
     let n_blocks = grid.block_count() as f64;
     let bytes_per_block = move |w: f64| -> f64 {
@@ -96,9 +97,19 @@ pub fn run_motion_aware_system(
     let mut cruise = crate::speedmap::SmoothedSpeed::with_alphas(0.5, 0.008);
     let mut metrics = SystemMetrics::default();
 
+    // Per-tick scratch, allocated once and reused across the whole tour so
+    // the steady-state loop body allocates nothing.
+    let mut frame_blocks: Vec<mar_geom::BlockId> = Vec::new();
+    let mut misses: Vec<mar_geom::BlockId> = Vec::new();
+    let mut predictions: Vec<mar_motion::Prediction> = Vec::new();
+    let mut block_probs: std::collections::BTreeMap<mar_geom::BlockId, f64> =
+        std::collections::BTreeMap::new();
+    let mut markov_probs: Vec<f64> = Vec::new();
+    let mut keep: Vec<mar_geom::BlockId> = Vec::new();
+
     for s in &tour.samples {
         let frame = frame_at(&scene.config.space, &s.pos, cfg.frame_frac);
-        let frame_blocks = grid.blocks_overlapping(&frame);
+        grid.blocks_overlapping_into(&frame, &mut frame_blocks);
         let speed = smooth.update(s.speed);
         let cruise_speed = cruise.update(s.speed);
         let needed = speed_map.band_for(speed);
@@ -108,7 +119,7 @@ pub fn run_motion_aware_system(
         }
 
         // Demand: misses pay one link round trip carrying their payload.
-        let misses = cache.access(&frame_blocks, needed.w_min);
+        cache.access_into(&frame_blocks, needed.w_min, &mut misses);
         let mut demand_bytes = 0.0;
         for b in &misses {
             let rect = grid.block_rect(b);
@@ -144,22 +155,34 @@ pub fn run_motion_aware_system(
         let budget = policy.block_budget(cruise_speed, &bytes_per_block);
         cache.set_capacity(frame_blocks.len() + budget);
         let horizon = crate::bufsim::adaptive_horizon(cfg.horizon, &grid, &predictor, budget);
-        let predictions = predictor.predict_horizon(horizon);
-        let block_probs =
-            mar_motion::probability::gaussian_block_probabilities(&grid, &predictions);
-        let markov_probs: Option<Vec<f64>> = markov.as_ref().map(|m| m.probabilities());
+        predictor.predict_horizon_into(horizon, &mut predictions);
+        mar_motion::probability::gaussian_block_probabilities_into(
+            &grid,
+            &predictions,
+            &mut block_probs,
+        );
+        let direction_hint = match markov.as_ref() {
+            Some(m) => {
+                m.probabilities_into(&mut markov_probs);
+                Some(&markov_probs[..])
+            }
+            None => None,
+        };
         let ctx = PrefetchContext {
             grid: &grid,
             position: s.pos,
             frame_blocks: &frame_blocks,
             budget,
             block_probs: &block_probs,
-            direction_hint: markov_probs.as_deref(),
+            direction_hint,
         };
         let plan = prefetcher.plan(&ctx);
-        let keep: BTreeSet<mar_geom::BlockId> =
-            frame_blocks.iter().chain(plan.iter()).copied().collect();
-        cache.retain(|b| keep.contains(b));
+        // Sorted scratch + binary search: same membership test the old
+        // `BTreeSet` answered, without rebuilding a tree every replan.
+        keep.clear();
+        keep.extend(frame_blocks.iter().chain(plan.iter()).copied());
+        keep.sort_unstable();
+        cache.retain(|b| keep.binary_search(b).is_ok());
         for b in &plan {
             if !cache.contains(b, buffer_band.w_min) {
                 let rect = grid.block_rect(b);

@@ -129,8 +129,18 @@ impl GridSpec {
     /// All in-bounds blocks intersecting the rectangle `r` (closed
     /// intersection: a frame touching a block boundary pulls that block in).
     pub fn blocks_overlapping(&self, r: &Rect2) -> Vec<BlockId> {
+        let mut out = Vec::new();
+        self.blocks_overlapping_into(r, &mut out);
+        out
+    }
+
+    /// Like [`GridSpec::blocks_overlapping`], but reuses `out` (cleared
+    /// first) so per-tick simulation loops allocate nothing in steady
+    /// state. Blocks are pushed in the same row-major order.
+    pub fn blocks_overlapping_into(&self, r: &Rect2, out: &mut Vec<BlockId>) {
+        out.clear();
         let Some(clipped) = r.intersection(&self.space) else {
-            return Vec::new();
+            return;
         };
         let w = self.block_w();
         let h = self.block_h();
@@ -145,7 +155,6 @@ impl GridSpec {
         let iy1 = (((clipped.hi[1] - self.space.lo[1]) / h) - eps)
             .floor()
             .max(iy0 as f64) as i64;
-        let mut out = Vec::new();
         for iy in iy0..=iy1 {
             for ix in ix0..=ix1 {
                 let b = BlockId::new(ix, iy);
@@ -154,7 +163,6 @@ impl GridSpec {
                 }
             }
         }
-        out
     }
 
     /// All in-bounds blocks whose ring (Chebyshev) distance from `center`

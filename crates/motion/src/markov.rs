@@ -59,13 +59,24 @@ impl MarkovDirectionModel {
     /// Current direction probabilities (Laplace-smoothed so no sector is
     /// ever impossible; uniform before any movement).
     pub fn probabilities(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.probabilities_into(&mut out);
+        out
+    }
+
+    /// Like [`MarkovDirectionModel::probabilities`], but reuses `out`
+    /// (cleared first) so per-tick simulation loops allocate nothing in
+    /// steady state.
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
         let k = self.counts.len() as f64;
         let total: f64 = self.counts.iter().sum();
         let alpha = 0.5; // smoothing pseudo-count
-        self.counts
-            .iter()
-            .map(|c| (c + alpha) / (total + alpha * k))
-            .collect()
+        out.clear();
+        out.extend(
+            self.counts
+                .iter()
+                .map(|c| (c + alpha) / (total + alpha * k)),
+        );
     }
 
     /// The most likely direction sector (ties to the lowest index).

@@ -198,14 +198,22 @@ impl MotionPredictor {
         }
         // Learned model: s_{t+i} = A^i s_t with covariance propagation.
         let a = self.transition();
+        let at = a.transpose();
         let mut s = self.state_vector();
         let n = self.state_dim();
         let mut p = Mat::zeros(n, n);
         let q = self.process_noise();
         for _ in 0..steps {
             s = a.mul_vec(&s);
-            p = &(&(&a * &p) * &a.transpose()) + &q;
+            p = &(&(&a * &p) * &at) + &q;
         }
+        self.finish_prediction(steps, &s, &p, linear)
+    }
+
+    /// Turns a propagated state/covariance pair into a [`Prediction`],
+    /// applying the instability guard and covariance hygiene shared by
+    /// [`MotionPredictor::predict`] and the incremental horizon sweep.
+    fn finish_prediction(&self, steps: u32, s: &[f64], p: &Mat, linear: Prediction) -> Prediction {
         let mean = Point2::new([s[0], s[1]]);
         // Guard against an unstable learned A: if it wandered wildly past
         // anything constant-velocity would do, trust the fallback.
@@ -256,7 +264,38 @@ impl MotionPredictor {
     /// Predictions for horizons `1..=steps` (used to accumulate block
     /// probabilities over the prefetch horizon).
     pub fn predict_horizon(&self, steps: u32) -> Vec<Prediction> {
-        (1..=steps).map(|i| self.predict(i)).collect()
+        let mut out = Vec::new();
+        self.predict_horizon_into(steps, &mut out);
+        out
+    }
+
+    /// Like [`MotionPredictor::predict_horizon`], but reuses `out` (cleared
+    /// first) and propagates the state/covariance recurrence *once* across
+    /// the whole horizon instead of re-running it from scratch for every
+    /// step — `predict(i)`'s intermediate values at step `i` are exactly
+    /// `predict(i-1)`'s finals, so the sweep is O(h) matrix products
+    /// instead of O(h²) with bit-identical output.
+    pub fn predict_horizon_into(&self, steps: u32, out: &mut Vec<Prediction>) {
+        out.clear();
+        let Some(&last) = self.window.front() else {
+            out.extend((1..=steps).map(|i| self.predict(i)));
+            return;
+        };
+        if !self.is_warm() {
+            out.extend((1..=steps).map(|i| self.linear_prediction(last, i)));
+            return;
+        }
+        let a = self.transition();
+        let at = a.transpose();
+        let mut s = self.state_vector();
+        let n = self.state_dim();
+        let mut p = Mat::zeros(n, n);
+        let q = self.process_noise();
+        for i in 1..=steps {
+            s = a.mul_vec(&s);
+            p = &(&(&a * &p) * &at) + &q;
+            out.push(self.finish_prediction(i, &s, &p, self.linear_prediction(last, i)));
+        }
     }
 }
 
@@ -361,5 +400,37 @@ mod tests {
         let mut p = MotionPredictor::new(PredictorConfig::default());
         feed_line(&mut p, 20, 1.0, 1.0);
         assert_eq!(p.predict_horizon(4).len(), 4);
+    }
+
+    #[test]
+    fn horizon_matches_per_step_predict_exactly() {
+        // The incremental sweep must be bit-identical to calling
+        // `predict(i)` per step — on a warm straight line, on curved
+        // motion (exercising the instability guard), and cold.
+        let mut straight = MotionPredictor::new(PredictorConfig::default());
+        feed_line(&mut straight, 40, 2.0, -1.0);
+        let mut curved = MotionPredictor::new(PredictorConfig::default());
+        for t in 0..100 {
+            let a = t as f64 * 0.15;
+            curved.observe(Point2::new([50.0 * a.cos(), 50.0 * a.sin()]));
+        }
+        let mut cold = MotionPredictor::new(PredictorConfig::default());
+        cold.observe(Point2::new([1.0, 2.0]));
+        for p in [&straight, &curved, &cold] {
+            for (i, pred) in p.predict_horizon(8).iter().enumerate() {
+                let single = p.predict(i as u32 + 1);
+                assert_eq!(pred.mean, single.mean, "mean at step {}", i + 1);
+                for r in 0..2 {
+                    for c in 0..2 {
+                        assert_eq!(
+                            pred.cov[(r, c)].to_bits(),
+                            single.cov[(r, c)].to_bits(),
+                            "cov[({r},{c})] at step {}",
+                            i + 1
+                        );
+                    }
+                }
+            }
+        }
     }
 }

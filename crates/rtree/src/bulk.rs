@@ -7,9 +7,11 @@
 //! consecutive entries, then parent levels are packed the same way.
 //! The resulting tree satisfies exactly the same invariants as an
 //! incrementally built one (uniform leaf depth, fill ≥ m except possibly
-//! one node per level, correct MBRs).
+//! one node per level, correct MBRs). Nodes are allocated into the arena
+//! level by level, so each level's pages end up contiguous in memory —
+//! the layout a search touches most.
 
-use crate::node::{ChildEntry, Entry, Node};
+use crate::node::{Arena, ChildEntry, Entry, NodeKind};
 use crate::{RTree, RTreeConfig};
 use mar_geom::Rect;
 
@@ -27,10 +29,11 @@ impl<const N: usize, T> RTree<N, T> {
                 Entry { rect, item }
             })
             .collect();
+        let mut arena: Arena<N, T> = Arena::new();
         // Tile leaf entries.
         let mut leaf_groups: Vec<Vec<Entry<N, T>>> = Vec::new();
         str_tile(entries, config.max_entries, 0, &mut leaf_groups);
-        let mut nodes: Vec<(Rect<N>, Box<Node<N, T>>)> = leaf_groups
+        let mut nodes: Vec<(Rect<N>, u32)> = leaf_groups
             .into_iter()
             .map(|g| {
                 let mbr = g
@@ -39,17 +42,17 @@ impl<const N: usize, T> RTree<N, T> {
                     .reduce(|a, b| a.union(&b))
                     // mar-lint: allow(D004) — grouping emits no empty chunks
                     .expect("non-empty leaf group");
-                (mbr, Box::new(Node::Leaf { entries: g }))
+                (mbr, arena.alloc(NodeKind::Leaf(g)))
             })
             .collect();
         let mut height = 1usize;
         // Pack upper levels until a single root remains.
         while nodes.len() > 1 {
-            let children: Vec<ChildEntry<N, T>> = nodes
+            let children: Vec<ChildEntry<N>> = nodes
                 .into_iter()
                 .map(|(rect, child)| ChildEntry { rect, child })
                 .collect();
-            let mut groups: Vec<Vec<ChildEntry<N, T>>> = Vec::new();
+            let mut groups: Vec<Vec<ChildEntry<N>>> = Vec::new();
             str_tile(children, config.max_entries, 0, &mut groups);
             nodes = groups
                 .into_iter()
@@ -60,7 +63,7 @@ impl<const N: usize, T> RTree<N, T> {
                         .reduce(|a, b| a.union(&b))
                         // mar-lint: allow(D004) — grouping emits no empty chunks
                         .expect("non-empty internal group");
-                    (mbr, Box::new(Node::Internal { entries: g }))
+                    (mbr, arena.alloc(NodeKind::Internal(g)))
                 })
                 .collect();
             height += 1;
@@ -69,7 +72,8 @@ impl<const N: usize, T> RTree<N, T> {
         let (_, root) = nodes.pop().expect("at least one node");
         Self {
             config,
-            root: *root,
+            arena,
+            root,
             height,
             len,
             io: std::sync::atomic::AtomicU64::new(0),

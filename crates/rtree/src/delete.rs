@@ -2,10 +2,11 @@
 //!
 //! Follows Guttman's Delete/CondenseTree: the leaf entry is located by
 //! rectangle + item equality, removed, and any node left underfull on the
-//! path is dissolved — its remaining items are collected and re-inserted.
-//! When the root becomes a single-child internal node the tree shrinks.
+//! path is dissolved — its remaining items are collected and re-inserted,
+//! and its arena slots are recycled through the free list. When the root
+//! becomes a single-child internal node the tree shrinks.
 
-use crate::node::Node;
+use crate::node::{Arena, NodeKind};
 use crate::RTree;
 use mar_geom::Rect;
 
@@ -15,19 +16,27 @@ impl<const N: usize, T: PartialEq> RTree<N, T> {
     /// exists.
     pub fn remove(&mut self, rect: &Rect<N>, item: &T) -> Option<T> {
         let mut orphans: Vec<(Rect<N>, T)> = Vec::new();
-        let removed = remove_rec(&mut self.root, rect, item, &mut orphans, &self.config)?;
+        let removed = remove_rec(
+            &mut self.arena,
+            self.root,
+            rect,
+            item,
+            &mut orphans,
+            &self.config,
+        )?;
         self.len -= 1;
         // Shrink the root while it is an internal node with one child.
         loop {
-            let shrink = match &mut self.root {
-                Node::Internal { entries } if entries.len() == 1 => {
+            let shrink = match self.arena.node_mut(self.root) {
+                NodeKind::Internal(entries) if entries.len() == 1 => {
                     // mar-lint: allow(D004) — `entries.len() == 1` matched above
-                    Some(*entries.pop().expect("single child").child)
+                    Some(entries.pop().expect("single child").child)
                 }
                 _ => None,
             };
             match shrink {
                 Some(child) => {
+                    self.arena.release(self.root);
                     self.root = child;
                     self.height -= 1;
                 }
@@ -71,58 +80,68 @@ impl<const N: usize, T: PartialEq> RTree<N, T> {
 }
 
 fn remove_rec<const N: usize, T: PartialEq>(
-    node: &mut Node<N, T>,
+    arena: &mut Arena<N, T>,
+    node: u32,
     rect: &Rect<N>,
     item: &T,
     orphans: &mut Vec<(Rect<N>, T)>,
     config: &crate::RTreeConfig,
 ) -> Option<T> {
-    match node {
-        Node::Leaf { entries } => {
-            let pos = entries
-                .iter()
-                .position(|e| rects_match(&e.rect, rect) && &e.item == item)?;
-            Some(entries.remove(pos).item)
-        }
-        Node::Internal { entries } => {
-            let mut removed = None;
-            let mut touched = None;
-            for (i, e) in entries.iter_mut().enumerate() {
-                if e.rect.contains_rect(rect) || e.rect.intersects(rect) {
-                    if let Some(it) = remove_rec(&mut e.child, rect, item, orphans, config) {
-                        removed = Some(it);
-                        touched = Some(i);
-                        break;
-                    }
-                }
+    if arena.is_leaf(node) {
+        let entries = match arena.node_mut(node) {
+            NodeKind::Leaf(entries) => entries,
+            _ => unreachable!("is_leaf checked above"),
+        };
+        let pos = entries
+            .iter()
+            .position(|e| rects_match(&e.rect, rect) && &e.item == item)?;
+        return Some(entries.remove(pos).item);
+    }
+    let mut removed = None;
+    let mut touched = 0usize;
+    let count = arena.internal(node).len();
+    for i in 0..count {
+        let e = arena.internal(node)[i];
+        if e.rect.contains_rect(rect) || e.rect.intersects(rect) {
+            if let Some(it) = remove_rec(arena, e.child, rect, item, orphans, config) {
+                removed = Some(it);
+                touched = i;
+                break;
             }
-            let removed = removed?;
-            // mar-lint: allow(D004) — `removed` is only Some after `touched` is set
-            let i = touched.expect("touched set with removed");
-            if entries[i].child.entry_count() < config.min_entries {
-                // Dissolve the underfull child; orphan its leaf items.
-                let child = entries.remove(i).child;
-                collect_items(*child, orphans);
-            } else {
-                // mar-lint: allow(D004) — child holds ≥ min_entries per the branch above
-                entries[i].rect = entries[i].child.mbr().expect("non-empty child");
-            }
-            Some(removed)
         }
     }
+    let removed = removed?;
+    let child = arena.internal(node)[touched].child;
+    if arena.entry_count(child) < config.min_entries {
+        // Dissolve the underfull child; orphan its leaf items.
+        arena.internal_mut(node).remove(touched);
+        collect_items(arena, child, orphans);
+    } else {
+        let child_mbr = arena
+            .mbr(child)
+            // mar-lint: allow(D004) — child holds ≥ min_entries per the branch above
+            .expect("non-empty child");
+        arena.internal_mut(node)[touched].rect = child_mbr;
+    }
+    Some(removed)
 }
 
-/// Collects every leaf item of a subtree.
-fn collect_items<const N: usize, T>(node: Node<N, T>, out: &mut Vec<(Rect<N>, T)>) {
-    match node {
-        Node::Leaf { entries } => {
+/// Collects every leaf item of a subtree, recycling its arena slots.
+fn collect_items<const N: usize, T>(
+    arena: &mut Arena<N, T>,
+    node: u32,
+    out: &mut Vec<(Rect<N>, T)>,
+) {
+    match arena.take(node) {
+        NodeKind::Leaf(entries) => {
             out.extend(entries.into_iter().map(|e| (e.rect, e.item)));
         }
-        Node::Internal { entries } => {
+        NodeKind::Internal(entries) => {
             for e in entries {
-                collect_items(*e.child, out);
+                collect_items(arena, e.child, out);
             }
         }
+        NodeKind::Free => {}
     }
 }
 
@@ -219,5 +238,24 @@ mod tests {
         assert_eq!(t.remove(&pt(1.0, 1.0), &7), Some(7));
         assert_eq!(t.len(), 4);
         t.validate().expect("valid");
+    }
+
+    #[test]
+    fn deletion_recycles_arena_slots() {
+        // Insert/delete churn must not grow the arena without bound: after
+        // deleting most items the number of live nodes shrinks, and the
+        // freed slots are reused by subsequent inserts (validated by the
+        // leak check inside `validate`).
+        let mut t = build(400);
+        for i in 0..380 {
+            let r = pt((i % 31) as f64, (i / 31) as f64);
+            assert_eq!(t.remove(&r, &i), Some(i));
+        }
+        t.validate().expect("valid after churn");
+        for i in 0..380 {
+            t.insert(pt((i % 31) as f64, (i / 31) as f64), i);
+        }
+        t.validate().expect("valid after refill");
+        assert_eq!(t.len(), 400);
     }
 }

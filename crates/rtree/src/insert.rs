@@ -15,7 +15,7 @@
 //!   leaf level only — the level where it buys nearly all of its packing
 //!   benefit — which keeps overflow propagation single-pass.
 
-use crate::node::{ChildEntry, Entry, Node};
+use crate::node::{Arena, ChildEntry, Entry, NodeKind};
 use crate::{RTree, RTreeConfig, Variant};
 use mar_geom::Rect;
 
@@ -30,13 +30,13 @@ impl<const N: usize, T> HasRect<N> for Entry<N, T> {
     }
 }
 
-impl<const N: usize, T> HasRect<N> for ChildEntry<N, T> {
+impl<const N: usize> HasRect<N> for ChildEntry<N> {
     fn rect(&self) -> &Rect<N> {
         &self.rect
     }
 }
 
-fn mbr_of<const N: usize, R: HasRect<N>>(items: &[R]) -> Rect<N> {
+pub(crate) fn mbr_of<const N: usize, R: HasRect<N>>(items: &[R]) -> Rect<N> {
     items
         .iter()
         .map(|i| *i.rect())
@@ -56,7 +56,8 @@ impl<const N: usize, T> RTree<N, T> {
         while let Some(e) = queue.pop() {
             let mut reinserts = Vec::new();
             let split = insert_rec(
-                &mut self.root,
+                &mut self.arena,
+                self.root,
                 e,
                 &self.config,
                 &mut allow_reinsert,
@@ -69,78 +70,86 @@ impl<const N: usize, T> RTree<N, T> {
         }
     }
 
-    fn grow_root(&mut self, sibling_rect: Rect<N>, sibling: Box<Node<N, T>>) {
-        let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
-        // mar-lint: allow(D004) — a node that just split holds ≥ min_entries
-        let old_rect = old_root.mbr().expect("split root cannot be empty");
-        self.root = Node::Internal {
-            entries: vec![
-                ChildEntry {
-                    rect: old_rect,
-                    child: Box::new(old_root),
-                },
-                ChildEntry {
-                    rect: sibling_rect,
-                    child: sibling,
-                },
-            ],
-        };
+    fn grow_root(&mut self, sibling_rect: Rect<N>, sibling: u32) {
+        let old_root = self.root;
+        let old_rect = self
+            .arena
+            .mbr(old_root)
+            // mar-lint: allow(D004) — a node that just split holds ≥ min_entries
+            .expect("split root cannot be empty");
+        self.root = self.arena.alloc(NodeKind::Internal(vec![
+            ChildEntry {
+                rect: old_rect,
+                child: old_root,
+            },
+            ChildEntry {
+                rect: sibling_rect,
+                child: sibling,
+            },
+        ]));
         self.height += 1;
     }
 }
 
-/// Recursive insert; returns the `(mbr, node)` of a new sibling when the
+/// Recursive insert; returns the `(mbr, slot)` of a new sibling when the
 /// visited node split.
 fn insert_rec<const N: usize, T>(
-    node: &mut Node<N, T>,
+    arena: &mut Arena<N, T>,
+    node: u32,
     entry: Entry<N, T>,
     config: &RTreeConfig,
     allow_reinsert: &mut bool,
     reinserts: &mut Vec<Entry<N, T>>,
-) -> Option<(Rect<N>, Box<Node<N, T>>)> {
-    match node {
-        Node::Leaf { entries } => {
-            entries.push(entry);
-            if entries.len() <= config.max_entries {
-                return None;
+) -> Option<(Rect<N>, u32)> {
+    if arena.is_leaf(node) {
+        let (sibling_rect, moved) = match arena.node_mut(node) {
+            NodeKind::Leaf(entries) => {
+                entries.push(entry);
+                if entries.len() <= config.max_entries {
+                    return None;
+                }
+                if *allow_reinsert {
+                    *allow_reinsert = false;
+                    force_reinsert(entries, config, reinserts);
+                    return None;
+                }
+                let (keep, moved) = split_items(std::mem::take(entries), config);
+                let sibling_rect = mbr_of(&moved);
+                *entries = keep;
+                (sibling_rect, moved)
             }
-            if *allow_reinsert {
-                *allow_reinsert = false;
-                force_reinsert(entries, config, reinserts);
-                return None;
-            }
+            _ => unreachable!("is_leaf checked above"),
+        };
+        let sibling = arena.alloc(NodeKind::Leaf(moved));
+        return Some((sibling_rect, sibling));
+    }
+    let (idx, child) = {
+        let entries = arena.internal(node);
+        let child_is_leaf = entries
+            .first()
+            .map(|e| arena.is_leaf(e.child))
+            .unwrap_or(false);
+        let idx = choose_subtree(entries, &entry.rect, config, child_is_leaf);
+        (idx, entries[idx].child)
+    };
+    let split = insert_rec(arena, child, entry, config, allow_reinsert, reinserts);
+    let child_mbr = arena
+        .mbr(child)
+        // mar-lint: allow(D004) — insertion only ever adds entries
+        .expect("child emptied during insert");
+    let entries = arena.internal_mut(node);
+    entries[idx].rect = child_mbr;
+    if let Some((rect, child)) = split {
+        entries.push(ChildEntry { rect, child });
+        if entries.len() > config.max_entries {
             let (keep, moved) = split_items(std::mem::take(entries), config);
             let sibling_rect = mbr_of(&moved);
             *entries = keep;
-            Some((sibling_rect, Box::new(Node::Leaf { entries: moved })))
-        }
-        Node::Internal { entries } => {
-            let child_is_leaf = entries.first().map(|e| e.child.is_leaf()).unwrap_or(false);
-            let idx = choose_subtree(entries, &entry.rect, config, child_is_leaf);
-            let split = insert_rec(
-                &mut entries[idx].child,
-                entry,
-                config,
-                allow_reinsert,
-                reinserts,
-            );
-            entries[idx].rect = entries[idx]
-                .child
-                .mbr()
-                // mar-lint: allow(D004) — insertion only ever adds entries
-                .expect("child emptied during insert");
-            if let Some((rect, child)) = split {
-                entries.push(ChildEntry { rect, child });
-                if entries.len() > config.max_entries {
-                    let (keep, moved) = split_items(std::mem::take(entries), config);
-                    let sibling_rect = mbr_of(&moved);
-                    *entries = keep;
-                    return Some((sibling_rect, Box::new(Node::Internal { entries: moved })));
-                }
-            }
-            None
+            let sibling = arena.alloc(NodeKind::Internal(moved));
+            return Some((sibling_rect, sibling));
         }
     }
+    None
 }
 
 /// R* forced reinsertion: removes the `p` entries whose centres are
@@ -179,8 +188,8 @@ fn force_reinsert<const N: usize, T>(
 }
 
 /// Picks the child to descend into.
-fn choose_subtree<const N: usize, T>(
-    entries: &[ChildEntry<N, T>],
+fn choose_subtree<const N: usize>(
+    entries: &[ChildEntry<N>],
     rect: &Rect<N>,
     config: &RTreeConfig,
     child_is_leaf: bool,

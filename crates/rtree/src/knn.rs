@@ -6,35 +6,35 @@
 //! expands nodes from a priority queue ordered by minimum distance, which
 //! visits the provably minimal set of nodes for a given `k`.
 
-use crate::node::Node;
+use crate::node::NodeKind;
 use crate::RTree;
 use mar_geom::Point;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A heap entry: either a node to expand or a candidate item.
-enum Entry<'a, const N: usize, T> {
-    Node(&'a Node<N, T>),
+/// A heap entry: either an arena slot to expand or a candidate item.
+enum HeapEntry<'a, T> {
+    Node(u32),
     Item(&'a T),
 }
 
-struct Prioritized<'a, const N: usize, T> {
+struct Prioritized<'a, T> {
     dist: f64,
-    entry: Entry<'a, N, T>,
+    entry: HeapEntry<'a, T>,
 }
 
-impl<const N: usize, T> PartialEq for Prioritized<'_, N, T> {
+impl<T> PartialEq for Prioritized<'_, T> {
     fn eq(&self, other: &Self) -> bool {
         self.dist == other.dist
     }
 }
-impl<const N: usize, T> Eq for Prioritized<'_, N, T> {}
-impl<const N: usize, T> PartialOrd for Prioritized<'_, N, T> {
+impl<T> Eq for Prioritized<'_, T> {}
+impl<T> PartialOrd for Prioritized<'_, T> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<const N: usize, T> Ord for Prioritized<'_, N, T> {
+impl<T> Ord for Prioritized<'_, T> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Min-heap via reversed comparison; NaN-free by construction.
         other.dist.total_cmp(&self.dist)
@@ -51,35 +51,37 @@ impl<const N: usize, T> RTree<N, T> {
         if k == 0 || self.is_empty() {
             return (out, accesses);
         }
-        let mut heap: BinaryHeap<Prioritized<'_, N, T>> = BinaryHeap::new();
+        let mut heap: BinaryHeap<Prioritized<'_, T>> = BinaryHeap::new();
         heap.push(Prioritized {
             dist: 0.0,
-            entry: Entry::Node(&self.root),
+            entry: HeapEntry::Node(self.root),
         });
         while let Some(Prioritized { dist, entry }) = heap.pop() {
             match entry {
-                Entry::Node(node) => {
+                HeapEntry::Node(idx) => {
                     accesses += 1;
-                    match node {
-                        Node::Leaf { entries } => {
+                    match self.arena.node(idx) {
+                        NodeKind::Leaf(entries) => {
                             for e in entries {
                                 heap.push(Prioritized {
                                     dist: e.rect.min_distance(query),
-                                    entry: Entry::Item(&e.item),
+                                    entry: HeapEntry::Item(&e.item),
                                 });
                             }
                         }
-                        Node::Internal { entries } => {
+                        NodeKind::Internal(entries) => {
                             for e in entries {
                                 heap.push(Prioritized {
                                     dist: e.rect.min_distance(query),
-                                    entry: Entry::Node(&e.child),
+                                    entry: HeapEntry::Node(e.child),
                                 });
                             }
                         }
+                        // Free slots are never reachable from the root.
+                        NodeKind::Free => {}
                     }
                 }
-                Entry::Item(item) => {
+                HeapEntry::Item(item) => {
                     out.push((dist, item));
                     if out.len() == k {
                         break;

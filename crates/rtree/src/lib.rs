@@ -10,6 +10,10 @@
 //! Features:
 //! * arbitrary dimension via const generics (`RTree<3, T>` is the paper's
 //!   experimental `x-y-w` tree, `RTree<4, T>` the full `x-y-z-w` design);
+//! * flat arena storage: nodes live in one `Vec` addressed by `u32` slot
+//!   indices, so search walks contiguous memory instead of chasing
+//!   `Box` pointers, and the query hot path performs no allocation (the
+//!   traversal stack is a reusable thread-local scratch buffer);
 //! * insertion with either Guttman's quadratic split or the R\* split with
 //!   forced reinsertion (selectable via [`RTreeConfig`]);
 //! * Sort-Tile-Recursive (STR) bulk loading for building large static
@@ -17,7 +21,8 @@
 //! * window (range) queries with per-query and cumulative node-access
 //!   counters;
 //! * deletion with tree condensation;
-//! * a structural [`RTree::validate`] used heavily by the test suite.
+//! * a structural [`RTree::validate`] (tree shape **and** arena/free-list
+//!   invariants) used heavily by the test suite.
 //!
 //! The page geometry of the evaluation (4 KB pages, node capacity 20) is
 //! [`RTreeConfig::paper`].
@@ -33,10 +38,11 @@ mod node;
 mod query;
 mod stats;
 
-pub use node::{Entry, Node};
+pub use node::Entry;
 pub use stats::{LevelStats, TreeStats};
 
 use mar_geom::Rect;
+use node::{Arena, NodeKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which insertion/split algorithm the tree uses.
@@ -106,7 +112,9 @@ impl RTreeConfig {
 #[derive(Debug)]
 pub struct RTree<const N: usize, T> {
     pub(crate) config: RTreeConfig,
-    pub(crate) root: Node<N, T>,
+    /// Flat node storage; `root` indexes into it.
+    pub(crate) arena: Arena<N, T>,
+    pub(crate) root: u32,
     /// Height of the tree: 1 for a single leaf node.
     pub(crate) height: usize,
     pub(crate) len: usize,
@@ -121,7 +129,8 @@ impl<const N: usize, T: Clone> Clone for RTree<N, T> {
     fn clone(&self) -> Self {
         Self {
             config: self.config,
-            root: self.root.clone(),
+            arena: self.arena.clone(),
+            root: self.root,
             height: self.height,
             len: self.len,
             io: AtomicU64::new(self.io.load(Ordering::Relaxed)),
@@ -132,9 +141,12 @@ impl<const N: usize, T: Clone> Clone for RTree<N, T> {
 impl<const N: usize, T> RTree<N, T> {
     /// Creates an empty tree.
     pub fn new(config: RTreeConfig) -> Self {
+        let mut arena = Arena::new();
+        let root = arena.alloc(NodeKind::Leaf(Vec::new()));
         Self {
             config,
-            root: Node::new_leaf(),
+            arena,
+            root,
             height: 1,
             len: 0,
             io: AtomicU64::new(0),
@@ -163,12 +175,12 @@ impl<const N: usize, T> RTree<N, T> {
 
     /// Total number of nodes (pages) in the tree.
     pub fn node_count(&self) -> usize {
-        self.root.count_nodes()
+        self.arena.count_nodes(self.root)
     }
 
     /// MBR of everything stored, or `None` when empty.
     pub fn bounding_rect(&self) -> Option<Rect<N>> {
-        self.root.mbr()
+        self.arena.mbr(self.root)
     }
 
     /// Cumulative node accesses performed by queries since the last
@@ -183,34 +195,52 @@ impl<const N: usize, T> RTree<N, T> {
     }
 
     /// Checks every structural invariant (entry counts, MBR containment,
-    /// uniform leaf depth, length bookkeeping). Intended for tests; returns
-    /// a human-readable description of the first violation.
+    /// uniform leaf depth, length bookkeeping) plus the arena invariants:
+    /// every slot is either reachable from the root or on the free list,
+    /// and the free list is consistent with the slot states. Intended for
+    /// tests; returns a human-readable description of the first violation.
     pub fn validate(&self) -> Result<(), String> {
         let mut total = 0usize;
-        self.root
-            .validate(&self.config, self.height, true, &mut total)?;
+        let mut live = 0usize;
+        self.arena.validate(
+            self.root,
+            &self.config,
+            self.height,
+            true,
+            &mut total,
+            &mut live,
+        )?;
         if total != self.len {
             return Err(format!("len {} but counted {}", self.len, total));
+        }
+        self.arena.validate_free_list()?;
+        if live + self.arena.free_count() != self.arena.slot_count() {
+            return Err(format!(
+                "arena leak: {live} reachable + {} free != {} slots",
+                self.arena.free_count(),
+                self.arena.slot_count()
+            ));
         }
         Ok(())
     }
 
     /// Iterates over every `(rect, item)` in the tree (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = (&Rect<N>, &T)> {
-        let mut stack = vec![&self.root];
+        let mut stack = vec![self.root];
         let mut leaf_items: Vec<(&Rect<N>, &T)> = Vec::new();
-        while let Some(n) = stack.pop() {
-            match n {
-                Node::Leaf { entries } => {
+        while let Some(idx) = stack.pop() {
+            match self.arena.node(idx) {
+                NodeKind::Leaf(entries) => {
                     for e in entries {
                         leaf_items.push((&e.rect, &e.item));
                     }
                 }
-                Node::Internal { entries } => {
+                NodeKind::Internal(entries) => {
                     for e in entries {
-                        stack.push(&e.child);
+                        stack.push(e.child);
                     }
                 }
+                NodeKind::Free => {}
             }
         }
         leaf_items.into_iter()

@@ -1,4 +1,11 @@
-//! Tree nodes and structural validation.
+//! Arena node storage and structural validation.
+//!
+//! Nodes live in one contiguous `Vec` and reference each other by `u32`
+//! slot index instead of `Box` pointers. Search then walks a flat array —
+//! child hops are index arithmetic into memory the allocator laid out
+//! contiguously — and dropping a tree is one `Vec` deallocation instead of
+//! a pointer chase. Slots freed by deletion are recycled through a free
+//! list, so long-lived trees under churn do not grow without bound.
 
 use crate::RTreeConfig;
 use mar_geom::Rect;
@@ -12,95 +19,195 @@ pub struct Entry<const N: usize, T> {
     pub item: T,
 }
 
-/// An internal entry: a child node under its MBR.
-#[derive(Debug, Clone)]
-pub struct ChildEntry<const N: usize, T> {
+/// An internal entry: an arena slot index under the child's MBR.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChildEntry<const N: usize> {
     /// MBR of everything under `child`.
     pub rect: Rect<N>,
-    /// The child node.
-    pub child: Box<Node<N, T>>,
+    /// Arena slot of the child node.
+    pub child: u32,
 }
 
-/// One page of the tree.
+/// One page of the tree, stored in an arena slot.
 #[derive(Debug, Clone)]
-pub enum Node<const N: usize, T> {
+pub(crate) enum NodeKind<const N: usize, T> {
     /// A leaf page holding items.
-    Leaf {
-        /// The stored entries.
-        entries: Vec<Entry<N, T>>,
-    },
-    /// An internal page holding children.
-    Internal {
-        /// The child entries.
-        entries: Vec<ChildEntry<N, T>>,
-    },
+    Leaf(Vec<Entry<N, T>>),
+    /// An internal page holding child slots.
+    Internal(Vec<ChildEntry<N>>),
+    /// A recycled slot on the free list.
+    Free,
 }
 
-impl<const N: usize, T> Node<N, T> {
-    /// An empty leaf.
-    pub fn new_leaf() -> Self {
-        Node::Leaf {
-            entries: Vec::new(),
+/// Flat node storage: a slab of nodes plus a free list of recycled slots.
+#[derive(Debug, Clone)]
+pub(crate) struct Arena<const N: usize, T> {
+    nodes: Vec<NodeKind<N, T>>,
+    free: Vec<u32>,
+}
+
+impl<const N: usize, T> Arena<N, T> {
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
         }
     }
 
-    /// Number of entries in this node.
-    pub fn entry_count(&self) -> usize {
-        match self {
-            Node::Leaf { entries } => entries.len(),
-            Node::Internal { entries } => entries.len(),
+    /// Stores `kind` in a recycled or fresh slot and returns its index.
+    pub fn alloc(&mut self, kind: NodeKind<N, T>) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = kind;
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx < u32::MAX, "arena exhausted u32 slot space");
+            self.nodes.push(kind);
+            idx
         }
     }
 
-    /// True for leaf pages.
-    pub fn is_leaf(&self) -> bool {
-        matches!(self, Node::Leaf { .. })
+    /// Moves the node out of its slot, leaving the slot on the free list.
+    pub fn take(&mut self, idx: u32) -> NodeKind<N, T> {
+        let kind = std::mem::replace(&mut self.nodes[idx as usize], NodeKind::Free);
+        self.free.push(idx);
+        kind
     }
 
-    /// MBR of all entries, or `None` for an empty node.
-    pub fn mbr(&self) -> Option<Rect<N>> {
-        match self {
-            Node::Leaf { entries } => entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
-            Node::Internal { entries } => entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+    /// Recycles a slot without inspecting its contents.
+    pub fn release(&mut self, idx: u32) {
+        self.nodes[idx as usize] = NodeKind::Free;
+        self.free.push(idx);
+    }
+
+    pub fn node(&self, idx: u32) -> &NodeKind<N, T> {
+        &self.nodes[idx as usize]
+    }
+
+    pub fn node_mut(&mut self, idx: u32) -> &mut NodeKind<N, T> {
+        &mut self.nodes[idx as usize]
+    }
+
+    /// The internal entry list of `idx`; must only be called on a slot
+    /// known to hold an internal node.
+    pub fn internal(&self, idx: u32) -> &Vec<ChildEntry<N>> {
+        match &self.nodes[idx as usize] {
+            NodeKind::Internal(entries) => entries,
+            _ => unreachable!("slot {idx} is not an internal node"),
         }
     }
 
-    /// Total node count of the subtree (including `self`).
-    pub fn count_nodes(&self) -> usize {
-        match self {
-            Node::Leaf { .. } => 1,
-            Node::Internal { entries } => {
-                1 + entries.iter().map(|e| e.child.count_nodes()).sum::<usize>()
+    /// Mutable twin of [`Arena::internal`].
+    pub fn internal_mut(&mut self, idx: u32) -> &mut Vec<ChildEntry<N>> {
+        match &mut self.nodes[idx as usize] {
+            NodeKind::Internal(entries) => entries,
+            _ => unreachable!("slot {idx} is not an internal node"),
+        }
+    }
+
+    pub fn is_leaf(&self, idx: u32) -> bool {
+        matches!(self.nodes[idx as usize], NodeKind::Leaf(_))
+    }
+
+    /// Number of entries in the node at `idx` (0 for a free slot).
+    pub fn entry_count(&self, idx: u32) -> usize {
+        match &self.nodes[idx as usize] {
+            NodeKind::Leaf(entries) => entries.len(),
+            NodeKind::Internal(entries) => entries.len(),
+            NodeKind::Free => 0,
+        }
+    }
+
+    /// MBR of all entries of the node at `idx`, or `None` when empty.
+    pub fn mbr(&self, idx: u32) -> Option<Rect<N>> {
+        match &self.nodes[idx as usize] {
+            NodeKind::Leaf(entries) => entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b)),
+            NodeKind::Internal(entries) => {
+                entries.iter().map(|e| e.rect).reduce(|a, b| a.union(&b))
+            }
+            NodeKind::Free => None,
+        }
+    }
+
+    /// Total node count of the subtree rooted at `idx` (including itself).
+    pub fn count_nodes(&self, idx: u32) -> usize {
+        let mut count = 0usize;
+        let mut stack = vec![idx];
+        while let Some(i) = stack.pop() {
+            count += 1;
+            if let NodeKind::Internal(entries) = self.node(i) {
+                for e in entries {
+                    stack.push(e.child);
+                }
             }
         }
+        count
     }
 
-    /// Recursively checks structural invariants. `depth_left` is the
-    /// expected remaining height (1 at leaves); `total` accumulates the
-    /// item count.
+    /// Total slots ever allocated (live + free).
+    pub fn slot_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Slots currently on the free list.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Checks the free list against the slot states: every listed slot is
+    /// in bounds and marked `Free`, and every `Free` slot is listed exactly
+    /// once (counting both ways rules out duplicates).
+    pub fn validate_free_list(&self) -> Result<(), String> {
+        for &idx in &self.free {
+            match self.nodes.get(idx as usize) {
+                Some(NodeKind::Free) => {}
+                Some(_) => return Err(format!("free-list slot {idx} holds a live node")),
+                None => return Err(format!("free-list slot {idx} out of bounds")),
+            }
+        }
+        let marked = self
+            .nodes
+            .iter()
+            .filter(|n| matches!(n, NodeKind::Free))
+            .count();
+        if marked != self.free.len() {
+            return Err(format!(
+                "{marked} slots marked free but free list holds {}",
+                self.free.len()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Recursively checks structural invariants of the subtree at `idx`.
+    /// `depth_left` is the expected remaining height (1 at leaves); `total`
+    /// accumulates the item count and `live` the reachable node count.
     pub fn validate(
         &self,
+        idx: u32,
         config: &RTreeConfig,
         depth_left: usize,
         is_root: bool,
         total: &mut usize,
+        live: &mut usize,
     ) -> Result<(), String> {
-        let count = self.entry_count();
+        *live += 1;
+        let count = self.entry_count(idx);
         if count > config.max_entries {
             return Err(format!("node overflow: {count} > {}", config.max_entries));
         }
         if !is_root && count < config.min_entries {
             return Err(format!("node underflow: {count} < {}", config.min_entries));
         }
-        match self {
-            Node::Leaf { entries } => {
+        match self.node(idx) {
+            NodeKind::Leaf(entries) => {
                 if depth_left != 1 {
                     return Err(format!("leaf at wrong depth ({depth_left} levels left)"));
                 }
                 *total += entries.len();
                 Ok(())
             }
-            Node::Internal { entries } => {
+            NodeKind::Internal(entries) => {
                 if depth_left <= 1 {
                     return Err("internal node at leaf depth".into());
                 }
@@ -108,9 +215,8 @@ impl<const N: usize, T> Node<N, T> {
                     return Err("internal root must have at least 2 children".into());
                 }
                 for e in entries {
-                    let child_mbr = e
-                        .child
-                        .mbr()
+                    let child_mbr = self
+                        .mbr(e.child)
                         .ok_or_else(|| "empty child node".to_string())?;
                     if !rects_equal(&e.rect, &child_mbr) {
                         return Err(format!(
@@ -118,10 +224,11 @@ impl<const N: usize, T> Node<N, T> {
                             e.rect, child_mbr
                         ));
                     }
-                    e.child.validate(config, depth_left - 1, false, total)?;
+                    self.validate(e.child, config, depth_left - 1, false, total, live)?;
                 }
                 Ok(())
             }
+            NodeKind::Free => Err(format!("free slot {idx} reachable from the root")),
         }
     }
 }

@@ -1,8 +1,23 @@
 //! Window queries with node-access accounting.
+//!
+//! The search is iterative over arena slot indices and performs no
+//! allocation on the hot path: the traversal stack is a thread-local
+//! scratch buffer of `u32` slots that is taken for the duration of one
+//! search and handed back (grown) afterwards, so steady-state queries
+//! reuse the same capacity forever. A `Cell` (take/replace) rather than a
+//! `RefCell` keeps re-entrant searches safe: a query issued from inside a
+//! visitor simply starts from a fresh empty stack.
 
-use crate::node::Node;
+use crate::node::NodeKind;
 use crate::RTree;
 use mar_geom::Rect;
+use std::cell::Cell;
+
+thread_local! {
+    /// Reusable traversal stack shared by every tree on this thread; slot
+    /// indices are plain `u32`s, so one buffer serves all `N`/`T`.
+    static SEARCH_STACK: Cell<Vec<u32>> = const { Cell::new(Vec::new()) };
+}
 
 impl<const N: usize, T> RTree<N, T> {
     /// Visits every `(rect, item)` whose rectangle intersects `window`,
@@ -14,27 +29,32 @@ impl<const N: usize, T> RTree<N, T> {
         window: &Rect<N>,
         mut visit: impl FnMut(&'a Rect<N>, &'a T),
     ) -> u64 {
+        let mut stack = SEARCH_STACK.with(Cell::take);
+        stack.clear();
         let mut accesses = 0u64;
-        let mut stack: Vec<&'a Node<N, T>> = vec![&self.root];
-        while let Some(node) = stack.pop() {
+        stack.push(self.root);
+        while let Some(idx) = stack.pop() {
             accesses += 1;
-            match node {
-                Node::Leaf { entries } => {
+            match self.arena.node(idx) {
+                NodeKind::Leaf(entries) => {
                     for e in entries {
                         if e.rect.intersects(window) {
                             visit(&e.rect, &e.item);
                         }
                     }
                 }
-                Node::Internal { entries } => {
+                NodeKind::Internal(entries) => {
                     for e in entries {
                         if e.rect.intersects(window) {
-                            stack.push(&e.child);
+                            stack.push(e.child);
                         }
                     }
                 }
+                // Free slots are never reachable from the root.
+                NodeKind::Free => {}
             }
         }
+        SEARCH_STACK.with(|cell| cell.set(stack));
         self.io
             .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
         accesses
@@ -145,5 +165,23 @@ mod tests {
         let (items, _) = t.query(&w);
         let (n, _) = t.count_in(&w);
         assert_eq!(items.len(), n);
+    }
+
+    #[test]
+    fn reentrant_search_from_visitor() {
+        // A query issued from inside a visitor must not corrupt the
+        // thread-local scratch stack of the outer search.
+        let t = grid_tree(Variant::RStar);
+        let w = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([19.0, 19.0]));
+        let mut outer = 0usize;
+        let mut inner_total = 0usize;
+        t.search(&w, |_, _| {
+            outer += 1;
+            let small = Rect2::point(Point2::new([5.0, 5.0]));
+            let (n, _) = t.count_in(&small);
+            inner_total += n;
+        });
+        assert_eq!(outer, 400);
+        assert_eq!(inner_total, 400);
     }
 }

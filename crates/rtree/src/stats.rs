@@ -6,7 +6,7 @@
 //! explain why one build strategy out-queries another: average node fill
 //! (space utilisation) and sibling overlap (the R\*-tree's target metric).
 
-use crate::node::Node;
+use crate::node::{Arena, NodeKind};
 use crate::RTree;
 
 /// Aggregate statistics of one tree level (root = level 0).
@@ -38,7 +38,7 @@ impl<const N: usize, T> RTree<N, T> {
     /// Computes structural statistics.
     pub fn stats(&self) -> TreeStats {
         let mut per_level: Vec<(usize, usize, f64)> = Vec::new(); // nodes, entries, overlap
-        collect(&self.root, 0, &mut per_level);
+        collect(&self.arena, self.root, 0, &mut per_level);
         let levels: Vec<LevelStats> = per_level
             .iter()
             .map(|&(nodes, entries, sibling_overlap)| LevelStats {
@@ -58,13 +58,18 @@ impl<const N: usize, T> RTree<N, T> {
     }
 }
 
-fn collect<const N: usize, T>(node: &Node<N, T>, level: usize, out: &mut Vec<(usize, usize, f64)>) {
+fn collect<const N: usize, T>(
+    arena: &Arena<N, T>,
+    idx: u32,
+    level: usize,
+    out: &mut Vec<(usize, usize, f64)>,
+) {
     if out.len() <= level {
         out.push((0, 0, 0.0));
     }
     out[level].0 += 1;
-    out[level].1 += node.entry_count();
-    if let Node::Internal { entries } = node {
+    out[level].1 += arena.entry_count(idx);
+    if let NodeKind::Internal(entries) = arena.node(idx) {
         // Pairwise overlap between this node's children.
         let mut overlap = 0.0;
         for i in 0..entries.len() {
@@ -74,7 +79,7 @@ fn collect<const N: usize, T>(node: &Node<N, T>, level: usize, out: &mut Vec<(us
         }
         out[level].2 += overlap;
         for e in entries {
-            collect(&e.child, level + 1, out);
+            collect(arena, e.child, level + 1, out);
         }
     }
 }

@@ -85,7 +85,19 @@ impl BenchmarkGroup<'_> {
 
     /// Runs one benchmark. `f` receives a [`Bencher`] and must call
     /// [`Bencher::iter`].
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        self.bench_function_measured(name, f);
+    }
+
+    /// Like [`BenchmarkGroup::bench_function`], but also returns the
+    /// recorded [`Measurement`] so harnesses (e.g. `mar-bench micro`) can
+    /// serialise results instead of only reading stderr. `None` when the
+    /// target never called [`Bencher::iter`].
+    pub fn bench_function_measured<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        mut f: F,
+    ) -> Option<Measurement> {
         let name = name.into();
         let mut b = Bencher {
             sample_size: self.sample_size,
@@ -105,6 +117,7 @@ impl BenchmarkGroup<'_> {
             ),
             None => eprintln!("  {}/{name}: no iterations recorded", self.name),
         }
+        b.report
     }
 
     /// Ends the group (printing is incremental; this is a no-op kept for
@@ -112,13 +125,21 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// A completed measurement: per-iteration statistics over the timed
+/// batches, in nanoseconds.
 #[derive(Debug, Clone, Copy)]
-struct Report {
-    mean_ns: f64,
-    min_ns: f64,
-    max_ns: f64,
-    iters: u64,
+pub struct Measurement {
+    /// Mean per-iteration time across all batches.
+    pub mean_ns: f64,
+    /// Smallest batch mean.
+    pub min_ns: f64,
+    /// Largest batch mean.
+    pub max_ns: f64,
+    /// Total iterations timed.
+    pub iters: u64,
 }
+
+type Report = Measurement;
 
 /// Times closures passed to [`Bencher::iter`].
 #[derive(Debug)]
