@@ -19,16 +19,16 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function("motion_aware", |b| {
         b.iter(|| {
-            let mut server = Server::new(&scene);
+            let server = Server::new(&scene);
             let mut p = MotionAwarePrefetcher::new(4);
-            black_box(run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg))
+            black_box(run_buffer_sim(&server, &scene, &tour, &mut p, &cfg))
         })
     });
     group.bench_function("naive", |b| {
         b.iter(|| {
-            let mut server = Server::new(&scene);
+            let server = Server::new(&scene);
             let mut p = NaivePrefetcher;
-            black_box(run_buffer_sim(&mut server, &scene, &tour, &mut p, &cfg))
+            black_box(run_buffer_sim(&server, &scene, &tour, &mut p, &cfg))
         })
     });
     // The planner itself, isolated.

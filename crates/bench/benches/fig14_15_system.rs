@@ -19,14 +19,10 @@ fn bench(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.bench_function("motion_aware", |b| {
         b.iter(|| {
-            let mut server = Server::new(&scene);
+            let server = Server::new(&scene);
             let mut p = MotionAwarePrefetcher::new(4);
             black_box(run_motion_aware_system(
-                &mut server,
-                &scene,
-                &tour,
-                &mut p,
-                &cfg,
+                &server, &scene, &tour, &mut p, &cfg,
             ))
         })
     });

@@ -21,11 +21,11 @@ fn bench(c: &mut Criterion) {
         let tour = tram_tour(&TourConfig::new(paper_space(), 200, 7, speed));
         group.bench_function(format!("speed_{speed}"), |b| {
             b.iter(|| {
-                let mut server = Server::new(&scene);
-                let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
+                let server = Server::new(&scene);
+                let mut client = IncrementalClient::connect(&server, LinearSpeedMap);
                 for s in &tour.samples {
                     let frame = frame_at(&paper_space(), &s.pos, 0.1);
-                    black_box(client.tick(&mut server, frame, s.speed));
+                    black_box(client.tick(&server, frame, s.speed));
                 }
                 client.metrics().bytes
             })

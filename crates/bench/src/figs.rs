@@ -60,7 +60,7 @@ fn ticks_for_distance(scale: &Scale, speed: f64) -> usize {
 /// KB retrieved per 1000 units of distance traveled by the incremental
 /// client (the initial frame fill is excluded — the paper's tours are long
 /// enough to amortise it away, ours are capped).
-fn retrieval_kb_per_kdist(scene: &Scene, server: &mut Server, tour: &Tour, frac: f64) -> f64 {
+fn retrieval_kb_per_kdist(scene: &Scene, server: &Server, tour: &Tour, frac: f64) -> f64 {
     let mut client = IncrementalClient::connect(server, LinearSpeedMap);
     let mut smooth = mar_core::SmoothedSpeed::default();
     let mut first_bytes = 0.0;
@@ -232,7 +232,7 @@ const BUFFER_COMBOS: [(bool, bool); 4] = [
 /// Runs one buffer-simulation sweep point: the given tour kind under the
 /// given prefetcher. Returns `(hit_rate, utilization)`.
 fn buffer_sim_point(
-    server: &mut Server,
+    server: &Server,
     scene: &Scene,
     tour: &Tour,
     motion_aware: bool,

@@ -15,6 +15,7 @@
 pub mod ablations;
 pub mod engine;
 pub mod figs;
+pub mod serve;
 
 /// A result table: one labelled x column plus named data series.
 #[derive(Debug, Clone)]

@@ -1,0 +1,326 @@
+//! `mar-bench serve` — the deterministic multi-session serving harness.
+//!
+//! Replays `K` client tours concurrently against **one shared**
+//! [`Server`] (the paper's §III setting: many mobile clients issuing
+//! continuous window queries against one wavelet index). Admission is
+//! batched per tick: every session issues its tick-`t` query before any
+//! session starts tick `t+1`, mirroring a frame-synchronous serving loop.
+//!
+//! Determinism (DESIGN.md §10): each session's query stream depends only
+//! on its own tour, its own speed-smoothing state and its own server-side
+//! filter — never on how sessions interleave inside a tick. The per-tick
+//! fan-out runs on the scoped-thread [`Engine`], whose results come back
+//! in point (= session-id) order, so the transcript merge is ordered by
+//! session id and `jobs = 1` vs `jobs = N` transcripts are byte-identical
+//! (pinned by `crates/bench/tests/serve.rs`).
+//!
+//! Wall-clock timings (`elapsed_s`, per-tick latencies) are measured for
+//! the throughput report only and never enter the transcript.
+
+use crate::engine::Engine;
+use crate::{figs, Scale};
+use mar_core::{
+    IncrementalClient, LinearSpeedMap, SceneIndexData, Server, ServerCore, SmoothedSpeed,
+    WaveletIndex,
+};
+use mar_link::LinkConfig;
+use mar_workload::{frame_at, pedestrian_tour, tram_tour, Placement, Scene, Tour, TourConfig};
+use std::sync::{Arc, Mutex};
+
+/// Serving-workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Number of concurrent client sessions.
+    pub sessions: usize,
+    /// Ticks each session replays.
+    pub ticks: usize,
+    /// Objects in the generated scene.
+    pub objects: usize,
+    /// Subdivision levels per object.
+    pub levels: usize,
+    /// Query frame fraction of the space.
+    pub frame_frac: f64,
+    /// Worker threads (`<= 1` = serial reference execution).
+    pub jobs: usize,
+    /// Base tour seed; session `k` tours with seed `base + k`.
+    pub tour_seed: u64,
+}
+
+impl ServeConfig {
+    /// The full measurement workload: 32 clients × 300 ticks over the
+    /// quick-scale 60-object scene.
+    pub fn full(jobs: usize) -> Self {
+        Self {
+            sessions: 32,
+            ticks: 300,
+            objects: 60,
+            levels: 3,
+            frame_frac: 0.05,
+            jobs,
+            tour_seed: 901,
+        }
+    }
+
+    /// A seconds-scale CI smoke workload.
+    pub fn smoke(jobs: usize) -> Self {
+        Self {
+            sessions: 4,
+            ticks: 40,
+            objects: 12,
+            levels: 2,
+            frame_frac: 0.1,
+            jobs,
+            tour_seed: 901,
+        }
+    }
+}
+
+/// One session's tick outcome, as it appears in the transcript.
+#[derive(Debug, Clone, Copy)]
+struct TickRow {
+    coeffs: u64,
+    new_objects: u64,
+    bytes: f64,
+    io: u64,
+    response_s: f64,
+}
+
+/// Per-session simulation state: the incremental client plus its tour and
+/// speed-smoothing filter. Boxed behind one mutex per session — a session
+/// is stepped by exactly one worker per tick, so the lock is uncontended
+/// and exists only to hand the state safely across the scoped threads.
+struct SessionSim {
+    client: IncrementalClient<LinearSpeedMap>,
+    smooth: SmoothedSpeed,
+    tour: Tour,
+}
+
+impl SessionSim {
+    fn step(
+        &mut self,
+        server: &Server,
+        scene: &Scene,
+        tick: usize,
+        frame_frac: f64,
+        link: &LinkConfig,
+    ) -> TickRow {
+        let s = self.tour.samples[tick];
+        let frame = frame_at(&scene.config.space, &s.pos, frame_frac);
+        let speed = self.smooth.update(s.speed);
+        let r = self.client.tick(server, frame, speed);
+        let response_s = if r.bytes > 0.0 {
+            link.request_time(r.bytes, speed)
+        } else {
+            0.0
+        };
+        TickRow {
+            coeffs: r.coeffs as u64,
+            new_objects: r.new_objects as u64,
+            bytes: r.bytes,
+            io: r.io,
+            response_s,
+        }
+    }
+}
+
+/// What one serve run produced.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Sessions replayed.
+    pub sessions: usize,
+    /// Ticks per session.
+    pub ticks: usize,
+    /// Queries executed (`sessions × ticks`).
+    pub queries: u64,
+    /// Payload bytes served across all sessions.
+    pub bytes: f64,
+    /// Coefficients served across all sessions.
+    pub coeffs: u64,
+    /// Index node accesses across all sessions.
+    pub io: u64,
+    /// The deterministic per-tick, per-session transcript (CSV).
+    pub transcript: String,
+    /// Wall-clock duration of each tick's batch, in nanoseconds.
+    pub tick_ns: Vec<u64>,
+    /// Total wall-clock time of the replay loop, in seconds.
+    pub elapsed_s: f64,
+}
+
+impl ServeReport {
+    /// Queries per second of wall-clock replay time.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.queries as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (0..=1) of per-tick batch latency, in nanoseconds.
+    pub fn tick_latency_ns(&self, q: f64) -> u64 {
+        if self.tick_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.tick_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// Runs the serving workload. The transcript (and every aggregate derived
+/// from it) is identical for any `cfg.jobs`; only the wall-clock fields
+/// change.
+pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
+    let mut scale = Scale::quick();
+    scale.objects_default = cfg.objects;
+    scale.levels = cfg.levels;
+    let scene = figs::build_scene(&scale, cfg.objects, Placement::Uniform);
+    let data = SceneIndexData::build(&scene);
+    // The index bulk-load itself fans out across the same worker budget.
+    let index = WaveletIndex::build_jobs(&data, cfg.jobs);
+    let server = Server::from_core(ServerCore::from_parts(Arc::new(data), Arc::new(index)));
+    let link = LinkConfig::paper();
+
+    // Sessions connect serially in id order, each with its own tour:
+    // alternating tram/pedestrian kinds over a deterministic speed spread.
+    let speeds = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let sims: Vec<Mutex<SessionSim>> = (0..cfg.sessions)
+        .map(|k| {
+            let tc = TourConfig::new(
+                scene.config.space,
+                cfg.ticks,
+                cfg.tour_seed + k as u64,
+                speeds[k % speeds.len()],
+            );
+            let tour = if k % 2 == 0 {
+                tram_tour(&tc)
+            } else {
+                pedestrian_tour(&tc)
+            };
+            Mutex::new(SessionSim {
+                client: IncrementalClient::connect(&server, LinearSpeedMap),
+                smooth: SmoothedSpeed::default(),
+                tour,
+            })
+        })
+        .collect();
+
+    let engine = Engine::new(cfg.jobs);
+    let mut transcript = String::from("tick,session,coeffs,new_objects,bytes,io,response_s\n");
+    let mut tick_ns = Vec::with_capacity(cfg.ticks);
+    let mut bytes = 0.0;
+    let mut coeffs = 0u64;
+    let mut io = 0u64;
+    // mar-lint: allow(D003) — wall-clock throughput measurement is this harness's job; timings never enter the transcript
+    let t0 = std::time::Instant::now();
+    for tick in 0..cfg.ticks {
+        // mar-lint: allow(D003) — per-tick batch latency for the report only
+        let t_tick = std::time::Instant::now();
+        let rows = engine.run(
+            (0..cfg.sessions).collect(),
+            || (),
+            |_, &k| {
+                let mut sim = sims[k]
+                    .lock()
+                    // mar-lint: allow(D004) — poisoning implies a sibling worker panicked; propagate
+                    .expect("session sim poisoned");
+                sim.step(&server, &scene, tick, cfg.frame_frac, &link)
+            },
+        );
+        tick_ns.push(t_tick.elapsed().as_nanos() as u64);
+        // Merge in session-id order: `Engine::run` returns results in
+        // point order, and the points are the session ids.
+        for (k, row) in rows.iter().enumerate() {
+            transcript.push_str(&format!(
+                "{tick},{k},{},{},{},{},{}\n",
+                row.coeffs, row.new_objects, row.bytes, row.io, row.response_s
+            ));
+            bytes += row.bytes;
+            coeffs += row.coeffs;
+            io += row.io;
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    // Tear every session down; the filter state must go with it.
+    for k in 0..cfg.sessions as u64 {
+        server.disconnect(k);
+    }
+    assert_eq!(server.session_count(), 0, "all sessions disconnected");
+    assert_eq!(
+        server.resident_filter_entries(),
+        0,
+        "disconnect must release filter state"
+    );
+
+    ServeReport {
+        sessions: cfg.sessions,
+        ticks: cfg.ticks,
+        queries: (cfg.sessions * cfg.ticks) as u64,
+        bytes,
+        coeffs,
+        io,
+        transcript,
+        tick_ns,
+        elapsed_s,
+    }
+}
+
+/// FNV-1a 64-bit hash of a transcript — a compact fingerprint for
+/// comparing `--jobs 1` vs `--jobs N` runs across processes.
+pub fn fnv1a64(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(jobs: usize) -> ServeConfig {
+        ServeConfig {
+            sessions: 3,
+            ticks: 10,
+            objects: 8,
+            levels: 2,
+            frame_frac: 0.15,
+            jobs,
+            tour_seed: 901,
+        }
+    }
+
+    #[test]
+    fn serve_produces_complete_transcript() {
+        let r = run_serve(&tiny(1));
+        assert_eq!(r.queries, 30);
+        assert_eq!(r.tick_ns.len(), 10);
+        assert!(r.bytes > 0.0, "clients must retrieve data");
+        // Header + one line per (tick, session).
+        assert_eq!(r.transcript.lines().count(), 1 + 30);
+        assert!(r
+            .transcript
+            .starts_with("tick,session,coeffs,new_objects,bytes,io,response_s\n"));
+    }
+
+    #[test]
+    fn transcript_is_jobs_invariant() {
+        let serial = run_serve(&tiny(1));
+        let parallel = run_serve(&tiny(3));
+        assert_eq!(serial.transcript, parallel.transcript);
+        assert_eq!(serial.bytes, parallel.bytes);
+        assert_eq!(serial.coeffs, parallel.coeffs);
+        assert_eq!(serial.io, parallel.io);
+        assert_eq!(fnv1a64(&serial.transcript), fnv1a64(&parallel.transcript));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a64(""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv1a64("a"), fnv1a64("b"));
+    }
+}

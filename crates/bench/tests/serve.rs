@@ -1,0 +1,40 @@
+//! The determinism contract of the serving harness, mirroring
+//! `tests/parallel.rs`: `--jobs` changes wall-clock time only, never a
+//! single transcript byte.
+
+use mar_bench::serve::{fnv1a64, run_serve, ServeConfig};
+
+#[test]
+fn serve_transcript_is_byte_identical_jobs_1_vs_4() {
+    let serial = run_serve(&ServeConfig::smoke(1));
+    let parallel = run_serve(&ServeConfig::smoke(4));
+    assert_eq!(
+        serial.transcript, parallel.transcript,
+        "serve transcript differs between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(fnv1a64(&serial.transcript), fnv1a64(&parallel.transcript));
+    // Every aggregate derived from the transcript must agree too.
+    assert_eq!(serial.queries, parallel.queries);
+    assert_eq!(serial.bytes, parallel.bytes);
+    assert_eq!(serial.coeffs, parallel.coeffs);
+    assert_eq!(serial.io, parallel.io);
+}
+
+#[test]
+fn serve_smoke_shape_matches_config() {
+    let cfg = ServeConfig::smoke(2);
+    let r = run_serve(&cfg);
+    assert_eq!(r.sessions, cfg.sessions);
+    assert_eq!(r.ticks, cfg.ticks);
+    assert_eq!(r.queries, (cfg.sessions * cfg.ticks) as u64);
+    assert_eq!(r.tick_ns.len(), cfg.ticks);
+    assert_eq!(
+        r.transcript.lines().count(),
+        1 + cfg.sessions * cfg.ticks,
+        "one transcript row per (tick, session) plus the header"
+    );
+    assert!(r.bytes > 0.0, "smoke workload must serve data");
+    // Wall-clock quantiles are monotone even though their values vary.
+    assert!(r.tick_latency_ns(0.50) <= r.tick_latency_ns(0.99));
+    assert!(r.tick_latency_ns(0.99) <= r.tick_latency_ns(1.0));
+}

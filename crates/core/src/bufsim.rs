@@ -57,7 +57,7 @@ impl Default for BufferSimConfig {
 
 /// Runs the buffer simulation for one tour with the given prefetcher.
 pub fn run_buffer_sim(
-    server: &mut Server,
+    server: &Server,
     scene: &Scene,
     tour: &Tour,
     prefetcher: &mut dyn Prefetcher,
@@ -73,16 +73,16 @@ pub fn run_buffer_sim(
     };
     // Average block cost at a given resolution floor, from the scene-wide
     // magnitude distribution (planning estimate only; actual fetch bytes
-    // come from real index queries).
-    let data = server.data();
+    // come from real index queries). Sorted once in
+    // `SceneIndexData::build`; the closure shares the `Arc` handle instead
+    // of deep-copying the magnitude vector.
+    let data = server.core().data_arc();
     let total_coeffs = data.len() as f64;
-    // Sorted once in `SceneIndexData::build`; cloned here (not re-sorted)
-    // because the closure must outlive this immutable borrow of the server.
-    let sorted_w = data.sorted_w.clone();
     let coeff_bytes = data.coeff_bytes;
     let n_blocks = grid.block_count() as f64;
     let frac_at_least = move |w: f64| -> f64 {
         // Fraction of coefficients with magnitude >= w.
+        let sorted_w = &data.sorted_w;
         let idx = sorted_w.partition_point(|&x| x < w);
         (sorted_w.len() - idx) as f64 / sorted_w.len().max(1) as f64
     };
@@ -241,10 +241,10 @@ mod tests {
     #[test]
     fn simulation_produces_sane_metrics() {
         let sc = scene();
-        let mut server = Server::new(&sc);
+        let server = Server::new(&sc);
         let mut p = MotionAwarePrefetcher::new(4);
         let m = run_buffer_sim(
-            &mut server,
+            &server,
             &sc,
             &tour(0.5),
             &mut p,
@@ -275,12 +275,12 @@ mod tests {
                 seed,
                 0.5,
             ));
-            let mut server = Server::new(&sc);
+            let server = Server::new(&sc);
             let mut ma = MotionAwarePrefetcher::new(4);
-            hit_ma += run_buffer_sim(&mut server, &sc, &t, &mut ma, &cfg).hit_rate();
-            let mut server2 = Server::new(&sc);
+            hit_ma += run_buffer_sim(&server, &sc, &t, &mut ma, &cfg).hit_rate();
+            let server2 = Server::new(&sc);
             let mut nv = NaivePrefetcher;
-            hit_nv += run_buffer_sim(&mut server2, &sc, &t, &mut nv, &cfg).hit_rate();
+            hit_nv += run_buffer_sim(&server2, &sc, &t, &mut nv, &cfg).hit_rate();
         }
         assert!(
             hit_ma > hit_nv,
@@ -300,13 +300,13 @@ mod tests {
             (16.0 * 1024.0, &mut hit_small),
             (128.0 * 1024.0, &mut hit_big),
         ] {
-            let mut server = Server::new(&sc);
+            let server = Server::new(&sc);
             let mut p = MotionAwarePrefetcher::new(4);
             let cfg = BufferSimConfig {
                 buffer_bytes: bytes,
                 ..Default::default()
             };
-            *out = run_buffer_sim(&mut server, &sc, &t, &mut p, &cfg).hit_rate();
+            *out = run_buffer_sim(&server, &sc, &t, &mut p, &cfg).hit_rate();
         }
         assert!(
             hit_big >= hit_small - 0.02,
@@ -337,12 +337,12 @@ mod eq1_tests {
             ..Default::default()
         };
         let model = TransferCostModel::from_link(&LinkConfig::paper(), 4096.0);
-        let mut server = Server::new(&scene);
+        let server = Server::new(&scene);
         let mut ma = MotionAwarePrefetcher::new(4);
-        let m_ma = run_buffer_sim(&mut server, &scene, &tour, &mut ma, &sim_cfg);
-        let mut server2 = Server::new(&scene);
+        let m_ma = run_buffer_sim(&server, &scene, &tour, &mut ma, &sim_cfg);
+        let server2 = Server::new(&scene);
         let mut nv = NaivePrefetcher;
-        let m_nv = run_buffer_sim(&mut server2, &scene, &tour, &mut nv, &sim_cfg);
+        let m_nv = run_buffer_sim(&server2, &scene, &tour, &mut nv, &sim_cfg);
         // Both recorded at least one contact, and the cost is positive and
         // composed of exactly miss_count() connection charges.
         for m in [&m_ma, &m_nv] {

@@ -33,14 +33,25 @@ impl WaveletIndex {
 
     /// Bulk-loads with a custom tree configuration.
     pub fn build_with(data: &SceneIndexData, config: RTreeConfig) -> Self {
-        let items: Vec<(Rect3, CoeffRef)> = data
-            .records
+        Self {
+            tree: RTree::bulk_load(config, Self::items(data)),
+        }
+    }
+
+    /// Bulk-loads across up to `jobs` threads via the deterministic
+    /// parallel STR loader — the produced tree is identical in shape to
+    /// [`WaveletIndex::build`] (see [`RTree::bulk_load_jobs`]).
+    pub fn build_jobs(data: &SceneIndexData, jobs: usize) -> Self {
+        Self {
+            tree: RTree::bulk_load_jobs(RTreeConfig::paper(), Self::items(data), jobs),
+        }
+    }
+
+    fn items(data: &SceneIndexData) -> Vec<(Rect3, CoeffRef)> {
+        data.records
             .iter()
             .map(|r| (r.support_xy.lift(r.w, r.w), r.id))
-            .collect();
-        Self {
-            tree: RTree::bulk_load(config, items),
-        }
+            .collect()
     }
 
     /// Wraps an externally built tree (e.g. one filled by incremental

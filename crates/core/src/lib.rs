@@ -41,5 +41,5 @@ pub use index::{WaveletIndex, WaveletIndex4};
 pub use metrics::{BufferMetrics, RetrievalMetrics, SystemMetrics};
 pub use naive_index::NaivePointIndex;
 pub use retrieval::IncrementalClient;
-pub use server::{QueryRegion, QueryResult, Server};
+pub use server::{QueryRegion, QueryResult, Server, ServerCore, SESSION_STRIPES};
 pub use speedmap::{LinearSpeedMap, SmoothedSpeed, SpeedResolutionMap, SteppedSpeedMap};

@@ -36,7 +36,7 @@ pub struct IncrementalClient<M: SpeedResolutionMap> {
 
 impl<M: SpeedResolutionMap> IncrementalClient<M> {
     /// Connects a new client to the server.
-    pub fn connect(server: &mut Server, map: M) -> Self {
+    pub fn connect(server: &Server, map: M) -> Self {
         Self {
             session: server.connect(),
             map,
@@ -79,7 +79,7 @@ impl<M: SpeedResolutionMap> IncrementalClient<M> {
 
     /// Executes one query frame; returns the server's (session-filtered)
     /// result.
-    pub fn tick(&mut self, server: &mut Server, frame: Rect2, speed: f64) -> QueryResult {
+    pub fn tick(&mut self, server: &Server, frame: Rect2, speed: f64) -> QueryResult {
         let regions = self.plan(&frame, speed);
         let result = server.query(self.session, &regions);
         self.prev_frame = Some(frame);
@@ -123,8 +123,8 @@ mod tests {
 
     #[test]
     fn first_tick_queries_whole_frame() {
-        let mut srv = server();
-        let client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        let srv = server();
+        let client = IncrementalClient::connect(&srv, LinearSpeedMap);
         let plan = client.plan(&frame(100.0, 100.0), 0.5);
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].region, frame(100.0, 100.0));
@@ -133,9 +133,9 @@ mod tests {
 
     #[test]
     fn overlapping_frames_query_only_the_difference() {
-        let mut srv = server();
-        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
-        client.tick(&mut srv, frame(100.0, 100.0), 0.5);
+        let srv = server();
+        let mut client = IncrementalClient::connect(&srv, LinearSpeedMap);
+        client.tick(&srv, frame(100.0, 100.0), 0.5);
         // Same speed, slight move: plan must not include the overlap.
         let plan = client.plan(&frame(150.0, 100.0), 0.5);
         assert_eq!(plan.len(), 1, "single new slab for a pure x move");
@@ -148,9 +148,9 @@ mod tests {
 
     #[test]
     fn speeding_up_fetches_nothing_for_overlap() {
-        let mut srv = server();
-        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
-        client.tick(&mut srv, frame(100.0, 100.0), 0.2);
+        let srv = server();
+        let mut client = IncrementalClient::connect(&srv, LinearSpeedMap);
+        client.tick(&srv, frame(100.0, 100.0), 0.2);
         let plan = client.plan(&frame(120.0, 120.0), 0.8);
         // Coarser need (w_min 0.8 > 0.2): overlap already satisfied.
         assert!(plan.iter().all(|q| q.band.w_min == 0.8));
@@ -159,9 +159,9 @@ mod tests {
 
     #[test]
     fn slowing_down_fetches_band_delta_over_overlap() {
-        let mut srv = server();
-        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
-        client.tick(&mut srv, frame(100.0, 100.0), 0.8);
+        let srv = server();
+        let mut client = IncrementalClient::connect(&srv, LinearSpeedMap);
+        client.tick(&srv, frame(100.0, 100.0), 0.8);
         let plan = client.plan(&frame(100.0, 100.0), 0.2);
         // Identical frame, finer need: exactly one overlap band query.
         assert_eq!(plan.len(), 1);
@@ -171,9 +171,9 @@ mod tests {
 
     #[test]
     fn disjoint_jump_requeries_everything() {
-        let mut srv = server();
-        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
-        client.tick(&mut srv, frame(0.0, 0.0), 0.3);
+        let srv = server();
+        let mut client = IncrementalClient::connect(&srv, LinearSpeedMap);
+        client.tick(&srv, frame(0.0, 0.0), 0.3);
         let plan = client.plan(&frame(700.0, 700.0), 0.3);
         assert_eq!(plan.len(), 1);
         assert_eq!(plan[0].region, frame(700.0, 700.0));
@@ -188,12 +188,12 @@ mod tests {
         cfg.target_bytes = 1_000_000.0;
         let scene = Scene::generate(cfg);
         let c = scene.objects[0].footprint().center();
-        let mut srv = Server::new(&scene);
-        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        let srv = Server::new(&scene);
+        let mut client = IncrementalClient::connect(&srv, LinearSpeedMap);
         let f = frame(c[0] - 100.0, c[1] - 100.0);
-        let r1 = client.tick(&mut srv, f, 0.0);
-        let r2 = client.tick(&mut srv, f, 0.0);
-        let r3 = client.tick(&mut srv, f, 0.0);
+        let r1 = client.tick(&srv, f, 0.0);
+        let r2 = client.tick(&srv, f, 0.0);
+        let r3 = client.tick(&srv, f, 0.0);
         assert!(r1.bytes > 0.0);
         assert_eq!(r2.bytes + r3.bytes, 0.0, "no motion, no new data");
     }
@@ -204,10 +204,10 @@ mod tests {
         // resolution band is narrower so its total bytes are smaller, even
         // though it covers the same ground.
         let total = |speed: f64| {
-            let mut srv = server();
-            let mut c = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+            let srv = server();
+            let mut c = IncrementalClient::connect(&srv, LinearSpeedMap);
             for i in 0..20 {
-                c.tick(&mut srv, frame(40.0 * i as f64, 300.0), speed);
+                c.tick(&srv, frame(40.0 * i as f64, 300.0), speed);
             }
             c.metrics().bytes
         };
@@ -222,18 +222,18 @@ mod tests {
     #[test]
     fn incremental_equals_fresh_when_revisiting_is_free() {
         // Running a path twice costs the same as once (server-side dedup).
-        let mut srv = server();
-        let mut c = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        let srv = server();
+        let mut c = IncrementalClient::connect(&srv, LinearSpeedMap);
         for _round in 0..2 {
             for i in 0..10 {
-                c.tick(&mut srv, frame(50.0 * i as f64, 400.0), 0.3);
+                c.tick(&srv, frame(50.0 * i as f64, 400.0), 0.3);
             }
         }
         let bytes_two_rounds = c.metrics().bytes;
-        let mut srv2 = server();
-        let mut c2 = IncrementalClient::connect(&mut srv2, LinearSpeedMap);
+        let srv2 = server();
+        let mut c2 = IncrementalClient::connect(&srv2, LinearSpeedMap);
         for i in 0..10 {
-            c2.tick(&mut srv2, frame(50.0 * i as f64, 400.0), 0.3);
+            c2.tick(&srv2, frame(50.0 * i as f64, 400.0), 0.3);
         }
         assert!((bytes_two_rounds - c2.metrics().bytes).abs() < 1e-6);
     }
@@ -250,7 +250,7 @@ impl<M: SpeedResolutionMap> IncrementalClient<M> {
     /// a renderer culls it locally, and it stays cached for the next turn.
     pub fn tick_frustum(
         &mut self,
-        server: &mut Server,
+        server: &Server,
         frustum: &mar_geom::Frustum,
         speed: f64,
     ) -> QueryResult {
@@ -275,22 +275,22 @@ mod frustum_tests {
 
     #[test]
     fn turning_in_place_retrieves_incrementally() {
-        let mut srv = server();
-        let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+        let srv = server();
+        let mut client = IncrementalClient::connect(&srv, LinearSpeedMap);
         let apex = Point2::new([500.0, 500.0]);
         // Look east, then rotate by 90° steps: after a full turn the
         // client has seen (at most) the whole disc once.
         let mut total = 0.0;
         for i in 0..8 {
             let f = Frustum::new(apex, i as f64 * FRAC_PI_2 / 2.0, FRAC_PI_2, 200.0);
-            let r = client.tick_frustum(&mut srv, &f, 0.1);
+            let r = client.tick_frustum(&srv, &f, 0.1);
             total += r.bytes;
         }
         // Second full sweep: everything already cached server-side.
         let mut second = 0.0;
         for i in 0..8 {
             let f = Frustum::new(apex, i as f64 * FRAC_PI_2 / 2.0, FRAC_PI_2, 200.0);
-            second += client.tick_frustum(&mut srv, &f, 0.1).bytes;
+            second += client.tick_frustum(&srv, &f, 0.1).bytes;
         }
         assert!(total > 0.0 || second == 0.0);
         assert_eq!(second, 0.0, "a repeated sweep must be free");
@@ -300,10 +300,10 @@ mod frustum_tests {
     fn narrow_view_retrieves_less_than_wide_view() {
         let apex = Point2::new([500.0, 500.0]);
         let bytes_for = |fov: f64| {
-            let mut srv = server();
-            let mut client = IncrementalClient::connect(&mut srv, LinearSpeedMap);
+            let srv = server();
+            let mut client = IncrementalClient::connect(&srv, LinearSpeedMap);
             let f = Frustum::new(apex, 0.0, fov, 300.0);
-            client.tick_frustum(&mut srv, &f, 0.2).bytes
+            client.tick_frustum(&srv, &f, 0.2).bytes
         };
         let narrow = bytes_for(0.3);
         let wide = bytes_for(std::f64::consts::TAU);

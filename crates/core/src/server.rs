@@ -5,6 +5,29 @@
 //! available at the client." Each session remembers which coefficients
 //! (and which objects' base meshes) a client has already received; query
 //! results are filtered against that set before they are costed.
+//!
+//! # Concurrency model (DESIGN.md §10)
+//!
+//! The server is split into two layers so many clients can be served at
+//! once (the paper's §III setting — "serving heavy traffic" of continuous
+//! window queries):
+//!
+//! * [`ServerCore`] — the shared **immutable** half: `Arc<SceneIndexData>`
+//!   plus `Arc<WaveletIndex>` (which carries the prebuilt `sorted_w`
+//!   magnitude distribution inside the data). Every read path takes
+//!   `&self` and is lock-free; index searches allocate nothing (the
+//!   traversal stack is a thread-local scratch buffer in `mar-rtree`) and
+//!   tally I/O through a relaxed atomic.
+//! * per-session state, **striped**: sessions are sharded into
+//!   [`SESSION_STRIPES`] independent `Mutex<BTreeMap<..>>` shards by
+//!   `session_id % SESSION_STRIPES`, so concurrent clients only contend
+//!   when they hash to the same stripe — never on one global map.
+//!
+//! `query`/`fetch_block` therefore take `&self`: a `&Server` can be shared
+//! across scoped threads and each client's queries run concurrently.
+//! Determinism is preserved because a session's filter state depends only
+//! on that session's own query history (pinned by
+//! `crates/core/tests/server_concurrent.rs`).
 
 use crate::coeff::{CoeffRef, SceneIndexData};
 use crate::index::WaveletIndex;
@@ -14,6 +37,13 @@ use mar_workload::Scene;
 // mar-lint: allow(D001) — `HashSet` here backs the membership-only session
 // filters below; their iteration order is never observed.
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of session shards. A fixed power of two keeps `id % N` cheap and
+/// the shard choice deterministic; 16 stripes already make same-stripe
+/// contention rare for the client counts the serve harness replays.
+pub const SESSION_STRIPES: usize = 16;
 
 /// One sub-query: a region and the resolution band needed inside it.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,26 +78,39 @@ struct Session {
     sent_base: HashSet<u32>,
 }
 
-/// The server.
-#[derive(Debug)]
-pub struct Server {
-    data: SceneIndexData,
-    index: WaveletIndex,
-    sessions: BTreeMap<u64, Session>,
-    next_session: u64,
+impl Session {
+    /// Resident filter entries (coefficients + base-mesh markers) — the
+    /// state `disconnect` must release.
+    fn filter_entries(&self) -> usize {
+        self.sent.len() + self.sent_base.len()
+    }
 }
 
-impl Server {
-    /// Builds the server (support regions + index) from a scene.
+/// The shared immutable half of the server: scene-derived index data plus
+/// the wavelet index, both behind `Arc` so clones are cheap handle copies.
+/// Everything here is read-only after construction — safe to share across
+/// any number of client threads without locks.
+#[derive(Debug, Clone)]
+pub struct ServerCore {
+    data: Arc<SceneIndexData>,
+    index: Arc<WaveletIndex>,
+}
+
+impl ServerCore {
+    /// Builds the core (support regions + index) from a scene.
     pub fn new(scene: &Scene) -> Self {
         let data = SceneIndexData::build(scene);
         let index = WaveletIndex::build(&data);
         Self {
-            data,
-            index,
-            sessions: BTreeMap::new(),
-            next_session: 0,
+            data: Arc::new(data),
+            index: Arc::new(index),
         }
+    }
+
+    /// Wraps pre-built parts (e.g. an index bulk-loaded in parallel via
+    /// [`WaveletIndex::build_jobs`]).
+    pub fn from_parts(data: Arc<SceneIndexData>, index: Arc<WaveletIndex>) -> Self {
+        Self { data, index }
     }
 
     /// The scene-derived index data.
@@ -75,39 +118,122 @@ impl Server {
         &self.data
     }
 
+    /// A shared handle to the index data. Planning closures that must
+    /// outlive a server borrow (e.g. `bytes_per_block` over the prebuilt
+    /// `sorted_w`) clone this handle instead of deep-copying the vector.
+    pub fn data_arc(&self) -> Arc<SceneIndexData> {
+        Arc::clone(&self.data)
+    }
+
     /// The wavelet index.
     pub fn index(&self) -> &WaveletIndex {
         &self.index
     }
 
-    /// Opens a client session; returns its id.
-    pub fn connect(&mut self) -> u64 {
-        let id = self.next_session;
-        self.next_session += 1;
-        self.sessions.insert(id, Session::default());
+    /// A stateless query (no session filtering): the raw index answer.
+    pub fn query_stateless(&self, region: &Rect2, band: ResolutionBand) -> (Vec<CoeffRef>, u64) {
+        self.index.query(region, band)
+    }
+
+    /// Stateless byte size of a block at a band (planning/estimation).
+    /// Only the hit *count* matters here, so the index counts in place
+    /// instead of materialising the hit vector.
+    pub fn block_bytes_stateless(&self, block: &Rect2, band: ResolutionBand) -> (f64, u64) {
+        let (n, io) = self.index.count_in(block, band);
+        (n as f64 * self.data.coeff_bytes, io)
+    }
+}
+
+/// The server: a shared [`ServerCore`] plus striped per-session state.
+/// All entry points take `&self`; a `&Server` is safe to share across
+/// client threads.
+#[derive(Debug)]
+pub struct Server {
+    core: ServerCore,
+    stripes: [Mutex<BTreeMap<u64, Session>>; SESSION_STRIPES],
+    next_session: AtomicU64,
+}
+
+impl Server {
+    /// Builds the server (support regions + index) from a scene.
+    pub fn new(scene: &Scene) -> Self {
+        Self::from_core(ServerCore::new(scene))
+    }
+
+    /// Builds the session layer over an existing shared core.
+    pub fn from_core(core: ServerCore) -> Self {
+        Self {
+            core,
+            stripes: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
+            next_session: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared immutable core.
+    pub fn core(&self) -> &ServerCore {
+        &self.core
+    }
+
+    /// The scene-derived index data.
+    pub fn data(&self) -> &SceneIndexData {
+        self.core.data()
+    }
+
+    /// The wavelet index.
+    pub fn index(&self) -> &WaveletIndex {
+        self.core.index()
+    }
+
+    /// The stripe holding `session`'s filter state.
+    fn stripe(&self, session: u64) -> &Mutex<BTreeMap<u64, Session>> {
+        &self.stripes[(session % SESSION_STRIPES as u64) as usize]
+    }
+
+    /// Opens a client session; returns its id. Ids are handed out in call
+    /// order, so a program that connects sessions deterministically gets
+    /// deterministic ids.
+    pub fn connect(&self) -> u64 {
+        let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+        let mut stripe = self.stripe(id).lock().expect("session stripe poisoned");
+        stripe.insert(id, Session::default());
         id
     }
 
-    /// Drops a session (client disconnected).
-    pub fn disconnect(&mut self, session: u64) {
-        self.sessions.remove(&session);
+    /// Drops a session (client disconnected), releasing its sent-filter
+    /// state with it — long-running serve workloads must not accumulate
+    /// filters for clients that are gone (pinned by
+    /// `disconnect_releases_filter_state`).
+    pub fn disconnect(&self, session: u64) {
+        let mut stripe = self
+            .stripe(session)
+            .lock()
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            .expect("session stripe poisoned");
+        stripe.remove(&session);
     }
 
     /// Executes a batch of sub-queries for a session, filtering out data
     /// the client already holds, and returns the transmission accounting.
     ///
+    /// Holds only the session's stripe lock: the index walk itself is a
+    /// lock-free `&self` read of the shared core, with the session filter
+    /// applied inside the tree walk (in index search order) so no
+    /// per-sub-query hit vector is ever materialised.
+    ///
     /// # Panics
     /// Panics on an unknown session id.
-    pub fn query(&mut self, session: u64, regions: &[QueryRegion]) -> QueryResult {
+    pub fn query(&self, session: u64, regions: &[QueryRegion]) -> QueryResult {
+        let mut stripe = self
+            .stripe(session)
+            .lock()
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            .expect("session stripe poisoned");
         // mar-lint: allow(D004) — documented `# Panics` contract, covered by the
         // `unknown_session_panics` test.
-        let sess = self.sessions.get_mut(&session).expect("unknown session id");
-        // Split borrows: the visitor mutates the session and the result
-        // while the index (a sibling field) runs the search, so no
-        // per-sub-query hit vector is ever materialised — the session
-        // filter runs inside the tree walk, in index search order.
-        let index = &self.index;
-        let data = &self.data;
+        let sess = stripe.get_mut(&session).expect("unknown session id");
+        let index = self.core.index();
+        let data = self.core.data();
         let mut result = QueryResult::default();
         for q in regions {
             let io = index.for_each(&q.region, q.band, |id| {
@@ -127,18 +253,13 @@ impl Server {
 
     /// A stateless query (no session filtering): the raw index answer.
     pub fn query_stateless(&self, region: &Rect2, band: ResolutionBand) -> (Vec<CoeffRef>, u64) {
-        self.index.query(region, band)
+        self.core.query_stateless(region, band)
     }
 
     /// Payload bytes of one block-granularity fetch: every coefficient
     /// whose support intersects `block` within `band`, plus base meshes
     /// the session has not yet received. Used by the buffered clients.
-    pub fn fetch_block(
-        &mut self,
-        session: u64,
-        block: &Rect2,
-        band: ResolutionBand,
-    ) -> QueryResult {
+    pub fn fetch_block(&self, session: u64, block: &Rect2, band: ResolutionBand) -> QueryResult {
         self.query(
             session,
             &[QueryRegion {
@@ -149,19 +270,44 @@ impl Server {
     }
 
     /// Stateless byte size of a block at a band (planning/estimation).
-    /// Only the hit *count* matters here, so the index counts in place
-    /// instead of materialising the hit vector.
     pub fn block_bytes_stateless(&self, block: &Rect2, band: ResolutionBand) -> (f64, u64) {
-        let (n, io) = self.index.count_in(block, band);
-        (n as f64 * self.data.coeff_bytes, io)
+        self.core.block_bytes_stateless(block, band)
     }
 
     /// How many coefficients a session has been sent.
     pub fn session_sent(&self, session: u64) -> usize {
-        self.sessions
-            .get(&session)
-            .map(|s| s.sent.len())
-            .unwrap_or(0)
+        let stripe = self
+            .stripe(session)
+            .lock()
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            .expect("session stripe poisoned");
+        stripe.get(&session).map(|s| s.sent.len()).unwrap_or(0)
+    }
+
+    /// Number of currently connected sessions, across all stripes.
+    pub fn session_count(&self) -> usize {
+        self.stripes
+            .iter()
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            .map(|s| s.lock().expect("session stripe poisoned").len())
+            .sum()
+    }
+
+    /// Total resident filter entries (sent coefficients + sent base-mesh
+    /// markers) across every connected session — the quantity that must
+    /// return to zero when all clients disconnect.
+    pub fn resident_filter_entries(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| {
+                s.lock()
+                    // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+                    .expect("session stripe poisoned")
+                    .values()
+                    .map(Session::filter_entries)
+                    .sum::<usize>()
+            })
+            .sum()
     }
 }
 
@@ -186,8 +332,15 @@ mod tests {
     }
 
     #[test]
+    fn server_is_shareable_across_threads() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<Server>();
+        assert_sync_send::<ServerCore>();
+    }
+
+    #[test]
     fn repeat_queries_send_nothing_new() {
-        let mut s = server();
+        let s = server();
         let c = s.connect();
         let r1 = s.query(c, &[whole()]);
         assert!(r1.coeffs > 0);
@@ -202,7 +355,7 @@ mod tests {
 
     #[test]
     fn sessions_are_independent() {
-        let mut s = server();
+        let s = server();
         let a = s.connect();
         let b = s.connect();
         let ra = s.query(a, &[whole()]);
@@ -212,7 +365,7 @@ mod tests {
 
     #[test]
     fn incremental_band_widening_sends_only_the_difference() {
-        let mut s = server();
+        let s = server();
         let c = s.connect();
         let region = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([1000.0, 1000.0]));
         let coarse = s.query(
@@ -236,7 +389,7 @@ mod tests {
 
     #[test]
     fn base_mesh_charged_exactly_once_per_object() {
-        let mut s = server();
+        let s = server();
         let c = s.connect();
         let left = QueryRegion {
             region: Rect2::new(Point2::new([0.0, 0.0]), Point2::new([500.0, 1000.0])),
@@ -250,7 +403,7 @@ mod tests {
 
     #[test]
     fn disconnect_forgets_state() {
-        let mut s = server();
+        let s = server();
         let c = s.connect();
         s.query(c, &[whole()]);
         assert!(s.session_sent(c) > 0);
@@ -259,9 +412,42 @@ mod tests {
     }
 
     #[test]
+    fn disconnect_releases_filter_state() {
+        // Long-running serve workloads churn through sessions; the filter
+        // footprint must be bounded by the *connected* sessions, not by
+        // the total ever served.
+        let s = server();
+        assert_eq!(s.resident_filter_entries(), 0);
+        for round in 0..50 {
+            let c = s.connect();
+            let r = s.query(c, &[whole()]);
+            assert!(r.coeffs > 0, "round {round} fetched data");
+            assert!(s.resident_filter_entries() > 0);
+            s.disconnect(c);
+            assert_eq!(
+                s.resident_filter_entries(),
+                0,
+                "round {round} left filter state behind"
+            );
+        }
+        assert_eq!(s.session_count(), 0);
+    }
+
+    #[test]
+    fn sessions_land_on_distinct_stripes() {
+        let s = server();
+        let ids: Vec<u64> = (0..SESSION_STRIPES as u64 * 2)
+            .map(|_| s.connect())
+            .collect();
+        // Ids are sequential, so consecutive sessions cover every stripe.
+        assert_eq!(ids, (0..SESSION_STRIPES as u64 * 2).collect::<Vec<_>>());
+        assert_eq!(s.session_count(), SESSION_STRIPES * 2);
+    }
+
+    #[test]
     #[should_panic(expected = "unknown session")]
     fn unknown_session_panics() {
-        let mut s = server();
+        let s = server();
         s.query(42, &[whole()]);
     }
 }

@@ -62,7 +62,7 @@ impl Default for SystemConfig {
 
 /// Runs the motion-aware system over a tour.
 pub fn run_motion_aware_system(
-    server: &mut Server,
+    server: &Server,
     scene: &Scene,
     tour: &Tour,
     prefetcher: &mut dyn Prefetcher,
@@ -72,14 +72,14 @@ pub fn run_motion_aware_system(
     let session = server.connect();
     let speed_map = LinearSpeedMap;
     let policy = MultiresPolicy::new(cfg.buffer_bytes);
-    let data = server.data();
+    // Sorted once in `SceneIndexData::build`; the closure shares the `Arc`
+    // handle instead of deep-copying the magnitude vector.
+    let data = server.core().data_arc();
     let total_coeffs = data.len() as f64;
-    // Sorted once in `SceneIndexData::build`; cloned here (not re-sorted)
-    // because the closure must outlive this immutable borrow of the server.
-    let sorted_w = data.sorted_w.clone();
     let coeff_bytes = data.coeff_bytes;
     let n_blocks = grid.block_count() as f64;
     let bytes_per_block = move |w: f64| -> f64 {
+        let sorted_w = &data.sorted_w;
         let idx = sorted_w.partition_point(|&x| x < w);
         let frac = (sorted_w.len() - idx) as f64 / sorted_w.len().max(1) as f64;
         total_coeffs * frac * coeff_bytes / n_blocks
@@ -287,9 +287,9 @@ mod tests {
     #[test]
     fn motion_aware_system_runs_and_measures() {
         let sc = scene();
-        let mut server = Server::new(&sc);
+        let server = Server::new(&sc);
         let mut p = MotionAwarePrefetcher::new(4);
-        let m = run_motion_aware_system(&mut server, &sc, &tour(0.5), &mut p, &test_cfg());
+        let m = run_motion_aware_system(&server, &sc, &tour(0.5), &mut p, &test_cfg());
         assert_eq!(m.ticks, 300);
         assert_eq!(m.response_times.len(), 300);
         assert!(m.bytes > 0.0);
@@ -310,9 +310,9 @@ mod tests {
         let sc = scene();
         let t = tour(1.0);
         let cfg = test_cfg();
-        let mut server = Server::new(&sc);
+        let server = Server::new(&sc);
         let mut p = MotionAwarePrefetcher::new(4);
-        let ma = run_motion_aware_system(&mut server, &sc, &t, &mut p, &cfg);
+        let ma = run_motion_aware_system(&server, &sc, &t, &mut p, &cfg);
         let nv = run_naive_system(&server, &sc, &t, &cfg);
         assert!(
             ma.mean_response() < nv.mean_response(),
@@ -355,9 +355,9 @@ mod qos_tests {
             frame_frac: 0.15,
             ..Default::default()
         };
-        let mut server = Server::new(&scene);
+        let server = Server::new(&scene);
         let mut p = MotionAwarePrefetcher::new(4);
-        let ma = run_motion_aware_system(&mut server, &scene, &tour, &mut p, &sys);
+        let ma = run_motion_aware_system(&server, &scene, &tour, &mut p, &sys);
         let nv = run_naive_system(&server, &scene, &tour, &sys);
         // Bookkeeping: sim time is at least ticks × deadline, late frames
         // are bounded by ticks, and the rate is consistent.

@@ -1,0 +1,105 @@
+//! The serving layer's concurrency contract (DESIGN.md §10): K sessions
+//! driven concurrently from K threads against one shared `Server` must
+//! observe exactly what they observe when replayed one at a time against
+//! a fresh server. Session filter state is keyed per session, the index
+//! is immutable and shared, so interleaving must be unobservable.
+
+use mar_core::{IncrementalClient, LinearSpeedMap, QueryResult, Server};
+use mar_geom::{Point2, Rect2};
+use mar_workload::{Scene, SceneConfig};
+
+const SESSIONS: usize = 8;
+const TICKS: usize = 25;
+
+fn server() -> Server {
+    let mut cfg = SceneConfig::paper(24, 33);
+    cfg.levels = 3;
+    cfg.target_bytes = 1_000_000.0;
+    Server::new(&Scene::generate(cfg))
+}
+
+/// Session `k`'s deterministic tour: a diagonal drift across the space,
+/// phase-shifted per session so the sessions touch overlapping but
+/// distinct regions, at a per-session speed.
+fn frame(k: usize, tick: usize) -> Rect2 {
+    // Wrap so every session stays inside the 1000×1000 space for the
+    // whole replay.
+    let x = (40.0 * k as f64 + 18.0 * tick as f64) % 600.0;
+    let y = (25.0 * k as f64 + 12.0 * tick as f64) % 600.0;
+    Rect2::new(Point2::new([x, y]), Point2::new([x + 400.0, y + 400.0]))
+}
+
+fn speed(k: usize, tick: usize) -> f64 {
+    [0.1, 0.3, 0.5, 0.7, 0.9][(k + tick) % 5]
+}
+
+/// Drives one session for `TICKS` ticks and returns its per-tick results.
+fn drive(server: &Server, k: usize) -> Vec<QueryResult> {
+    let mut client = IncrementalClient::connect(server, LinearSpeedMap);
+    (0..TICKS)
+        .map(|t| client.tick(server, frame(k, t), speed(k, t)))
+        .collect()
+}
+
+#[test]
+fn concurrent_sessions_match_serial_replay() {
+    // Reference: one session at a time, fresh server.
+    let reference: Vec<Vec<QueryResult>> = {
+        let srv = server();
+        (0..SESSIONS).map(|k| drive(&srv, k)).collect()
+    };
+
+    // Concurrent: all sessions at once on one shared server, each from
+    // its own thread.
+    let srv = server();
+    let concurrent: Vec<Vec<QueryResult>> = std::thread::scope(|scope| {
+        let srv = &srv;
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|k| scope.spawn(move || drive(srv, k)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+
+    assert_eq!(reference.len(), concurrent.len());
+    for (k, (want, got)) in reference.iter().zip(&concurrent).enumerate() {
+        assert_eq!(
+            want, got,
+            "session {k}: concurrent results differ from serial replay"
+        );
+    }
+    // Every session retrieved something, so the comparison is not vacuous.
+    for (k, results) in concurrent.iter().enumerate() {
+        let bytes: f64 = results.iter().map(|r| r.bytes).sum();
+        assert!(bytes > 0.0, "session {k} retrieved nothing");
+    }
+}
+
+#[test]
+fn concurrent_churn_leaves_no_filter_state() {
+    // Sessions connect, query, and disconnect concurrently; afterwards the
+    // server must hold zero resident filter entries.
+    let srv = server();
+    std::thread::scope(|scope| {
+        for k in 0..SESSIONS {
+            let srv = &srv;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    let mut client = IncrementalClient::connect(srv, LinearSpeedMap);
+                    for t in 0..5 {
+                        client.tick(srv, frame(k, round * 5 + t), speed(k, t));
+                    }
+                    srv.disconnect(client.session());
+                }
+            });
+        }
+    });
+    assert_eq!(srv.session_count(), 0);
+    assert_eq!(
+        srv.resident_filter_entries(),
+        0,
+        "disconnect must release per-session filter state"
+    );
+}

@@ -11,9 +11,15 @@
 //! level by level, so each level's pages end up contiguous in memory —
 //! the layout a search touches most.
 
+use crate::insert::HasRect;
 use crate::node::{Arena, ChildEntry, Entry, NodeKind};
 use crate::{RTree, RTreeConfig};
 use mar_geom::Rect;
+// `std::sync` here serves the deterministic parallel loader only: slabs are
+// handed to scoped workers through per-slot mutexes and an atomic work
+// counter; none of it influences the produced tree shape.
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 impl<const N: usize, T> RTree<N, T> {
     /// Builds a tree from `(rect, item)` pairs using STR packing.
@@ -22,17 +28,18 @@ impl<const N: usize, T> RTree<N, T> {
         if len == 0 {
             return Self::new(config);
         }
-        let entries: Vec<Entry<N, T>> = items
-            .into_iter()
-            .map(|(rect, item)| {
-                assert!(rect.is_finite(), "cannot index a non-finite rectangle");
-                Entry { rect, item }
-            })
-            .collect();
-        let mut arena: Arena<N, T> = Arena::new();
+        let entries = into_entries(items);
         // Tile leaf entries.
         let mut leaf_groups: Vec<Vec<Entry<N, T>>> = Vec::new();
         str_tile(entries, config.max_entries, 0, &mut leaf_groups);
+        Self::assemble(config, leaf_groups, len)
+    }
+
+    /// Allocates the tiled leaf groups into an arena and packs upper
+    /// levels until a single root remains. The tree is fully determined by
+    /// the order and content of `leaf_groups`.
+    fn assemble(config: RTreeConfig, leaf_groups: Vec<Vec<Entry<N, T>>>, len: usize) -> Self {
+        let mut arena: Arena<N, T> = Arena::new();
         let mut nodes: Vec<(Rect<N>, u32)> = leaf_groups
             .into_iter()
             .map(|g| {
@@ -79,6 +86,92 @@ impl<const N: usize, T> RTree<N, T> {
             io: std::sync::atomic::AtomicU64::new(0),
         }
     }
+}
+
+impl<const N: usize, T: Send> RTree<N, T> {
+    /// Parallel STR bulk load: tiles the top-level slabs across up to
+    /// `jobs` scoped threads, producing a tree **byte-identical in shape**
+    /// to [`RTree::bulk_load`] (pinned by `crates/rtree/tests/arena.rs`).
+    ///
+    /// Determinism: the serial loader sorts all entries on dimension 0 and
+    /// slices them into balanced slabs before recursing per slab — those
+    /// per-slab recursions are independent, so this loader performs the
+    /// identical dimension-0 sort + split up front and only farms out the
+    /// recursions. Leaf groups are concatenated in slab order, so arena
+    /// layout, node MBRs and heights all match the serial build exactly.
+    ///
+    /// `jobs <= 1` (and inputs too small to split) fall back to the serial
+    /// path.
+    pub fn bulk_load_jobs(config: RTreeConfig, items: Vec<(Rect<N>, T)>, jobs: usize) -> Self {
+        let len = items.len();
+        if len == 0 {
+            return Self::new(config);
+        }
+        let cap = config.max_entries;
+        if jobs <= 1 || len <= cap || N == 1 {
+            return Self::bulk_load(config, items);
+        }
+        let mut entries = into_entries(items);
+        // The dimension-0 step of `str_tile`, hoisted so the slab
+        // recursions can run concurrently: same stable sort, same
+        // slab count, same balanced split.
+        entries.sort_by(|a, b| center_coord(a.rect(), 0).total_cmp(&center_coord(b.rect(), 0)));
+        let pages = len.div_ceil(cap);
+        let slabs = ((pages as f64).powf(1.0 / N as f64).ceil() as usize).max(1);
+        if slabs <= 1 {
+            // One slab: nothing to parallelize. `str_tile` re-sorts the
+            // already-sorted entries (a stable no-op) and proceeds serially.
+            let mut leaf_groups = Vec::new();
+            str_tile(entries, cap, 0, &mut leaf_groups);
+            return Self::assemble(config, leaf_groups, len);
+        }
+        let slots: Vec<Mutex<Option<Vec<Entry<N, T>>>>> = balanced_split(entries, slabs)
+            .into_iter()
+            .map(|slab| Mutex::new(Some(slab)))
+            .collect();
+        let outs: Vec<Mutex<Vec<Vec<Entry<N, T>>>>> =
+            (0..slots.len()).map(|_| Mutex::new(Vec::new())).collect();
+        let next = AtomicUsize::new(0);
+        let workers = jobs.min(slots.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let slab = slots[i]
+                        .lock()
+                        // mar-lint: allow(D004) — poisoning implies a sibling worker panicked; propagate
+                        .expect("slab slot poisoned")
+                        .take()
+                        // mar-lint: allow(D004) — each index is claimed exactly once via fetch_add
+                        .expect("slab claimed twice");
+                    let mut local = Vec::new();
+                    str_tile(slab, cap, 1, &mut local);
+                    // mar-lint: allow(D004) — poisoning implies a sibling worker panicked; propagate
+                    *outs[i].lock().expect("output slot poisoned") = local;
+                });
+            }
+        });
+        let mut leaf_groups: Vec<Vec<Entry<N, T>>> = Vec::new();
+        for m in outs {
+            // mar-lint: allow(D004) — all workers joined by the scope; poisoning implies one panicked
+            leaf_groups.append(&mut m.into_inner().expect("output slot poisoned"));
+        }
+        Self::assemble(config, leaf_groups, len)
+    }
+}
+
+/// Wraps raw `(rect, item)` pairs as entries, rejecting non-finite rects.
+fn into_entries<const N: usize, T>(items: Vec<(Rect<N>, T)>) -> Vec<Entry<N, T>> {
+    items
+        .into_iter()
+        .map(|(rect, item)| {
+            assert!(rect.is_finite(), "cannot index a non-finite rectangle");
+            Entry { rect, item }
+        })
+        .collect()
 }
 
 /// Recursively tiles `items` into groups of at most `cap`, sorting by the

@@ -17,7 +17,17 @@
 
 use crate::node::{Arena, ChildEntry, Entry, NodeKind};
 use crate::{RTree, RTreeConfig, Variant};
-use mar_geom::Rect;
+use mar_geom::{Point, Rect};
+use std::cell::Cell;
+
+thread_local! {
+    // Reused scratch for forced reinsertion and R* splits (the same
+    // take/set pattern as the query traversal stack), so overflow handling
+    // on the insert hot path performs no per-call allocation. The two
+    // users never nest within one call stack.
+    static ORDER_SCRATCH: Cell<Vec<usize>> = const { Cell::new(Vec::new()) };
+    static KEY_SCRATCH: Cell<Vec<f64>> = const { Cell::new(Vec::new()) };
+}
 
 /// Anything that sits in a node under a rectangle.
 pub(crate) trait HasRect<const N: usize> {
@@ -53,8 +63,12 @@ impl<const N: usize, T> RTree<N, T> {
         // Forced reinsertion is allowed once per top-level insert.
         let mut allow_reinsert = self.config.variant == Variant::RStar;
         let mut queue: Vec<Entry<N, T>> = vec![Entry { rect, item }];
+        // One reinsert buffer for the whole insert: it is empty at the top
+        // of every iteration, so draining it into the queue (instead of
+        // allocating a fresh vector per pass) changes nothing but the
+        // allocation count.
+        let mut reinserts: Vec<Entry<N, T>> = Vec::new();
         while let Some(e) = queue.pop() {
-            let mut reinserts = Vec::new();
             let split = insert_rec(
                 &mut self.arena,
                 self.root,
@@ -66,7 +80,7 @@ impl<const N: usize, T> RTree<N, T> {
             if let Some((new_rect, new_node)) = split {
                 self.grow_root(new_rect, new_node);
             }
-            queue.extend(reinserts);
+            queue.append(&mut reinserts);
         }
     }
 
@@ -164,27 +178,35 @@ fn force_reinsert<const N: usize, T>(
     let p = config
         .reinsert_count()
         .min(entries.len() - config.min_entries);
-    let mut order: Vec<usize> = (0..entries.len()).collect();
-    order.sort_by(|&a, &b| {
-        let da = entries[a].rect.center().distance(&node_center);
-        let db = entries[b].rect.center().distance(&node_center);
-        db.total_cmp(&da)
-    });
-    let to_remove: Vec<usize> = order.into_iter().take(p).collect();
-    let mut removed: Vec<Entry<N, T>> = Vec::with_capacity(p);
-    let mut sorted = to_remove;
-    sorted.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
-    for i in sorted {
-        removed.push(entries.swap_remove(i));
+    let mut order = ORDER_SCRATCH.take();
+    let mut dist = KEY_SCRATCH.take();
+    dist.clear();
+    dist.extend(
+        entries
+            .iter()
+            .map(|e| e.rect.center().distance(&node_center)),
+    );
+    order.clear();
+    order.extend(0..entries.len());
+    // Unstable sort with an index tiebreak reproduces the stable
+    // descending-distance order over the ascending index sequence exactly.
+    order.sort_unstable_by(|&a, &b| dist[b].total_cmp(&dist[a]).then(a.cmp(&b)));
+    order.truncate(p);
+    order.sort_unstable_by(|a, b| b.cmp(a)); // remove from the back
+    let start = reinserts.len();
+    for &i in &order {
+        reinserts.push(entries.swap_remove(i));
     }
     // Close reinsert: nearest first => reinsert queue is processed LIFO by
-    // the caller, so push farthest first.
-    removed.sort_by(|a, b| {
+    // the caller, so order farthest first. At most `p` (≤ 0.3·M) elements:
+    // the stable sort stays in its allocation-free insertion regime.
+    reinserts[start..].sort_by(|a, b| {
         let da = a.rect.center().distance(&node_center);
         let db = b.rect.center().distance(&node_center);
         db.total_cmp(&da)
     });
-    reinserts.extend(removed);
+    ORDER_SCRATCH.set(order);
+    KEY_SCRATCH.set(dist);
 }
 
 /// Picks the child to descend into.
@@ -338,23 +360,38 @@ fn rstar_split<const N: usize, R: HasRect<N>>(
     let total = items.len();
     debug_assert!(total >= 2 * m);
 
-    // Choose split axis by minimum margin sum.
-    let mut best_axis = 0;
-    let mut best_margin = f64::INFINITY;
-    for axis in 0..N {
-        let mut order: Vec<usize> = (0..total).collect();
-        order.sort_by(|&a, &b| {
+    let mut order = ORDER_SCRATCH.take();
+    let mut suffix = KEY_SCRATCH.take();
+    order.clear();
+    order.extend(0..total);
+    // Unstable sort with an index tiebreak: reproduces the stable sort of
+    // the ascending index sequence exactly, so the chosen axis, split
+    // point and group order are identical to the original formulation.
+    let sort_on = |order: &mut Vec<usize>, items: &[R], axis: usize| {
+        order.sort_unstable_by(|&a, &b| {
             let ra = items[a].rect();
             let rb = items[b].rect();
             ra.lo[axis]
                 .total_cmp(&rb.lo[axis])
                 .then(ra.hi[axis].total_cmp(&rb.hi[axis]))
+                .then(a.cmp(&b))
         });
+    };
+
+    // Choose split axis by minimum margin sum. Each distribution's left
+    // MBR grows incrementally and its right MBR comes from a precomputed
+    // suffix array, so one axis pass costs O(n) unions instead of O(n²).
+    let mut best_axis = 0;
+    let mut best_margin = f64::INFINITY;
+    for axis in 0..N {
+        sort_on(&mut order, &items, axis);
+        build_suffix_mbrs(&items, &order, &mut suffix);
+        let mut left = mbr_of_indices(&items, &order[..m]);
         let mut margin_sum = 0.0;
         for k in m..=(total - m) {
-            let left = mbr_of_indices(&items, &order[..k]);
-            let right = mbr_of_indices(&items, &order[k..]);
+            let right = read_rect::<N>(&suffix, k);
             margin_sum += left.margin() + right.margin();
+            left = left.union(items[order[k]].rect());
         }
         if margin_sum < best_margin {
             best_margin = margin_sum;
@@ -363,24 +400,19 @@ fn rstar_split<const N: usize, R: HasRect<N>>(
     }
 
     // Choose the distribution along the best axis.
-    let mut order: Vec<usize> = (0..total).collect();
-    order.sort_by(|&a, &b| {
-        let ra = items[a].rect();
-        let rb = items[b].rect();
-        ra.lo[best_axis]
-            .total_cmp(&rb.lo[best_axis])
-            .then(ra.hi[best_axis].total_cmp(&rb.hi[best_axis]))
-    });
+    sort_on(&mut order, &items, best_axis);
+    build_suffix_mbrs(&items, &order, &mut suffix);
+    let mut left = mbr_of_indices(&items, &order[..m]);
     let mut best_k = m;
     let mut best_key = (f64::INFINITY, f64::INFINITY);
     for k in m..=(total - m) {
-        let left = mbr_of_indices(&items, &order[..k]);
-        let right = mbr_of_indices(&items, &order[k..]);
+        let right = read_rect::<N>(&suffix, k);
         let key = (left.overlap_volume(&right), left.volume() + right.volume());
         if key < best_key {
             best_key = key;
             best_k = k;
         }
+        left = left.union(items[order[k]].rect());
     }
 
     // Materialise the two groups preserving the chosen order.
@@ -395,7 +427,47 @@ fn rstar_split<const N: usize, R: HasRect<N>>(
         // mar-lint: allow(D004) — `order` is a permutation; each index once
         .map(|&i| slots[i].take().expect("index used twice"))
         .collect();
+    KEY_SCRATCH.set(suffix);
+    ORDER_SCRATCH.set(order);
     (left, right)
+}
+
+/// Fills `suffix` (a flat scratch of `2·N` floats per slot — `lo` then
+/// `hi`) so slot `k` holds the MBR of `order[k..]`. Built back to front;
+/// `union` is an elementwise min/max, so the accumulation direction yields
+/// bit-identical MBRs to a left-to-right fold.
+fn build_suffix_mbrs<const N: usize, R: HasRect<N>>(
+    items: &[R],
+    order: &[usize],
+    suffix: &mut Vec<f64>,
+) {
+    let total = order.len();
+    suffix.clear();
+    suffix.resize(total * 2 * N, 0.0);
+    let mut acc = *items[order[total - 1]].rect();
+    write_rect(suffix, total - 1, &acc);
+    for k in (0..total - 1).rev() {
+        acc = items[order[k]].rect().union(&acc);
+        write_rect(suffix, k, &acc);
+    }
+}
+
+fn write_rect<const N: usize>(buf: &mut [f64], k: usize, r: &Rect<N>) {
+    let base = k * 2 * N;
+    for d in 0..N {
+        buf[base + d] = r.lo[d];
+        buf[base + N + d] = r.hi[d];
+    }
+}
+
+fn read_rect<const N: usize>(buf: &[f64], k: usize) -> Rect<N> {
+    let base = k * 2 * N;
+    // `Rect::new` normalises corners via min/max — the identity here,
+    // because what was stored is already a well-formed MBR.
+    Rect::new(
+        Point::new(std::array::from_fn(|d| buf[base + d])),
+        Point::new(std::array::from_fn(|d| buf[base + N + d])),
+    )
 }
 
 fn mbr_of_indices<const N: usize, R: HasRect<N>>(items: &[R], idx: &[usize]) -> Rect<N> {

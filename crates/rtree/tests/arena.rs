@@ -99,6 +99,55 @@ fn rstar_churn_recycles_and_stays_exact() {
     churn_fixture(Variant::RStar, 16, 0xB0B);
 }
 
+/// The parallel STR loader's determinism contract: for any worker count,
+/// `bulk_load_jobs` must produce not just an equivalent tree but the
+/// *same* tree as the serial loader — identical shape, identical arena
+/// layout (pinned via `iter()` order), identical query answers.
+#[test]
+fn parallel_bulk_load_builds_the_identical_tree() {
+    let mut rng = StdRng::seed_from_u64(0x57A);
+    for n in [0usize, 1, 19, 20, 21, 160, 700, 2500] {
+        let items: Vec<(Rect2, u64)> = (0..n as u64)
+            .map(|id| (random_rect(&mut rng), id))
+            .collect();
+        let serial = RTree::bulk_load(RTreeConfig::paper(), items.clone());
+        serial.validate().expect("serial tree valid");
+        for jobs in [1usize, 2, 4, 9] {
+            let parallel = RTree::bulk_load_jobs(RTreeConfig::paper(), items.clone(), jobs);
+            parallel
+                .validate()
+                .unwrap_or_else(|e| panic!("n={n} jobs={jobs}: invalid parallel tree: {e}"));
+            assert_eq!(parallel.len(), serial.len(), "n={n} jobs={jobs}");
+            assert_eq!(parallel.height(), serial.height(), "n={n} jobs={jobs}");
+            assert_eq!(
+                parallel.node_count(),
+                serial.node_count(),
+                "n={n} jobs={jobs}"
+            );
+            // iter() walks the leaf level in arena order, so equality here
+            // pins the entire physical layout, not just the logical content.
+            let a: Vec<(Rect2, u64)> = serial.iter().map(|(r, &id)| (*r, id)).collect();
+            let b: Vec<(Rect2, u64)> = parallel.iter().map(|(r, &id)| (*r, id)).collect();
+            assert_eq!(a, b, "n={n} jobs={jobs}: arena layout differs");
+        }
+    }
+}
+
+#[test]
+fn parallel_bulk_load_answers_queries_exactly() {
+    let mut rng = StdRng::seed_from_u64(0x57B);
+    let items: Vec<(Rect2, u64)> = (0..900u64).map(|id| (random_rect(&mut rng), id)).collect();
+    let tree = RTree::bulk_load_jobs(RTreeConfig::paper(), items.clone(), 4);
+    let windows: Vec<Rect2> = (0..12)
+        .map(|_| {
+            let x = rng.gen_range(0.0..900.0);
+            let y = rng.gen_range(0.0..900.0);
+            Rect2::new(Point2::new([x, y]), Point2::new([x + 120.0, y + 120.0]))
+        })
+        .collect();
+    assert_matches_bruteforce(&tree, &items, &windows);
+}
+
 #[test]
 fn bulk_load_then_full_teardown_and_reuse() {
     let mut rng = StdRng::seed_from_u64(7);

@@ -36,8 +36,8 @@ fn main() {
         }
         best.1
     };
-    let mut server = Server::new(&scene);
-    let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
+    let server = Server::new(&scene);
+    let mut client = IncrementalClient::connect(&server, LinearSpeedMap);
     let mut smooth = SmoothedSpeed::default();
 
     // Walk 40 ticks along the wall, pausing 12 ticks at two junction boxes.
@@ -54,7 +54,7 @@ fn main() {
         x += speed * 12.0;
         let s = smooth.update(speed);
         let frame = frame_at(&paper_space(), &Point2::new([x, wall_y]), 0.08);
-        let r = client.tick(&mut server, frame, s);
+        let r = client.tick(&server, frame, s);
         phase_bytes[phase] += r.bytes;
         if tick % 8 == 0 || (20..=24).contains(&tick) || (52..=56).contains(&tick) {
             println!(

@@ -38,9 +38,9 @@ fn main() {
                 pedestrian_tour(&TourConfig::new(paper_space(), 300, 11, speed)),
             ),
         ] {
-            let mut server = Server::new(&scene);
+            let server = Server::new(&scene);
             let mut p = MotionAwarePrefetcher::new(4);
-            let ma = run_motion_aware_system(&mut server, &scene, &tour, &mut p, &sys_cfg);
+            let ma = run_motion_aware_system(&server, &scene, &tour, &mut p, &sys_cfg);
             let nv = run_naive_system(&server, &scene, &tour, &sys_cfg);
             let speedup = if ma.mean_response() > 0.0 {
                 nv.mean_response() / ma.mean_response()

@@ -46,7 +46,7 @@ fn main() {
     cfg.levels = 3;
     cfg.target_bytes = 8.0 * 1024.0 * 1024.0;
     let scene = Scene::generate(cfg);
-    let mut server = Server::new(&scene);
+    let server = Server::new(&scene);
     println!(
         "\nscene: {} objects, {:.1} MB, {} indexed coefficients",
         scene.objects.len(),
@@ -57,13 +57,13 @@ fn main() {
     // 3. A client driving straight through the first object, braking
     //    halfway (watch the resolution band widen).
     let target = scene.objects[0].footprint().center();
-    let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
+    let mut client = IncrementalClient::connect(&server, LinearSpeedMap);
     println!("\ntick  speed  frame_center      new_bytes  index_io");
     for tick in 0..8 {
         let speed = if tick < 4 { 0.8 } else { 0.05 }; // brakes at tick 4
         let pos = Point2::new([target[0] - 70.0 + 18.0 * tick as f64, target[1]]);
         let frame = frame_at(&paper_space(), &pos, 0.1);
-        let r = client.tick(&mut server, frame, speed);
+        let r = client.tick(&server, frame, speed);
         println!(
             "{tick:>4}  {speed:>5.2}  ({:6.1},{:6.1})  {:>9.0}  {:>8}",
             pos[0], pos[1], r.bytes, r.io

@@ -41,9 +41,9 @@ fn main() {
         link,
         ..Default::default()
     };
-    let mut server = Server::new(&scene);
+    let server = Server::new(&scene);
     let mut p = MotionAwarePrefetcher::new(4);
-    let m = run_motion_aware_system(&mut server, &scene, &tour, &mut p, &sys_cfg);
+    let m = run_motion_aware_system(&server, &scene, &tour, &mut p, &sys_cfg);
     println!("motion-aware system over the sweep:");
     println!("  mean response : {:>8.3} s", m.mean_response());
     println!("  p95 response  : {:>8.3} s", m.percentile_response(95.0));
@@ -58,13 +58,13 @@ fn main() {
     };
     println!("\nprefetching comparison (32 KB buffer):");
     for motion_aware in [true, false] {
-        let mut server = Server::new(&scene);
+        let server = Server::new(&scene);
         let m = if motion_aware {
             let mut p = MotionAwarePrefetcher::new(4);
-            run_buffer_sim(&mut server, &scene, &tour, &mut p, &buf_cfg)
+            run_buffer_sim(&server, &scene, &tour, &mut p, &buf_cfg)
         } else {
             let mut p = NaivePrefetcher;
-            run_buffer_sim(&mut server, &scene, &tour, &mut p, &buf_cfg)
+            run_buffer_sim(&server, &scene, &tour, &mut p, &buf_cfg)
         };
         println!(
             "  {:>12}: hit rate {:>5.1}%, utilization {:>5.1}%",

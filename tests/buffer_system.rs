@@ -38,12 +38,12 @@ fn motion_aware_dominates_naive_on_predictable_motion() {
         buffer_bytes: 32.0 * 1024.0,
         ..Default::default()
     };
-    let mut server = Server::new(&sc);
+    let server = Server::new(&sc);
     let mut ma = MotionAwarePrefetcher::new(4);
-    let m_ma = run_buffer_sim(&mut server, &sc, &tour, &mut ma, &cfg);
-    let mut server2 = Server::new(&sc);
+    let m_ma = run_buffer_sim(&server, &sc, &tour, &mut ma, &cfg);
+    let server2 = Server::new(&sc);
     let mut nv = NaivePrefetcher;
-    let m_nv = run_buffer_sim(&mut server2, &sc, &tour, &mut nv, &cfg);
+    let m_nv = run_buffer_sim(&server2, &sc, &tour, &mut nv, &cfg);
     assert!(
         m_ma.hit_rate() > m_nv.hit_rate(),
         "hit: ma {:.3} vs naive {:.3}",
@@ -63,9 +63,9 @@ fn buffer_sim_accounting_is_consistent() {
     let sc = scene();
     let tour = line_tour(60, 0.4);
     let cfg = BufferSimConfig::default();
-    let mut server = Server::new(&sc);
+    let server = Server::new(&sc);
     let mut p = MotionAwarePrefetcher::new(4);
-    let m = run_buffer_sim(&mut server, &sc, &tour, &mut p, &cfg);
+    let m = run_buffer_sim(&server, &sc, &tour, &mut p, &cfg);
     assert!(m.hits <= m.lookups);
     assert!(m.prefetched_used <= m.prefetched);
     assert!(m.demand_bytes >= 0.0 && m.prefetch_bytes >= 0.0);
@@ -88,9 +88,9 @@ fn stationary_client_hits_after_warmup() {
         samples,
         max_step: 21.0,
     };
-    let mut server = Server::new(&sc);
+    let server = Server::new(&sc);
     let mut p = MotionAwarePrefetcher::new(4);
-    let m = run_buffer_sim(&mut server, &sc, &tour, &mut p, &BufferSimConfig::default());
+    let m = run_buffer_sim(&server, &sc, &tour, &mut p, &BufferSimConfig::default());
     // Only the first tick misses; everything after is a hit.
     assert!(
         m.hit_rate() > 0.9,
@@ -112,9 +112,9 @@ fn multires_buffering_outperforms_full_resolution_at_speed() {
             multires,
             ..Default::default()
         };
-        let mut server = Server::new(&sc);
+        let server = Server::new(&sc);
         let mut p = MotionAwarePrefetcher::new(4);
-        hit[i] = run_buffer_sim(&mut server, &sc, &tour, &mut p, &cfg).hit_rate();
+        hit[i] = run_buffer_sim(&server, &sc, &tour, &mut p, &cfg).hit_rate();
     }
     assert!(
         hit[0] >= hit[1],
@@ -134,9 +134,9 @@ fn larger_buffers_do_not_hurt() {
             buffer_bytes: kb * 1024.0,
             ..Default::default()
         };
-        let mut server = Server::new(&sc);
+        let server = Server::new(&sc);
         let mut p = MotionAwarePrefetcher::new(4);
-        let hit = run_buffer_sim(&mut server, &sc, &tour, &mut p, &cfg).hit_rate();
+        let hit = run_buffer_sim(&server, &sc, &tour, &mut p, &cfg).hit_rate();
         assert!(
             hit >= last - 0.03,
             "hit rate regressed from {last:.3} to {hit:.3} at {kb} KB"

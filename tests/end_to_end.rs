@@ -13,12 +13,12 @@ fn scene(objects: usize, seed: u64) -> Scene {
 
 /// Runs a tour and returns (total bytes, total coeffs, total io).
 fn run_tour(scene: &Scene, speed: f64, tour_seed: u64) -> (f64, usize, u64) {
-    let mut server = Server::new(scene);
-    let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
+    let server = Server::new(scene);
+    let mut client = IncrementalClient::connect(&server, LinearSpeedMap);
     let tour = tram_tour(&TourConfig::new(paper_space(), 250, tour_seed, speed));
     for s in &tour.samples {
         let frame = frame_at(&paper_space(), &s.pos, 0.1);
-        client.tick(&mut server, frame, s.speed);
+        client.tick(&server, frame, s.speed);
     }
     let m = client.metrics();
     (m.bytes, m.coeffs, m.io)
@@ -55,12 +55,12 @@ fn slow_sweep_retrieves_more_per_distance() {
     // it pulls more data over the same ground.
     let sc = scene(20, 9);
     let sweep = |speed: f64| -> f64 {
-        let mut server = Server::new(&sc);
-        let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
+        let server = Server::new(&sc);
+        let mut client = IncrementalClient::connect(&server, LinearSpeedMap);
         for i in 0..25 {
             let pos = mar_geom::Point2::new([100.0 + 30.0 * i as f64, 500.0]);
             let frame = frame_at(&paper_space(), &pos, 0.1);
-            client.tick(&mut server, frame, speed);
+            client.tick(&server, frame, speed);
         }
         client.metrics().bytes
     };
@@ -75,17 +75,17 @@ fn slow_sweep_retrieves_more_per_distance() {
 #[test]
 fn full_space_query_retrieves_everything_once() {
     let sc = scene(10, 21);
-    let mut server = Server::new(&sc);
-    let mut client = IncrementalClient::connect(&mut server, LinearSpeedMap);
+    let server = Server::new(&sc);
+    let mut client = IncrementalClient::connect(&server, LinearSpeedMap);
     let whole = paper_space();
-    let r1 = client.tick(&mut server, whole, 0.0);
+    let r1 = client.tick(&server, whole, 0.0);
     assert_eq!(
         r1.coeffs,
         sc.total_coeffs(),
         "speed 0 over the whole space = all data"
     );
     assert_eq!(r1.new_objects, 10);
-    let r2 = client.tick(&mut server, whole, 0.0);
+    let r2 = client.tick(&server, whole, 0.0);
     assert_eq!(r2.coeffs, 0);
     assert_eq!(r2.bytes, 0.0);
 }
@@ -93,12 +93,12 @@ fn full_space_query_retrieves_everything_once() {
 #[test]
 fn two_clients_get_independent_sessions() {
     let sc = scene(10, 5);
-    let mut server = Server::new(&sc);
-    let mut a = IncrementalClient::connect(&mut server, LinearSpeedMap);
-    let mut b = IncrementalClient::connect(&mut server, LinearSpeedMap);
+    let server = Server::new(&sc);
+    let mut a = IncrementalClient::connect(&server, LinearSpeedMap);
+    let mut b = IncrementalClient::connect(&server, LinearSpeedMap);
     let frame = frame_at(&paper_space(), &mar_geom::Point2::new([500.0, 500.0]), 0.2);
-    let ra = a.tick(&mut server, frame, 0.2);
-    let rb = b.tick(&mut server, frame, 0.2);
+    let ra = a.tick(&server, frame, 0.2);
+    let rb = b.tick(&server, frame, 0.2);
     assert_eq!(ra.coeffs, rb.coeffs, "fresh sessions see identical data");
     assert_eq!(ra.bytes, rb.bytes);
 }
@@ -122,7 +122,7 @@ fn many_concurrent_clients_round_robin() {
     // tick by tick on one server; each must see exactly the data of its own
     // path, independent of the interleaving.
     let sc = scene(20, 41);
-    let mut server = Server::new(&sc);
+    let server = Server::new(&sc);
     let n = 8;
     let tours: Vec<_> = (0..n)
         .map(|i| {
@@ -135,24 +135,24 @@ fn many_concurrent_clients_round_robin() {
         })
         .collect();
     let mut clients: Vec<_> = (0..n)
-        .map(|_| IncrementalClient::connect(&mut server, LinearSpeedMap))
+        .map(|_| IncrementalClient::connect(&server, LinearSpeedMap))
         .collect();
     for t in 0..120 {
         for (c, tour) in clients.iter_mut().zip(&tours) {
             let s = &tour.samples[t];
             let frame = frame_at(&paper_space(), &s.pos, 0.1);
-            c.tick(&mut server, frame, s.speed);
+            c.tick(&server, frame, s.speed);
         }
     }
     let interleaved: Vec<f64> = clients.iter().map(|c| c.metrics().bytes).collect();
 
     // Re-run each client alone on a fresh server: identical results.
     for (i, tour) in tours.iter().enumerate() {
-        let mut solo_server = Server::new(&sc);
-        let mut solo = IncrementalClient::connect(&mut solo_server, LinearSpeedMap);
+        let solo_server = Server::new(&sc);
+        let mut solo = IncrementalClient::connect(&solo_server, LinearSpeedMap);
         for s in &tour.samples {
             let frame = frame_at(&paper_space(), &s.pos, 0.1);
-            solo.tick(&mut solo_server, frame, s.speed);
+            solo.tick(&solo_server, frame, s.speed);
         }
         assert_eq!(
             solo.metrics().bytes,
@@ -168,12 +168,12 @@ fn disconnect_frees_session_state_under_churn() {
     // Clients connecting, touring, and disconnecting must not leak into
     // each other's sessions.
     let sc = scene(10, 43);
-    let mut server = Server::new(&sc);
+    let server = Server::new(&sc);
     let frame = frame_at(&paper_space(), &mar_geom::Point2::new([500.0, 500.0]), 0.2);
     let mut first_bytes = None;
     for _round in 0..5 {
-        let mut c = IncrementalClient::connect(&mut server, LinearSpeedMap);
-        let r = c.tick(&mut server, frame, 0.3);
+        let mut c = IncrementalClient::connect(&server, LinearSpeedMap);
+        let r = c.tick(&server, frame, 0.3);
         match first_bytes {
             None => first_bytes = Some(r.bytes),
             Some(b) => assert_eq!(r.bytes, b, "fresh sessions must start cold"),
