@@ -1,0 +1,471 @@
+//! `mar-bench chaos` — the fault-injection harness for the resilient
+//! retrieval protocol.
+//!
+//! Replays the serve-style multi-session tour workload, but pushes every
+//! query through a seeded [`mar_link::FaultyLink`] and the
+//! [`mar_core::ResilientClient`] protocol, sweeping a fault grid of
+//! (packet-loss probability, scheduled-drop period). The harness proves
+//! the protocol's central invariant at every grid point:
+//!
+//! > after the end-of-tour repair pass, a faulted session's resident
+//! > coefficient set **over the final frame at the final resolution band**
+//! > is byte-identical to the fault-free session's.
+//!
+//! Retries, drops and degradation may reshape *when* data moves — never
+//! *what* the client ends up holding where it matters.
+//!
+//! Determinism mirrors `mar-bench serve` (DESIGN.md §10): each session's
+//! fault stream is keyed by its client index `k`, not by the server-minted
+//! session id, so the `connect()` order under concurrency is unobservable;
+//! sessions fan out over the [`Engine`], whose results come back in point
+//! order; `jobs = 1` and `jobs = N` transcripts are byte-identical (pinned
+//! by `crates/bench/tests/chaos.rs`). Wall-clock timing is reported but
+//! never enters the transcript.
+
+use crate::engine::Engine;
+use crate::serve::fnv1a64;
+use crate::{figs, Scale};
+use mar_core::{
+    LinearSpeedMap, ResilienceMetrics, ResilientClient, ResilientPolicy, SceneIndexData, Server,
+    ServerCore, SmoothedSpeed, SpeedResolutionMap, WaveletIndex,
+};
+use mar_link::{FaultConfig, FaultPlan, FaultyLink, LinkConfig};
+use mar_workload::{frame_at, pedestrian_tour, tram_tour, Placement, TourConfig};
+use std::sync::Arc;
+
+/// One fault-grid point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GridPoint {
+    /// Per-request loss probability.
+    pub loss: f64,
+    /// Scheduled session-drop period in link requests (`0` = never).
+    pub drop_every: u64,
+}
+
+/// Chaos-workload parameters.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Concurrent client sessions per grid point.
+    pub sessions: usize,
+    /// Ticks each session replays.
+    pub ticks: usize,
+    /// Objects in the generated scene.
+    pub objects: usize,
+    /// Subdivision levels per object.
+    pub levels: usize,
+    /// Query frame fraction of the space.
+    pub frame_frac: f64,
+    /// Worker threads (`<= 1` = serial reference execution).
+    pub jobs: usize,
+    /// Base tour seed; session `k` tours with seed `base + k`.
+    pub tour_seed: u64,
+    /// Fault-plan seed shared by every grid point (streams differ by `k`).
+    pub fault_seed: u64,
+    /// The fault grid. The first point must be fault-free — it is the
+    /// reference every other point's resident sets are compared against.
+    pub grid: Vec<GridPoint>,
+}
+
+impl ChaosConfig {
+    /// The full measurement grid: 16 sessions × 240 ticks under
+    /// loss ∈ {0, 1, 5, 20 %} with periodic transport drops.
+    pub fn full(jobs: usize) -> Self {
+        Self {
+            sessions: 16,
+            ticks: 240,
+            objects: 40,
+            levels: 3,
+            frame_frac: 0.05,
+            jobs,
+            tour_seed: 901,
+            fault_seed: 4242,
+            grid: vec![
+                GridPoint {
+                    loss: 0.0,
+                    drop_every: 0,
+                },
+                GridPoint {
+                    loss: 0.01,
+                    drop_every: 60,
+                },
+                GridPoint {
+                    loss: 0.05,
+                    drop_every: 60,
+                },
+                GridPoint {
+                    loss: 0.20,
+                    drop_every: 60,
+                },
+            ],
+        }
+    }
+
+    /// A seconds-scale CI smoke grid.
+    pub fn smoke(jobs: usize) -> Self {
+        Self {
+            sessions: 4,
+            ticks: 40,
+            objects: 12,
+            levels: 2,
+            frame_frac: 0.1,
+            jobs,
+            tour_seed: 901,
+            fault_seed: 4242,
+            grid: vec![
+                GridPoint {
+                    loss: 0.0,
+                    drop_every: 0,
+                },
+                GridPoint {
+                    loss: 0.05,
+                    drop_every: 15,
+                },
+                GridPoint {
+                    loss: 0.20,
+                    drop_every: 15,
+                },
+            ],
+        }
+    }
+}
+
+/// What one grid point measured, summed over its sessions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPointReport {
+    /// The injected loss probability.
+    pub loss: f64,
+    /// The injected drop period (`0` = never).
+    pub drop_every: u64,
+    /// Lost-request retries.
+    pub retries: u64,
+    /// Transport drops survived.
+    pub drops: u64,
+    /// Drops healed by `Server::resume` (filter retained).
+    pub resumed: u64,
+    /// Fresh reconnects (resume failed).
+    pub reconnects: u64,
+    /// Ticks that ran at a degraded resolution.
+    pub degraded_ticks: u64,
+    /// Highest degradation level any session reached.
+    pub max_level: u32,
+    /// Payload bytes delivered.
+    pub bytes: f64,
+    /// Simulated link seconds spent (incl. waits, backoff, reconnects).
+    pub link_time_s: f64,
+    /// Eq. 1 fault-free link seconds for the same payloads.
+    pub ideal_time_s: f64,
+    /// Per-session fingerprint of the resident set over the final frame at
+    /// the final band — equal across grid points iff the invariant holds.
+    pub fingerprints: Vec<u64>,
+}
+
+impl ChaosPointReport {
+    /// Goodput relative to the Eq. 1 fault-free ideal (`1.0` on a clean
+    /// link, lower as faults burn time on retries and waits).
+    pub fn goodput(&self) -> f64 {
+        if self.link_time_s > 0.0 {
+            self.ideal_time_s / self.link_time_s
+        } else {
+            1.0
+        }
+    }
+}
+
+/// What one chaos run produced.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Sessions per grid point.
+    pub sessions: usize,
+    /// Ticks per session.
+    pub ticks: usize,
+    /// One report per grid point, in grid order.
+    pub points: Vec<ChaosPointReport>,
+    /// The deterministic per-grid-point, per-session, per-tick transcript.
+    pub transcript: String,
+    /// Whether every grid point's resident sets matched the fault-free
+    /// reference (grid point 0).
+    pub invariant_ok: bool,
+    /// Total wall-clock time of the replay, in seconds.
+    pub elapsed_s: f64,
+}
+
+/// What one session's worker brings home.
+struct SessionOutcome {
+    rows: String,
+    metrics: ResilienceMetrics,
+    fingerprint: u64,
+    covered: bool,
+    session: u64,
+}
+
+/// Runs the chaos workload. The transcript, every aggregate and every
+/// fingerprint are identical for any `cfg.jobs`; only `elapsed_s` varies.
+///
+/// # Panics
+/// Panics when the workload itself is miswired (empty grid, faulted grid
+/// point 0) — configuration bugs, not runtime faults.
+pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    assert!(
+        matches!(cfg.grid.first(), Some(p) if p.loss == 0.0 && p.drop_every == 0),
+        "grid point 0 must be the fault-free reference"
+    );
+    let mut scale = Scale::quick();
+    scale.objects_default = cfg.objects;
+    scale.levels = cfg.levels;
+    let scene = figs::build_scene(&scale, cfg.objects, Placement::Uniform);
+    let data = Arc::new(SceneIndexData::build(&scene));
+    let index = Arc::new(WaveletIndex::build_jobs(&data, cfg.jobs));
+    let engine = Engine::new(cfg.jobs);
+    let speeds = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+    let mut transcript = String::from(
+        "loss_pct,drop_every,session,tick,coeffs,new_objects,bytes,io,retries,drops,level,time_s\n",
+    );
+    let mut points = Vec::with_capacity(cfg.grid.len());
+    let mut invariant_ok = true;
+    // mar-lint: allow(D003) — wall-clock for the throughput report only; never enters the transcript
+    let t0 = std::time::Instant::now();
+
+    for gp in &cfg.grid {
+        // A fresh server per grid point over the same immutable core, so
+        // filter state can never leak between grid points.
+        let server = Server::from_core(ServerCore::from_parts(
+            Arc::clone(&data),
+            Arc::clone(&index),
+        ));
+        let fault = if gp.loss == 0.0 && gp.drop_every == 0 {
+            FaultConfig::none(cfg.fault_seed)
+        } else {
+            FaultConfig::hostile(cfg.fault_seed, gp.loss, gp.drop_every)
+        };
+        let loss_pct = gp.loss * 100.0;
+        let outcomes: Vec<SessionOutcome> = engine.run(
+            (0..cfg.sessions).collect(),
+            || (),
+            |_, &k| {
+                let tc = TourConfig::new(
+                    scene.config.space,
+                    cfg.ticks,
+                    cfg.tour_seed + k as u64,
+                    speeds[k % speeds.len()],
+                );
+                let tour = if k % 2 == 0 {
+                    tram_tour(&tc)
+                } else {
+                    pedestrian_tour(&tc)
+                };
+                // The fault stream is keyed by the client index k, not the
+                // server-minted session id: the connect order under
+                // concurrency must be unobservable.
+                let plan = FaultPlan::new(fault)
+                    // mar-lint: allow(D004) — the grid is validated static configuration
+                    .expect("chaos fault grid is valid");
+                let link = FaultyLink::new(LinkConfig::paper(), plan, k as u64)
+                    // mar-lint: allow(D004) — LinkConfig::paper() is valid by construction
+                    .expect("paper link config is valid");
+                let mut client = ResilientClient::connect(
+                    &server,
+                    LinearSpeedMap,
+                    link,
+                    ResilientPolicy::default(),
+                );
+                let mut smooth = SmoothedSpeed::default();
+                let mut rows = String::new();
+                let mut last = None;
+                for (tick, s) in tour.samples.iter().enumerate() {
+                    let frame = frame_at(&scene.config.space, &s.pos, cfg.frame_frac);
+                    let speed = smooth.update(s.speed);
+                    let out = client
+                        .tick(&server, frame, speed)
+                        // mar-lint: allow(D004) — loss < 1 makes GaveUp unreachable (P ≈ loss^64); a hit means the protocol livelocked, which this harness exists to catch
+                        .expect("resilient tick must terminate");
+                    rows.push_str(&format!(
+                        "{loss_pct},{},{k},{tick},{},{},{},{},{},{},{},{}\n",
+                        gp.drop_every,
+                        out.result.coeffs,
+                        out.result.new_objects,
+                        out.result.bytes,
+                        out.result.io,
+                        out.retries,
+                        out.drops,
+                        out.degrade_level,
+                        out.tick_time_s,
+                    ));
+                    last = Some((frame, speed));
+                }
+                let (final_frame, final_speed) =
+                    // mar-lint: allow(D004) — tours always have >= 1 sample
+                    last.expect("tour is non-empty");
+                // End-of-tour repair pass: drain degradation, refetch the
+                // final frame at the full band for the final speed.
+                let fin = client
+                    .finish(&server, final_frame, final_speed)
+                    // mar-lint: allow(D004) — same termination argument as tick
+                    .expect("finish must terminate");
+                rows.push_str(&format!(
+                    "{loss_pct},{},{k},finish,{},{},{},{},{},{},{},{}\n",
+                    gp.drop_every,
+                    fin.result.coeffs,
+                    fin.result.new_objects,
+                    fin.result.bytes,
+                    fin.result.io,
+                    fin.retries,
+                    fin.drops,
+                    fin.degrade_level,
+                    fin.tick_time_s,
+                ));
+                // The invariant's object: the resident set over the final
+                // frame at the final (undegraded) band.
+                let band = LinearSpeedMap.band_for(final_speed);
+                let (want, _) = server.query_stateless(&final_frame, band);
+                let sent = server
+                    .session_sent_set(client.session())
+                    // mar-lint: allow(D004) — the client's session is live by construction
+                    .expect("chaos session is live");
+                let covered = want.iter().all(|id| sent.binary_search(id).is_ok());
+                let mut fp_input = String::new();
+                for id in want.iter().filter(|id| sent.binary_search(id).is_ok()) {
+                    fp_input.push_str(&format!("{}:{};", id.object, id.coeff));
+                }
+                SessionOutcome {
+                    rows,
+                    metrics: *client.metrics(),
+                    fingerprint: fnv1a64(&fp_input),
+                    covered,
+                    session: client.session(),
+                }
+            },
+        );
+
+        let mut report = ChaosPointReport {
+            loss: gp.loss,
+            drop_every: gp.drop_every,
+            retries: 0,
+            drops: 0,
+            resumed: 0,
+            reconnects: 0,
+            degraded_ticks: 0,
+            max_level: 0,
+            bytes: 0.0,
+            link_time_s: 0.0,
+            ideal_time_s: 0.0,
+            fingerprints: Vec::with_capacity(cfg.sessions),
+        };
+        for o in &outcomes {
+            transcript.push_str(&o.rows);
+            report.retries += o.metrics.retries;
+            report.drops += o.metrics.drops;
+            report.resumed += o.metrics.resumed;
+            report.reconnects += o.metrics.reconnects;
+            report.degraded_ticks += o.metrics.degraded_ticks;
+            report.max_level = report.max_level.max(o.metrics.max_level);
+            report.bytes += o.metrics.bytes;
+            report.link_time_s += o.metrics.link_time_s;
+            report.ideal_time_s += o.metrics.ideal_time_s;
+            report.fingerprints.push(o.fingerprint);
+            invariant_ok &= o.covered;
+        }
+        // Against the fault-free reference: identical resident sets.
+        if let Some(reference) = points.first() {
+            let reference: &ChaosPointReport = reference;
+            invariant_ok &= reference.fingerprints == report.fingerprints;
+        }
+        points.push(report);
+
+        // Tear the grid point's sessions down; filter state must go too.
+        for o in &outcomes {
+            server
+                .disconnect(o.session)
+                // mar-lint: allow(D004) — each worker's final session is live until this teardown
+                .expect("chaos session vanished");
+        }
+        assert_eq!(server.session_count(), 0, "all chaos sessions disconnected");
+        assert_eq!(
+            server.resident_filter_entries(),
+            0,
+            "disconnect must release filter state"
+        );
+    }
+
+    ChaosReport {
+        sessions: cfg.sessions,
+        ticks: cfg.ticks,
+        points,
+        transcript,
+        invariant_ok,
+        elapsed_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(jobs: usize) -> ChaosConfig {
+        ChaosConfig {
+            sessions: 3,
+            ticks: 12,
+            objects: 8,
+            levels: 2,
+            frame_frac: 0.15,
+            jobs,
+            tour_seed: 901,
+            fault_seed: 4242,
+            grid: vec![
+                GridPoint {
+                    loss: 0.0,
+                    drop_every: 0,
+                },
+                GridPoint {
+                    loss: 0.2,
+                    drop_every: 5,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chaos_invariant_holds_under_heavy_faults() {
+        let r = run_chaos(&tiny(1));
+        assert!(r.invariant_ok, "resident sets diverged from fault-free run");
+        assert_eq!(r.points.len(), 2);
+        let faulted = &r.points[1];
+        assert!(faulted.retries > 0, "20% loss must retry");
+        assert!(faulted.drops > 0, "drop_every=5 must drop");
+        assert_eq!(faulted.drops, faulted.resumed, "drops heal via resume");
+        assert!(faulted.goodput() < 1.0, "faults must cost time");
+        let clean = &r.points[0];
+        assert_eq!(clean.retries, 0);
+        assert_eq!(clean.drops, 0);
+        assert!((clean.goodput() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transcript_is_jobs_invariant() {
+        let serial = run_chaos(&tiny(1));
+        let parallel = run_chaos(&tiny(3));
+        assert_eq!(serial.transcript, parallel.transcript);
+        assert_eq!(fnv1a64(&serial.transcript), fnv1a64(&parallel.transcript));
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a, b, "grid-point aggregates must be jobs-invariant");
+        }
+    }
+
+    #[test]
+    fn transcript_shape() {
+        let r = run_chaos(&tiny(1));
+        // Header + per grid point: sessions × (ticks + finish row).
+        assert_eq!(r.transcript.lines().count(), 1 + 2 * 3 * (12 + 1));
+        assert!(r.transcript.starts_with(
+            "loss_pct,drop_every,session,tick,coeffs,new_objects,bytes,io,retries,drops,level,time_s\n"
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault-free reference")]
+    fn grid_must_lead_with_the_fault_free_point() {
+        let mut cfg = tiny(1);
+        cfg.grid[0].loss = 0.1;
+        run_chaos(&cfg);
+    }
+}

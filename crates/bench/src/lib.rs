@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod chaos;
 pub mod engine;
 pub mod figs;
 pub mod serve;

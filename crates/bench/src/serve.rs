@@ -245,7 +245,10 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
 
     // Tear every session down; the filter state must go with it.
     for k in 0..cfg.sessions as u64 {
-        server.disconnect(k);
+        server
+            .disconnect(k)
+            // mar-lint: allow(D004) — sessions 0..N were minted by the bulk connect above
+            .expect("serve session vanished");
     }
     assert_eq!(server.session_count(), 0, "all sessions disconnected");
     assert_eq!(

@@ -1,0 +1,50 @@
+//! The chaos harness's contract, mirroring `tests/serve.rs`: `--jobs`
+//! changes wall-clock time only, never a transcript byte — and the
+//! resilience invariant holds across the smoke fault grid.
+
+use mar_bench::chaos::{run_chaos, ChaosConfig};
+use mar_bench::serve::fnv1a64;
+
+#[test]
+fn chaos_transcript_is_byte_identical_jobs_1_vs_4() {
+    let serial = run_chaos(&ChaosConfig::smoke(1));
+    let parallel = run_chaos(&ChaosConfig::smoke(4));
+    assert_eq!(
+        serial.transcript, parallel.transcript,
+        "chaos transcript differs between --jobs 1 and --jobs 4"
+    );
+    assert_eq!(fnv1a64(&serial.transcript), fnv1a64(&parallel.transcript));
+    // Every aggregate and every per-session fingerprint must agree too.
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a, b, "grid-point report differs between jobs 1 and 4");
+    }
+}
+
+#[test]
+fn chaos_smoke_holds_the_invariant_at_every_grid_point() {
+    let cfg = ChaosConfig::smoke(2);
+    let r = run_chaos(&cfg);
+    assert!(
+        r.invariant_ok,
+        "a faulted session's final resident set diverged from the fault-free run"
+    );
+    assert_eq!(r.sessions, cfg.sessions);
+    assert_eq!(r.ticks, cfg.ticks);
+    assert_eq!(r.points.len(), cfg.grid.len());
+    assert_eq!(
+        r.transcript.lines().count(),
+        1 + cfg.grid.len() * cfg.sessions * (cfg.ticks + 1),
+        "one row per (grid point, session, tick) plus finish rows and header"
+    );
+    // The faulted points actually exercised the protocol.
+    let hostile = r.points.last().expect("smoke grid is non-empty");
+    assert!(hostile.retries > 0, "20% loss must retry");
+    assert!(hostile.drops > 0, "scheduled drops must fire");
+    assert_eq!(hostile.drops, hostile.resumed, "all drops heal via resume");
+    assert!(hostile.goodput() < 1.0, "faults must cost link time");
+    // The clean reference is ideal.
+    let clean = &r.points[0];
+    assert_eq!(clean.retries + clean.drops, 0);
+    assert!((clean.goodput() - 1.0).abs() < 1e-9);
+}

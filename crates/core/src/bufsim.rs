@@ -40,6 +40,12 @@ pub struct BufferSimConfig {
     /// model (the \[15\]-style estimator) instead of the Kalman/RLS block
     /// probabilities.
     pub markov_directions: bool,
+    /// Resolution shift applied by the resilient protocol's graceful
+    /// degradation (`degrade_step × level`, see DESIGN.md §11): both the
+    /// demand band and the prefetch band are coarsened by this much, so a
+    /// congested link trades fidelity for fewer bytes. `0.0` (default)
+    /// reproduces the fault-free figures exactly.
+    pub degrade_w: f64,
 }
 
 impl Default for BufferSimConfig {
@@ -51,6 +57,7 @@ impl Default for BufferSimConfig {
             horizon: 4,
             multires: true,
             markov_directions: false,
+            degrade_w: 0.0,
         }
     }
 }
@@ -116,7 +123,13 @@ pub fn run_buffer_sim(
         grid.blocks_overlapping_into(&frame, &mut frame_blocks);
         let speed = smooth.update(s.speed);
         let cruise_speed = cruise.update(s.speed);
-        let needed = speed_map.band_for(speed);
+        let demand = speed_map.band_for(speed);
+        // Under degradation the demand band coarsens with the same shift
+        // as the prefetch band below.
+        let needed = ResolutionBand::new(
+            (demand.w_min + cfg.degrade_w).min(demand.w_max),
+            demand.w_max,
+        );
 
         predictor.observe(s.pos);
         if let Some(m) = markov.as_mut() {
@@ -127,7 +140,10 @@ pub fn run_buffer_sim(
         cache.access_into(&frame_blocks, needed.w_min, &mut misses);
         for b in &misses {
             let rect = grid.block_rect(b);
-            let r = server.fetch_block(session, &rect, needed);
+            let r = server
+                .fetch_block(session, &rect, needed)
+                // mar-lint: allow(D004) — the session was minted by connect above and stays live for the whole simulation
+                .expect("bufsim session vanished");
             metrics.demand_bytes += r.bytes;
         }
         cache.install_demand(&misses, needed.w_min);
@@ -142,11 +158,14 @@ pub fn run_buffer_sim(
             continue;
         }
         let mut contact_blocks = misses.len() as u64;
-        let buffer_band = ResolutionBand::new(policy.buffer_w_min(cruise_speed), 1.0);
+        let buffer_band = ResolutionBand::new(
+            policy.buffer_w_min_degraded(cruise_speed, cfg.degrade_w),
+            1.0,
+        );
         // The byte budget is a *prefetch* budget: the frame's own blocks
         // live alongside it (the renderer holds the visible data anyway),
         // so the cache capacity is frame + prefetch budget.
-        let budget = policy.block_budget(cruise_speed, &bytes_per_block);
+        let budget = policy.block_budget_degraded(cruise_speed, cfg.degrade_w, &bytes_per_block);
         cache.set_capacity(frame_blocks.len() + budget);
         let horizon = adaptive_horizon(cfg.horizon, &grid, &predictor, budget);
         predictor.predict_horizon_into(horizon, &mut predictions);
@@ -195,7 +214,10 @@ pub fn run_buffer_sim(
     metrics.hits = s.hits;
     metrics.prefetched = s.prefetched;
     metrics.prefetched_used = s.prefetched_used;
-    server.disconnect(session);
+    server
+        .disconnect(session)
+        // mar-lint: allow(D004) — disconnecting the session this function connected
+        .expect("bufsim session vanished");
     metrics
 }
 
@@ -288,6 +310,37 @@ mod tests {
             hit_ma,
             hit_nv
         );
+    }
+
+    #[test]
+    fn degradation_trades_bytes_for_fidelity() {
+        // The resilient protocol's coarsening shift must actually shrink
+        // the traffic when threaded through the buffer stack: same tour,
+        // same buffer, fewer bytes on the wire — never zero coverage.
+        let sc = scene();
+        let t = tour(0.5);
+        let run = |degrade_w: f64| {
+            let server = Server::new(&sc);
+            let mut p = MotionAwarePrefetcher::new(4);
+            let cfg = BufferSimConfig {
+                degrade_w,
+                ..Default::default()
+            };
+            run_buffer_sim(&server, &sc, &t, &mut p, &cfg)
+        };
+        let full = run(0.0);
+        let degraded = run(0.45);
+        let bytes = |m: &BufferMetrics| m.demand_bytes + m.prefetch_bytes;
+        assert!(
+            bytes(&degraded) < bytes(&full),
+            "degraded {} must move fewer bytes than full {}",
+            bytes(&degraded),
+            bytes(&full)
+        );
+        assert!(degraded.lookups > 0 && degraded.demand_bytes > 0.0);
+        // degrade_w = 0 is exactly the fault-free simulation.
+        let zero = run(0.0);
+        assert_eq!(bytes(&zero), bytes(&full));
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   that filter out already-transmitted data (§IV's server-side filter).
 //! * [`retrieval`] — Algorithm 1, the incremental motion-aware client
 //!   (Figs. 8–9).
+//! * [`resilient`] — Algorithm 1 hardened for a faulty link: retry with
+//!   capped backoff, session resumption, graceful resolution degradation
+//!   (DESIGN.md §11).
 //! * [`bufsim`] — the block-buffer simulation comparing motion-aware and
 //!   naive prefetching (Figs. 10–11).
 //! * [`system`] — the end-to-end systems of §VII-E: the full motion-aware
@@ -31,6 +34,7 @@ pub mod coeff;
 pub mod index;
 pub mod metrics;
 pub mod naive_index;
+pub mod resilient;
 pub mod retrieval;
 pub mod server;
 pub mod speedmap;
@@ -40,6 +44,11 @@ pub use coeff::{CoeffRecord, CoeffRef, SceneIndexData};
 pub use index::{WaveletIndex, WaveletIndex4};
 pub use metrics::{BufferMetrics, RetrievalMetrics, SystemMetrics};
 pub use naive_index::NaivePointIndex;
-pub use retrieval::IncrementalClient;
-pub use server::{QueryRegion, QueryResult, Server, ServerCore, SESSION_STRIPES};
+pub use resilient::{
+    ProtocolError, ResilienceMetrics, ResilientClient, ResilientPolicy, ResilientTick,
+};
+pub use retrieval::{FramePlanner, IncrementalClient};
+pub use server::{
+    QueryRegion, QueryResult, ResumeInfo, Server, ServerCore, SessionError, SESSION_STRIPES,
+};
 pub use speedmap::{LinearSpeedMap, SmoothedSpeed, SpeedResolutionMap, SteppedSpeedMap};

@@ -23,33 +23,26 @@ use crate::speedmap::SpeedResolutionMap;
 use mar_geom::Rect2;
 use mar_mesh::ResolutionBand;
 
-/// The incremental motion-aware client of §IV (no buffering — that layer
-/// is `mar-buffer` / [`crate::system`]).
-#[derive(Debug)]
-pub struct IncrementalClient<M: SpeedResolutionMap> {
-    session: u64,
-    map: M,
+/// The frame-to-frame planning state of Algorithm 1, factored out of the
+/// client so both the plain [`IncrementalClient`] and the fault-tolerant
+/// [`crate::resilient::ResilientClient`] share one implementation of the
+/// overlap/difference decomposition.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FramePlanner {
     prev_frame: Option<Rect2>,
     prev_band: Option<ResolutionBand>,
-    metrics: RetrievalMetrics,
 }
 
-impl<M: SpeedResolutionMap> IncrementalClient<M> {
-    /// Connects a new client to the server.
-    pub fn connect(server: &Server, map: M) -> Self {
-        Self {
-            session: server.connect(),
-            map,
-            prev_frame: None,
-            prev_band: None,
-            metrics: RetrievalMetrics::default(),
-        }
+impl FramePlanner {
+    /// A planner with no history: the next plan queries the whole frame.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// The sub-queries Algorithm 1 would issue for this frame, without
-    /// executing them (used by tests and by the buffered system).
-    pub fn plan(&self, frame: &Rect2, speed: f64) -> Vec<QueryRegion> {
-        let band = self.map.band_for(speed);
+    /// The sub-queries Algorithm 1 issues for `frame` at `band`, given the
+    /// last *committed* frame. Does not advance the state — a retried or
+    /// failed query must not count as delivered.
+    pub fn plan(&self, frame: &Rect2, band: ResolutionBand) -> Vec<QueryRegion> {
         let mut regions = Vec::new();
         match self.prev_frame {
             Some(prev) if prev.intersects(frame) => {
@@ -77,13 +70,64 @@ impl<M: SpeedResolutionMap> IncrementalClient<M> {
         regions
     }
 
+    /// Records that `frame` was retrieved at `band`: the next plan is
+    /// incremental against it.
+    pub fn commit(&mut self, frame: Rect2, band: ResolutionBand) {
+        self.prev_frame = Some(frame);
+        self.prev_band = Some(band);
+    }
+
+    /// Forgets the history — used when the client had to reconnect with a
+    /// fresh (empty-filter) session and must refetch from scratch.
+    pub fn reset(&mut self) {
+        self.prev_frame = None;
+        self.prev_band = None;
+    }
+
+    /// The last committed frame, if any.
+    pub fn prev_frame(&self) -> Option<Rect2> {
+        self.prev_frame
+    }
+}
+
+/// The incremental motion-aware client of §IV (no buffering — that layer
+/// is `mar-buffer` / [`crate::system`]).
+#[derive(Debug)]
+pub struct IncrementalClient<M: SpeedResolutionMap> {
+    session: u64,
+    map: M,
+    planner: FramePlanner,
+    metrics: RetrievalMetrics,
+}
+
+impl<M: SpeedResolutionMap> IncrementalClient<M> {
+    /// Connects a new client to the server.
+    pub fn connect(server: &Server, map: M) -> Self {
+        Self {
+            session: server.connect(),
+            map,
+            planner: FramePlanner::new(),
+            metrics: RetrievalMetrics::default(),
+        }
+    }
+
+    /// The sub-queries Algorithm 1 would issue for this frame, without
+    /// executing them (used by tests and by the buffered system).
+    pub fn plan(&self, frame: &Rect2, speed: f64) -> Vec<QueryRegion> {
+        self.planner.plan(frame, self.map.band_for(speed))
+    }
+
     /// Executes one query frame; returns the server's (session-filtered)
     /// result.
     pub fn tick(&mut self, server: &Server, frame: Rect2, speed: f64) -> QueryResult {
-        let regions = self.plan(&frame, speed);
-        let result = server.query(self.session, &regions);
-        self.prev_frame = Some(frame);
-        self.prev_band = Some(self.map.band_for(speed));
+        let band = self.map.band_for(speed);
+        let regions = self.planner.plan(&frame, band);
+        let result = server
+            .query(self.session, &regions)
+            // mar-lint: allow(D004) — the session was minted by `connect` above and
+            // this client never disconnects it; an unknown id here is a bug
+            .expect("client session vanished");
+        self.planner.commit(frame, band);
         self.metrics.ticks += 1;
         self.metrics.bytes += result.bytes;
         self.metrics.coeffs += result.coeffs;

@@ -45,6 +45,38 @@ use std::sync::{Arc, Mutex};
 /// contention rare for the client counts the serve harness replays.
 pub const SESSION_STRIPES: usize = 16;
 
+/// Typed failure of a per-session server entry point. Unknown or
+/// already-disconnected session ids are a *client protocol* condition (a
+/// stale token after a crash, a double disconnect), not a server bug, so
+/// they surface as values instead of panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionError {
+    /// The session id is not (or no longer) connected.
+    UnknownSession(u64),
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownSession(id) => write!(f, "unknown or disconnected session id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// What [`Server::resume`] reattached: how much server-side filter state
+/// survived the transport drop, i.e. how much data will *not* be re-sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeInfo {
+    /// The resumed session id (unchanged — the token is the identity).
+    pub session: u64,
+    /// Coefficients the server still knows this client holds.
+    pub retained_coeffs: usize,
+    /// Objects whose base mesh the server still knows this client holds.
+    pub retained_objects: usize,
+}
+
 /// One sub-query: a region and the resolution band needed inside it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QueryRegion {
@@ -203,14 +235,45 @@ impl Server {
     /// Drops a session (client disconnected), releasing its sent-filter
     /// state with it — long-running serve workloads must not accumulate
     /// filters for clients that are gone (pinned by
-    /// `disconnect_releases_filter_state`).
-    pub fn disconnect(&self, session: u64) {
+    /// `disconnect_releases_filter_state`). Disconnecting an unknown or
+    /// already-disconnected id is a typed error, so a double disconnect
+    /// cannot silently pass for a real teardown.
+    pub fn disconnect(&self, session: u64) -> Result<(), SessionError> {
         let mut stripe = self
             .stripe(session)
             .lock()
             // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
             .expect("session stripe poisoned");
-        stripe.remove(&session);
+        stripe
+            .remove(&session)
+            .map(|_| ())
+            .ok_or(SessionError::UnknownSession(session))
+    }
+
+    /// Reattaches a client to its session after a *transport* drop (the
+    /// wireless link died; the server-side session state did not). The
+    /// session token is the identity: if the server still holds the
+    /// session, the client resumes with its sent-filter intact — nothing
+    /// already delivered is ever re-sent — and learns how much state was
+    /// retained. A token the server no longer knows (evicted, never
+    /// connected) is a typed error; the client must [`connect`] fresh and
+    /// refetch from scratch.
+    ///
+    /// [`connect`]: Server::connect
+    pub fn resume(&self, session_token: u64) -> Result<ResumeInfo, SessionError> {
+        let stripe = self
+            .stripe(session_token)
+            .lock()
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            .expect("session stripe poisoned");
+        stripe
+            .get(&session_token)
+            .map(|sess| ResumeInfo {
+                session: session_token,
+                retained_coeffs: sess.sent.len(),
+                retained_objects: sess.sent_base.len(),
+            })
+            .ok_or(SessionError::UnknownSession(session_token))
     }
 
     /// Executes a batch of sub-queries for a session, filtering out data
@@ -221,17 +284,22 @@ impl Server {
     /// applied inside the tree walk (in index search order) so no
     /// per-sub-query hit vector is ever materialised.
     ///
-    /// # Panics
-    /// Panics on an unknown session id.
-    pub fn query(&self, session: u64, regions: &[QueryRegion]) -> QueryResult {
+    /// An unknown or disconnected session id is a typed
+    /// [`SessionError`] — the server never mints filter state for a
+    /// session it did not hand out.
+    pub fn query(
+        &self,
+        session: u64,
+        regions: &[QueryRegion],
+    ) -> Result<QueryResult, SessionError> {
         let mut stripe = self
             .stripe(session)
             .lock()
             // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
             .expect("session stripe poisoned");
-        // mar-lint: allow(D004) — documented `# Panics` contract, covered by the
-        // `unknown_session_panics` test.
-        let sess = stripe.get_mut(&session).expect("unknown session id");
+        let sess = stripe
+            .get_mut(&session)
+            .ok_or(SessionError::UnknownSession(session))?;
         let index = self.core.index();
         let data = self.core.data();
         let mut result = QueryResult::default();
@@ -248,7 +316,7 @@ impl Server {
             });
             result.io += io;
         }
-        result
+        Ok(result)
     }
 
     /// A stateless query (no session filtering): the raw index answer.
@@ -259,7 +327,14 @@ impl Server {
     /// Payload bytes of one block-granularity fetch: every coefficient
     /// whose support intersects `block` within `band`, plus base meshes
     /// the session has not yet received. Used by the buffered clients.
-    pub fn fetch_block(&self, session: u64, block: &Rect2, band: ResolutionBand) -> QueryResult {
+    /// Unknown sessions surface as a typed [`SessionError`], like
+    /// [`Server::query`].
+    pub fn fetch_block(
+        &self,
+        session: u64,
+        block: &Rect2,
+        band: ResolutionBand,
+    ) -> Result<QueryResult, SessionError> {
         self.query(
             session,
             &[QueryRegion {
@@ -272,6 +347,25 @@ impl Server {
     /// Stateless byte size of a block at a band (planning/estimation).
     pub fn block_bytes_stateless(&self, block: &Rect2, band: ResolutionBand) -> (f64, u64) {
         self.core.block_bytes_stateless(block, band)
+    }
+
+    /// A sorted snapshot of every coefficient the session has been sent —
+    /// the client's resident set as the server knows it. Sorting makes the
+    /// snapshot deterministic even though the filter itself is a
+    /// membership-only hash set; the chaos harness fingerprints this to
+    /// prove faulty runs converge to the fault-free resident set.
+    pub fn session_sent_set(&self, session: u64) -> Result<Vec<CoeffRef>, SessionError> {
+        let stripe = self
+            .stripe(session)
+            .lock()
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            .expect("session stripe poisoned");
+        let sess = stripe
+            .get(&session)
+            .ok_or(SessionError::UnknownSession(session))?;
+        let mut refs: Vec<CoeffRef> = sess.sent.iter().copied().collect();
+        refs.sort_unstable();
+        Ok(refs)
     }
 
     /// How many coefficients a session has been sent.
@@ -342,11 +436,11 @@ mod tests {
     fn repeat_queries_send_nothing_new() {
         let s = server();
         let c = s.connect();
-        let r1 = s.query(c, &[whole()]);
+        let r1 = s.query(c, &[whole()]).unwrap();
         assert!(r1.coeffs > 0);
         assert!(r1.bytes > 0.0);
         assert_eq!(r1.new_objects, 5);
-        let r2 = s.query(c, &[whole()]);
+        let r2 = s.query(c, &[whole()]).unwrap();
         assert_eq!(r2.coeffs, 0);
         assert_eq!(r2.bytes, 0.0);
         assert_eq!(r2.new_objects, 0);
@@ -358,8 +452,8 @@ mod tests {
         let s = server();
         let a = s.connect();
         let b = s.connect();
-        let ra = s.query(a, &[whole()]);
-        let rb = s.query(b, &[whole()]);
+        let ra = s.query(a, &[whole()]).unwrap();
+        let rb = s.query(b, &[whole()]).unwrap();
         assert_eq!(ra.coeffs, rb.coeffs);
     }
 
@@ -368,20 +462,24 @@ mod tests {
         let s = server();
         let c = s.connect();
         let region = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([1000.0, 1000.0]));
-        let coarse = s.query(
-            c,
-            &[QueryRegion {
-                region,
-                band: ResolutionBand::new(0.5, 1.0),
-            }],
-        );
-        let fine = s.query(
-            c,
-            &[QueryRegion {
-                region,
-                band: ResolutionBand::FULL,
-            }],
-        );
+        let coarse = s
+            .query(
+                c,
+                &[QueryRegion {
+                    region,
+                    band: ResolutionBand::new(0.5, 1.0),
+                }],
+            )
+            .unwrap();
+        let fine = s
+            .query(
+                c,
+                &[QueryRegion {
+                    region,
+                    band: ResolutionBand::FULL,
+                }],
+            )
+            .unwrap();
         let total_coeffs = s.data().len();
         assert_eq!(coarse.coeffs + fine.coeffs, total_coeffs);
         assert!(coarse.coeffs < fine.coeffs, "most coefficients are small");
@@ -396,8 +494,8 @@ mod tests {
             band: ResolutionBand::FULL,
         };
         let all = whole();
-        let r1 = s.query(c, &[left]);
-        let r2 = s.query(c, &[all]);
+        let r1 = s.query(c, &[left]).unwrap();
+        let r2 = s.query(c, &[all]).unwrap();
         assert_eq!(r1.new_objects + r2.new_objects, 5);
     }
 
@@ -405,9 +503,9 @@ mod tests {
     fn disconnect_forgets_state() {
         let s = server();
         let c = s.connect();
-        s.query(c, &[whole()]);
+        s.query(c, &[whole()]).unwrap();
         assert!(s.session_sent(c) > 0);
-        s.disconnect(c);
+        s.disconnect(c).unwrap();
         assert_eq!(s.session_sent(c), 0);
     }
 
@@ -420,10 +518,10 @@ mod tests {
         assert_eq!(s.resident_filter_entries(), 0);
         for round in 0..50 {
             let c = s.connect();
-            let r = s.query(c, &[whole()]);
+            let r = s.query(c, &[whole()]).unwrap();
             assert!(r.coeffs > 0, "round {round} fetched data");
             assert!(s.resident_filter_entries() > 0);
-            s.disconnect(c);
+            s.disconnect(c).unwrap();
             assert_eq!(
                 s.resident_filter_entries(),
                 0,
@@ -445,9 +543,60 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown session")]
-    fn unknown_session_panics() {
+    fn unknown_session_is_a_typed_error() {
         let s = server();
-        s.query(42, &[whole()]);
+        assert_eq!(
+            s.query(42, &[whole()]),
+            Err(SessionError::UnknownSession(42))
+        );
+        let rect = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([10.0, 10.0]));
+        assert_eq!(
+            s.fetch_block(42, &rect, ResolutionBand::FULL),
+            Err(SessionError::UnknownSession(42))
+        );
+        assert_eq!(s.disconnect(42), Err(SessionError::UnknownSession(42)));
+        assert_eq!(s.resume(42), Err(SessionError::UnknownSession(42)));
+        assert_eq!(
+            s.session_sent_set(42),
+            Err(SessionError::UnknownSession(42))
+        );
+        // No state was minted along the way.
+        assert_eq!(s.session_count(), 0);
+        assert_eq!(s.resident_filter_entries(), 0);
+    }
+
+    #[test]
+    fn resume_retains_the_sent_filter() {
+        let s = server();
+        let c = s.connect();
+        let r = s.query(c, &[whole()]).unwrap();
+        assert!(r.coeffs > 0);
+        // A transport drop does not touch server state: resuming the same
+        // token reports the retained filter, and a repeat query still
+        // sends nothing new.
+        let info = s.resume(c).unwrap();
+        assert_eq!(info.session, c);
+        assert_eq!(info.retained_coeffs, r.coeffs);
+        assert_eq!(info.retained_objects, r.new_objects);
+        let again = s.query(c, &[whole()]).unwrap();
+        assert_eq!(again.coeffs, 0, "resume must not cause re-sends");
+        // After a real disconnect the token is gone for good.
+        s.disconnect(c).unwrap();
+        assert_eq!(s.resume(c), Err(SessionError::UnknownSession(c)));
+        assert_eq!(
+            s.disconnect(c),
+            Err(SessionError::UnknownSession(c)),
+            "double disconnect is a typed error, not a silent no-op"
+        );
+    }
+
+    #[test]
+    fn session_sent_set_is_a_sorted_snapshot() {
+        let s = server();
+        let c = s.connect();
+        let r = s.query(c, &[whole()]).unwrap();
+        let set = s.session_sent_set(c).unwrap();
+        assert_eq!(set.len(), r.coeffs);
+        assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted and deduped");
     }
 }

@@ -123,7 +123,10 @@ pub fn run_motion_aware_system(
         let mut demand_bytes = 0.0;
         for b in &misses {
             let rect = grid.block_rect(b);
-            let r = server.fetch_block(session, &rect, needed);
+            let r = server
+                .fetch_block(session, &rect, needed)
+                // mar-lint: allow(D004) — the session was minted by connect above and stays live for the whole simulation
+                .expect("system session vanished");
             demand_bytes += r.bytes;
             metrics.io += r.io;
         }
@@ -187,14 +190,20 @@ pub fn run_motion_aware_system(
             if !cache.contains(b, buffer_band.w_min) {
                 let rect = grid.block_rect(b);
                 if cache.install_prefetch(*b, buffer_band.w_min) {
-                    let r = server.fetch_block(session, &rect, buffer_band);
+                    let r = server
+                        .fetch_block(session, &rect, buffer_band)
+                        // mar-lint: allow(D004) — same live session as the demand path above
+                        .expect("system session vanished");
                     metrics.bytes += r.bytes;
                     metrics.io += r.io;
                 }
             }
         }
     }
-    server.disconnect(session);
+    server
+        .disconnect(session)
+        // mar-lint: allow(D004) — disconnecting the session this function connected
+        .expect("system session vanished");
     metrics
 }
 

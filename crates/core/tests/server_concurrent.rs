@@ -4,8 +4,9 @@
 //! a fresh server. Session filter state is keyed per session, the index
 //! is immutable and shared, so interleaving must be unobservable.
 
-use mar_core::{IncrementalClient, LinearSpeedMap, QueryResult, Server};
+use mar_core::{IncrementalClient, LinearSpeedMap, QueryRegion, QueryResult, Server, SessionError};
 use mar_geom::{Point2, Rect2};
+use mar_mesh::ResolutionBand;
 use mar_workload::{Scene, SceneConfig};
 
 const SESSIONS: usize = 8;
@@ -91,7 +92,8 @@ fn concurrent_churn_leaves_no_filter_state() {
                     for t in 0..5 {
                         client.tick(srv, frame(k, round * 5 + t), speed(k, t));
                     }
-                    srv.disconnect(client.session());
+                    srv.disconnect(client.session())
+                        .expect("session was connected above");
                 }
             });
         }
@@ -102,4 +104,81 @@ fn concurrent_churn_leaves_no_filter_state() {
         0,
         "disconnect must release per-session filter state"
     );
+}
+
+#[test]
+fn stale_session_ids_error_instead_of_panicking() {
+    // A client that raced a disconnect (or resumed with a token the server
+    // already evicted) must get a typed error back — never a panic, never
+    // freshly minted state.
+    let srv = server();
+    let live = srv.connect();
+    srv.disconnect(live).expect("just connected");
+    let stale = live;
+    let region = QueryRegion {
+        region: frame(0, 0),
+        band: ResolutionBand::FULL,
+    };
+    assert_eq!(
+        srv.query(stale, &[region]),
+        Err(SessionError::UnknownSession(stale))
+    );
+    assert_eq!(
+        srv.fetch_block(stale, &frame(0, 0), ResolutionBand::FULL),
+        Err(SessionError::UnknownSession(stale))
+    );
+    assert_eq!(
+        srv.disconnect(stale),
+        Err(SessionError::UnknownSession(stale))
+    );
+    assert_eq!(srv.resume(stale), Err(SessionError::UnknownSession(stale)));
+    assert_eq!(srv.session_count(), 0, "error paths must not mint sessions");
+    assert_eq!(srv.resident_filter_entries(), 0);
+    // The error carries the offending token and renders it.
+    let msg = SessionError::UnknownSession(stale).to_string();
+    assert!(msg.contains(&stale.to_string()));
+}
+
+#[test]
+fn concurrent_resume_and_query_agree_with_serial() {
+    // Transport drops mid-tour are harmless to the server: resuming the
+    // token from any thread reports the retained filter and repeat queries
+    // send nothing, even while other sessions churn.
+    let srv = server();
+    let concurrent: Vec<Vec<QueryResult>> = std::thread::scope(|scope| {
+        let srv = &srv;
+        let handles: Vec<_> = (0..SESSIONS)
+            .map(|k| {
+                scope.spawn(move || {
+                    let mut client = IncrementalClient::connect(srv, LinearSpeedMap);
+                    (0..TICKS)
+                        .map(|t| {
+                            let r = client.tick(srv, frame(k, t), speed(k, t));
+                            // Simulated drop + resume between every tick.
+                            let info = srv.resume(client.session()).expect("session is live");
+                            assert_eq!(info.session, client.session());
+                            assert_eq!(info.retained_coeffs, srv.session_sent(client.session()));
+                            r
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    assert_eq!(
+        srv.session_count(),
+        SESSIONS,
+        "resume must not mint sessions"
+    );
+    // Interleaved resumes are unobservable: results equal the serial replay.
+    let fresh = server();
+    for (k, got) in concurrent.iter().enumerate() {
+        let want = drive(&fresh, k);
+        assert_eq!(&want, got, "session {k}: resume changed what was sent");
+        assert!(want.iter().map(|r| r.coeffs).sum::<usize>() > 0, "vacuous");
+    }
 }

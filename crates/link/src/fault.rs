@@ -1,0 +1,581 @@
+//! Deterministic fault injection for the wireless link.
+//!
+//! The paper's client lives on a high-latency, low-bandwidth wireless hop
+//! (§I, Eq. 1) — a link on which loss, jitter, and disconnection are the
+//! common case, not the exception. This module makes those failures
+//! *first-class and reproducible*: a [`FaultPlan`] derives every fault
+//! decision from a pure hash of `(seed, stream, request index)`, so the
+//! same seed yields a byte-identical fault schedule on any machine, any
+//! thread count, any replay — wall-clock time and `RandomState` never
+//! enter the picture (DESIGN.md §5 determinism invariants).
+//!
+//! # Fault taxonomy (DESIGN.md §11)
+//!
+//! * **Request loss** — the request vanishes before the server sees it;
+//!   the client waits out `timeout_s` and may retry. Because the loss is
+//!   modelled *before* server processing, a retry is exactly-once safe:
+//!   the server-side sent-filter is never updated for a lost request.
+//! * **Latency jitter** — a uniform extra delay in `[0, jitter_s]` added
+//!   to a successful request's round trip.
+//! * **Bandwidth dip** — with probability `dip_prob` the request's
+//!   effective bandwidth is multiplied by `dip_factor` (a fade / handover
+//!   moment).
+//! * **Session drop** — every `drop_every`-th request the transport
+//!   session dies before the request is sent; the client must reconnect
+//!   (and should [`resume`](../../mar_core/struct.Server.html) to keep its
+//!   server-side filter).
+
+use crate::link::{LinkConfig, LinkConfigError};
+use std::fmt;
+
+/// Why a [`FaultConfig`] was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultConfigError {
+    /// `loss_prob` outside `[0, 1)` or non-finite. A loss probability of
+    /// exactly 1 would livelock every retry loop, so it is rejected.
+    InvalidLossProb(f64),
+    /// `jitter_s` negative or non-finite.
+    InvalidJitter(f64),
+    /// `dip_prob` outside `[0, 1]` or non-finite.
+    InvalidDipProb(f64),
+    /// `dip_factor` outside `(0, 1]` or non-finite.
+    InvalidDipFactor(f64),
+    /// `timeout_s` non-positive or non-finite.
+    InvalidTimeout(f64),
+}
+
+impl fmt::Display for FaultConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidLossProb(v) => write!(f, "loss_prob must be in [0, 1), got {v}"),
+            Self::InvalidJitter(v) => write!(f, "jitter_s must be finite and >= 0, got {v}"),
+            Self::InvalidDipProb(v) => write!(f, "dip_prob must be in [0, 1], got {v}"),
+            Self::InvalidDipFactor(v) => write!(f, "dip_factor must be in (0, 1], got {v}"),
+            Self::InvalidTimeout(v) => write!(f, "timeout_s must be finite and > 0, got {v}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultConfigError {}
+
+/// The typed failure a faulty link can report for one request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkError {
+    /// The request was lost before reaching the server. `waited_s` is the
+    /// time the client spent discovering that (the request timeout).
+    Lost {
+        /// Simulated seconds the client waited before classifying the
+        /// request as timed out.
+        waited_s: f64,
+    },
+    /// The transport session dropped; the client must reconnect before it
+    /// can issue further requests.
+    SessionDropped,
+}
+
+impl fmt::Display for LinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Lost { waited_s } => write!(f, "request lost (timed out after {waited_s} s)"),
+            Self::SessionDropped => write!(f, "transport session dropped"),
+        }
+    }
+}
+
+impl std::error::Error for LinkError {}
+
+/// Fault-injection parameters, layered on top of a [`LinkConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Seed of the deterministic fault stream.
+    pub seed: u64,
+    /// Per-request probability the request is lost, in `[0, 1)`.
+    pub loss_prob: f64,
+    /// Maximum extra round-trip latency; each successful request draws a
+    /// uniform jitter in `[0, jitter_s]`.
+    pub jitter_s: f64,
+    /// Per-request probability of a bandwidth dip, in `[0, 1]`.
+    pub dip_prob: f64,
+    /// Effective-bandwidth multiplier during a dip, in `(0, 1]`.
+    pub dip_factor: f64,
+    /// Every `drop_every`-th request (index `k·drop_every`, `k ≥ 1`) the
+    /// session drops before the request is sent. `0` disables drops.
+    pub drop_every: u64,
+    /// How long the client waits before classifying a request as lost.
+    pub timeout_s: f64,
+}
+
+impl FaultConfig {
+    /// A fault-free plan: the identity wrapper over the perfect link.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            loss_prob: 0.0,
+            jitter_s: 0.0,
+            dip_prob: 0.0,
+            dip_factor: 1.0,
+            drop_every: 0,
+            timeout_s: 2.0,
+        }
+    }
+
+    /// A hostile-but-livable profile: `loss` request loss, 150 ms max
+    /// jitter, 10 % dips to 40 % bandwidth, a session drop every
+    /// `drop_every` requests.
+    pub fn hostile(seed: u64, loss: f64, drop_every: u64) -> Self {
+        Self {
+            seed,
+            loss_prob: loss,
+            jitter_s: 0.15,
+            dip_prob: 0.1,
+            dip_factor: 0.4,
+            drop_every,
+            timeout_s: 2.0,
+        }
+    }
+
+    /// Checks the parameters, returning the first violated constraint.
+    pub fn validate(&self) -> Result<(), FaultConfigError> {
+        if !(self.loss_prob.is_finite() && (0.0..1.0).contains(&self.loss_prob)) {
+            return Err(FaultConfigError::InvalidLossProb(self.loss_prob));
+        }
+        if !(self.jitter_s.is_finite() && self.jitter_s >= 0.0) {
+            return Err(FaultConfigError::InvalidJitter(self.jitter_s));
+        }
+        if !(self.dip_prob.is_finite() && (0.0..=1.0).contains(&self.dip_prob)) {
+            return Err(FaultConfigError::InvalidDipProb(self.dip_prob));
+        }
+        if !(self.dip_factor.is_finite() && self.dip_factor > 0.0 && self.dip_factor <= 1.0) {
+            return Err(FaultConfigError::InvalidDipFactor(self.dip_factor));
+        }
+        if !(self.timeout_s.is_finite() && self.timeout_s > 0.0) {
+            return Err(FaultConfigError::InvalidTimeout(self.timeout_s));
+        }
+        Ok(())
+    }
+}
+
+/// What the fault stream decided for one `(stream, request index)` slot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultDecision {
+    /// The session drops before this request is sent.
+    pub dropped: bool,
+    /// The request is lost in transit (never reaches the server).
+    pub lost: bool,
+    /// Extra round-trip latency for a successful request, in seconds.
+    pub jitter_s: f64,
+    /// Effective-bandwidth multiplier for a successful request, `(0, 1]`.
+    pub bandwidth_factor: f64,
+}
+
+impl FaultDecision {
+    /// A decision that delivers the request perfectly.
+    pub fn clean() -> Self {
+        Self {
+            dropped: false,
+            lost: false,
+            jitter_s: 0.0,
+            bandwidth_factor: 1.0,
+        }
+    }
+}
+
+/// `splitmix64` — the finalizing mix used to derive every fault decision.
+/// Pure, order-independent, and identical on every platform.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Uniform `[0, 1)` from 53 high bits.
+fn u01(x: u64) -> f64 {
+    (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A deterministic fault schedule: a pure function from
+/// `(seed, stream, request index)` to a [`FaultDecision`]. Two plans with
+/// the same [`FaultConfig`] produce byte-identical schedules, regardless
+/// of how many threads consult them or in what order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+impl FaultPlan {
+    /// Builds a plan after validating the configuration.
+    pub fn new(cfg: FaultConfig) -> Result<Self, FaultConfigError> {
+        cfg.validate()?;
+        Ok(Self { cfg })
+    }
+
+    /// The plan's parameters.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// One uniform draw for `(stream, index, salt)`.
+    fn draw(&self, stream: u64, index: u64, salt: u64) -> f64 {
+        let mut h = self.cfg.seed;
+        h = splitmix64(h ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        h = splitmix64(h ^ index.wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        u01(splitmix64(h ^ salt))
+    }
+
+    /// The fate of request `index` on fault stream `stream`.
+    ///
+    /// Streams are an arbitrary caller-chosen partition of the schedule —
+    /// one per client, typically — so concurrent clients draw from
+    /// independent substreams without sharing any mutable state.
+    pub fn decide(&self, stream: u64, index: u64) -> FaultDecision {
+        let dropped =
+            self.cfg.drop_every > 0 && index > 0 && index.is_multiple_of(self.cfg.drop_every);
+        let lost = self.cfg.loss_prob > 0.0 && self.draw(stream, index, 1) < self.cfg.loss_prob;
+        let jitter_s = self.draw(stream, index, 2) * self.cfg.jitter_s;
+        let bandwidth_factor =
+            if self.cfg.dip_prob > 0.0 && self.draw(stream, index, 3) < self.cfg.dip_prob {
+                self.cfg.dip_factor
+            } else {
+                1.0
+            };
+        FaultDecision {
+            dropped,
+            lost,
+            jitter_s,
+            bandwidth_factor,
+        }
+    }
+
+    /// The first `n` decisions of `stream`, serialised as CSV — the
+    /// byte-comparable form of the schedule used by the determinism tests.
+    pub fn schedule_csv(&self, stream: u64, n: u64) -> String {
+        let mut out = String::from("index,dropped,lost,jitter_s,bandwidth_factor\n");
+        for i in 0..n {
+            let d = self.decide(stream, i);
+            out.push_str(&format!(
+                "{i},{},{},{},{}\n",
+                d.dropped, d.lost, d.jitter_s, d.bandwidth_factor
+            ));
+        }
+        out
+    }
+}
+
+/// Cumulative fault statistics of one [`FaultyLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultStats {
+    /// Requests attempted (including lost and dropped ones).
+    pub attempts: u64,
+    /// Requests that completed successfully.
+    pub completed: u64,
+    /// Requests lost in transit.
+    pub lost: u64,
+    /// Session drops observed.
+    pub drops: u64,
+    /// Successful requests that saw a bandwidth dip.
+    pub dipped: u64,
+    /// Payload bytes delivered.
+    pub bytes: f64,
+    /// Simulated seconds spent on successful transfers.
+    pub transfer_s: f64,
+    /// Simulated seconds wasted waiting out lost requests.
+    pub wasted_s: f64,
+}
+
+/// Permission to transmit one request: the fault stream's timing terms for
+/// a request that will *not* be lost or dropped. The payload size is only
+/// known after the server answers, so the grant is taken first and priced
+/// afterwards via [`Grant::transfer_time`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Grant {
+    /// Extra round-trip latency, seconds.
+    pub jitter_s: f64,
+    /// Effective-bandwidth multiplier, `(0, 1]`.
+    pub bandwidth_factor: f64,
+}
+
+impl Grant {
+    /// Time for the granted request to transfer `bytes` at normalised
+    /// `speed`: the fault-free [`LinkConfig::request_time`] plus jitter,
+    /// with the payload term stretched by the dip factor.
+    pub fn transfer_time(&self, cfg: &LinkConfig, bytes: f64, speed: f64) -> f64 {
+        cfg.latency_s
+            + cfg.connection_s
+            + self.jitter_s
+            + bytes * 8.0 / (cfg.effective_bandwidth(speed) * self.bandwidth_factor)
+    }
+}
+
+/// A [`WirelessLink`](crate::WirelessLink)-shaped channel that injects the
+/// faults a [`FaultPlan`] schedules for its stream. One `FaultyLink` is one
+/// client's transport: it owns a monotone request counter (each attempt —
+/// successful or not — consumes one schedule slot, so retries draw fresh
+/// fates) and the per-client fault statistics.
+#[derive(Debug, Clone)]
+pub struct FaultyLink {
+    config: LinkConfig,
+    plan: FaultPlan,
+    stream: u64,
+    next_index: u64,
+    stats: FaultStats,
+}
+
+impl FaultyLink {
+    /// Creates the faulty channel for `stream`, validating both configs.
+    pub fn new(config: LinkConfig, plan: FaultPlan, stream: u64) -> Result<Self, LinkConfigError> {
+        config.validate()?;
+        Ok(Self {
+            config,
+            plan,
+            stream,
+            next_index: 0,
+            stats: FaultStats::default(),
+        })
+    }
+
+    /// The underlying (fault-free) link parameters.
+    pub fn config(&self) -> &LinkConfig {
+        &self.config
+    }
+
+    /// The fault plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Index of the next request this link will attempt.
+    pub fn next_index(&self) -> u64 {
+        self.next_index
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// Attempts to open the next request slot. On success the returned
+    /// [`Grant`] carries the slot's timing terms; the caller executes the
+    /// request and charges [`Grant::transfer_time`] (or
+    /// [`FaultyLink::complete`], which also updates the statistics). On
+    /// failure the request never reached the server: the caller pays the
+    /// reported wait and retries (a fresh slot) or reconnects.
+    pub fn begin(&mut self) -> Result<Grant, LinkError> {
+        let d = self.plan.decide(self.stream, self.next_index);
+        self.next_index += 1;
+        self.stats.attempts += 1;
+        if d.dropped {
+            self.stats.drops += 1;
+            return Err(LinkError::SessionDropped);
+        }
+        if d.lost {
+            self.stats.lost += 1;
+            self.stats.wasted_s += self.plan.cfg.timeout_s;
+            return Err(LinkError::Lost {
+                waited_s: self.plan.cfg.timeout_s,
+            });
+        }
+        if d.bandwidth_factor < 1.0 {
+            self.stats.dipped += 1;
+        }
+        Ok(Grant {
+            jitter_s: d.jitter_s,
+            bandwidth_factor: d.bandwidth_factor,
+        })
+    }
+
+    /// Records a granted request's completed transfer and returns its
+    /// simulated duration.
+    pub fn complete(&mut self, grant: Grant, bytes: f64, speed: f64) -> f64 {
+        let t = grant.transfer_time(&self.config, bytes, speed);
+        self.stats.completed += 1;
+        self.stats.bytes += bytes;
+        self.stats.transfer_s += t;
+        t
+    }
+
+    /// One-shot convenience: begin + complete. Returns the transfer time,
+    /// or the typed failure.
+    pub fn transfer(&mut self, bytes: f64, speed: f64) -> Result<f64, LinkError> {
+        let grant = self.begin()?;
+        Ok(self.complete(grant, bytes, speed))
+    }
+
+    /// The cost of re-establishing the transport after a drop: one
+    /// round-trip latency plus the connection charge (Eq. 1's `C_c`).
+    pub fn reconnect_time(&self) -> f64 {
+        self.config.latency_s + self.config.connection_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(loss: f64, drop_every: u64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::hostile(42, loss, drop_every)).unwrap()
+    }
+
+    #[test]
+    fn identical_configs_yield_byte_identical_schedules() {
+        let a = plan(0.2, 7);
+        let b = plan(0.2, 7);
+        for stream in [0u64, 1, 99] {
+            assert_eq!(a.schedule_csv(stream, 200), b.schedule_csv(stream, 200));
+        }
+        // A different seed changes the schedule.
+        let c = FaultPlan::new(FaultConfig::hostile(43, 0.2, 7)).unwrap();
+        assert_ne!(a.schedule_csv(0, 200), c.schedule_csv(0, 200));
+        // Different streams of one plan are independent substreams.
+        assert_ne!(a.schedule_csv(0, 200), a.schedule_csv(1, 200));
+    }
+
+    #[test]
+    fn decide_is_order_independent() {
+        let p = plan(0.2, 5);
+        let forward: Vec<FaultDecision> = (0..50).map(|i| p.decide(3, i)).collect();
+        let backward: Vec<FaultDecision> = (0..50).rev().map(|i| p.decide(3, i)).collect();
+        assert_eq!(
+            forward,
+            backward.into_iter().rev().collect::<Vec<_>>(),
+            "a decision must depend only on its index, never on query order"
+        );
+    }
+
+    #[test]
+    fn drops_land_exactly_on_schedule() {
+        let p = plan(0.0, 5);
+        for i in 0..40u64 {
+            let d = p.decide(0, i);
+            assert_eq!(d.dropped, i > 0 && i % 5 == 0, "index {i}");
+            assert!(!d.lost, "loss_prob 0 must never lose");
+        }
+        // drop_every = 0 disables drops entirely.
+        let p0 = plan(0.0, 0);
+        assert!((0..200).all(|i| !p0.decide(0, i).dropped));
+    }
+
+    #[test]
+    fn loss_rate_tracks_probability() {
+        let p = plan(0.2, 0);
+        let n = 4000;
+        let lost = (0..n).filter(|&i| p.decide(0, i).lost).count();
+        let rate = lost as f64 / n as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.03,
+            "empirical loss rate {rate} far from 0.2"
+        );
+    }
+
+    #[test]
+    fn fault_free_plan_is_the_identity_channel() {
+        let p = FaultPlan::new(FaultConfig::none(7)).unwrap();
+        let mut link = FaultyLink::new(LinkConfig::paper(), p, 0).unwrap();
+        let base = WirelessLink::new(LinkConfig::paper());
+        for i in 0..20 {
+            let bytes = 1000.0 * i as f64;
+            let t = link.transfer(bytes, 0.3).expect("fault-free");
+            assert!(
+                (t - base.config().request_time(bytes, 0.3)).abs() < 1e-12,
+                "fault-free transfer must cost exactly the clean link time"
+            );
+        }
+        assert_eq!(link.stats().lost, 0);
+        assert_eq!(link.stats().drops, 0);
+        assert_eq!(link.stats().completed, 20);
+    }
+
+    use crate::link::WirelessLink;
+
+    #[test]
+    fn faulty_link_reports_typed_errors_and_stats() {
+        let p = plan(0.3, 4);
+        let mut link = FaultyLink::new(LinkConfig::paper(), p, 5).unwrap();
+        let mut lost = 0u64;
+        let mut drops = 0u64;
+        let mut completed = 0u64;
+        for _ in 0..200 {
+            match link.transfer(512.0, 0.5) {
+                Ok(t) => {
+                    assert!(t.is_finite() && t > 0.0);
+                    completed += 1;
+                }
+                Err(LinkError::Lost { waited_s }) => {
+                    assert_eq!(waited_s, 2.0);
+                    lost += 1;
+                }
+                Err(LinkError::SessionDropped) => drops += 1,
+            }
+        }
+        let s = *link.stats();
+        assert_eq!(s.attempts, 200);
+        assert_eq!(s.lost, lost);
+        assert_eq!(s.drops, drops);
+        assert_eq!(s.completed, completed);
+        assert!(lost > 0 && drops > 0 && completed > 0);
+        assert!((s.wasted_s - lost as f64 * 2.0).abs() < 1e-9);
+        assert!(s.bytes > 0.0 && s.transfer_s > 0.0);
+    }
+
+    #[test]
+    fn dips_and_jitter_only_slow_requests_down() {
+        let p = plan(0.0, 0);
+        let clean = LinkConfig::paper();
+        let mut link = FaultyLink::new(clean, p, 2).unwrap();
+        let mut saw_slower = false;
+        for _ in 0..100 {
+            let t = link.transfer(4096.0, 0.2).expect("no loss configured");
+            let ideal = clean.request_time(4096.0, 0.2);
+            assert!(t >= ideal - 1e-12, "faults must never speed the link up");
+            if t > ideal + 1e-9 {
+                saw_slower = true;
+            }
+        }
+        assert!(saw_slower, "jitter/dips must actually bite");
+        assert!(link.stats().dipped > 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_livelock_and_nonsense() {
+        let ok = FaultConfig::hostile(1, 0.2, 10);
+        assert!(ok.validate().is_ok());
+        let bad = |f: fn(&mut FaultConfig)| {
+            let mut c = ok;
+            f(&mut c);
+            c.validate()
+        };
+        assert_eq!(
+            bad(|c| c.loss_prob = 1.0),
+            Err(FaultConfigError::InvalidLossProb(1.0))
+        );
+        assert!(bad(|c| c.loss_prob = f64::NAN).is_err());
+        assert_eq!(
+            bad(|c| c.jitter_s = -0.1),
+            Err(FaultConfigError::InvalidJitter(-0.1))
+        );
+        assert_eq!(
+            bad(|c| c.dip_prob = 1.5),
+            Err(FaultConfigError::InvalidDipProb(1.5))
+        );
+        assert_eq!(
+            bad(|c| c.dip_factor = 0.0),
+            Err(FaultConfigError::InvalidDipFactor(0.0))
+        );
+        assert_eq!(
+            bad(|c| c.timeout_s = 0.0),
+            Err(FaultConfigError::InvalidTimeout(0.0))
+        );
+        // An invalid link config is rejected at FaultyLink construction.
+        let p = FaultPlan::new(ok).unwrap();
+        assert!(FaultyLink::new(
+            LinkConfig {
+                bandwidth_bps: -5.0,
+                ..LinkConfig::paper()
+            },
+            p,
+            0
+        )
+        .is_err());
+    }
+}

@@ -13,14 +13,25 @@
 //! normalised speed; a [`SimClock`] (the only notion of time anywhere in
 //! the simulation); and the buffer-management transfer cost model of
 //! §V-A Eq. (1), `C = Σⱼ (C_c + C_t·B·N(j))`.
+//!
+//! On top of the perfect channel sits the [`fault`] module: a seeded
+//! [`FaultPlan`] that injects per-request packet loss, latency jitter,
+//! bandwidth dips and scheduled session drops from a deterministic
+//! `(seed, stream, request-index)` hash — same seed, byte-identical fault
+//! schedule — and the [`FaultyLink`] channel that applies it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod cost;
+pub mod fault;
 pub mod link;
 
 pub use clock::SimClock;
 pub use cost::TransferCostModel;
-pub use link::{LinkConfig, LinkStats, WirelessLink};
+pub use fault::{
+    FaultConfig, FaultConfigError, FaultDecision, FaultPlan, FaultStats, FaultyLink, Grant,
+    LinkError,
+};
+pub use link::{LinkConfig, LinkConfigError, LinkStats, WirelessLink};

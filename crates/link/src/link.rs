@@ -1,5 +1,47 @@
 //! The deterministic wireless link model.
 
+use std::fmt;
+
+/// Why a [`LinkConfig`] was rejected at construction.
+///
+/// Validating up front keeps the downstream arithmetic
+/// ([`LinkConfig::request_time`], the fault layer's transfer timing) free
+/// of non-finite intermediate values: a non-positive bandwidth would turn
+/// every transfer time into `inf`/NaN and poison every simulated clock it
+/// touches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkConfigError {
+    /// `bandwidth_bps` was NaN, infinite, zero or negative.
+    InvalidBandwidth(f64),
+    /// `latency_s` was NaN, infinite or negative.
+    InvalidLatency(f64),
+    /// `connection_s` was NaN, infinite or negative.
+    InvalidConnection(f64),
+    /// `motion_degradation` was NaN or infinite.
+    InvalidDegradation(f64),
+}
+
+impl fmt::Display for LinkConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidBandwidth(v) => {
+                write!(f, "bandwidth_bps must be finite and positive, got {v}")
+            }
+            Self::InvalidLatency(v) => {
+                write!(f, "latency_s must be finite and non-negative, got {v}")
+            }
+            Self::InvalidConnection(v) => {
+                write!(f, "connection_s must be finite and non-negative, got {v}")
+            }
+            Self::InvalidDegradation(v) => {
+                write!(f, "motion_degradation must be finite, got {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinkConfigError {}
+
 /// Link parameters.
 ///
 /// ```
@@ -41,6 +83,53 @@ impl LinkConfig {
             connection_s: 0.1,
             motion_degradation: 0.5,
         }
+    }
+
+    /// Builds a validated configuration; the typed-error alternative to
+    /// filling in the (public) fields by hand.
+    ///
+    /// ```
+    /// use mar_link::{LinkConfig, LinkConfigError};
+    /// assert!(LinkConfig::new(256_000.0, 0.2, 0.1, 0.5).is_ok());
+    /// assert_eq!(
+    ///     LinkConfig::new(0.0, 0.2, 0.1, 0.5),
+    ///     Err(LinkConfigError::InvalidBandwidth(0.0))
+    /// );
+    /// ```
+    pub fn new(
+        bandwidth_bps: f64,
+        latency_s: f64,
+        connection_s: f64,
+        motion_degradation: f64,
+    ) -> Result<Self, LinkConfigError> {
+        let cfg = Self {
+            bandwidth_bps,
+            latency_s,
+            connection_s,
+            motion_degradation,
+        };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Checks the configuration, returning the first violated constraint.
+    /// Every consumer that owns a long-lived link ([`WirelessLink`], the
+    /// fault layer) validates at construction so the per-request arithmetic
+    /// never has to re-check.
+    pub fn validate(&self) -> Result<(), LinkConfigError> {
+        if !(self.bandwidth_bps.is_finite() && self.bandwidth_bps > 0.0) {
+            return Err(LinkConfigError::InvalidBandwidth(self.bandwidth_bps));
+        }
+        if !(self.latency_s.is_finite() && self.latency_s >= 0.0) {
+            return Err(LinkConfigError::InvalidLatency(self.latency_s));
+        }
+        if !(self.connection_s.is_finite() && self.connection_s >= 0.0) {
+            return Err(LinkConfigError::InvalidConnection(self.connection_s));
+        }
+        if !self.motion_degradation.is_finite() {
+            return Err(LinkConfigError::InvalidDegradation(self.motion_degradation));
+        }
+        Ok(())
     }
 
     /// Effective bandwidth for a client moving at normalised `speed ∈
@@ -86,6 +175,12 @@ impl WirelessLink {
             config,
             stats: LinkStats::default(),
         }
+    }
+
+    /// Creates a link after validating its configuration.
+    pub fn try_new(config: LinkConfig) -> Result<Self, LinkConfigError> {
+        config.validate()?;
+        Ok(Self::new(config))
     }
 
     /// The link's configuration.
@@ -156,6 +251,40 @@ mod tests {
             ..LinkConfig::paper()
         };
         assert_eq!(c.effective_bandwidth(1.0), 25_600.0);
+    }
+
+    #[test]
+    fn construction_rejects_degenerate_configs() {
+        assert!(LinkConfig::paper().validate().is_ok());
+        assert!(matches!(
+            LinkConfig::new(f64::NAN, 0.2, 0.1, 0.5),
+            Err(LinkConfigError::InvalidBandwidth(v)) if v.is_nan()
+        ));
+        assert_eq!(
+            LinkConfig::new(-1.0, 0.2, 0.1, 0.5),
+            Err(LinkConfigError::InvalidBandwidth(-1.0))
+        );
+        assert_eq!(
+            LinkConfig::new(256_000.0, -0.2, 0.1, 0.5),
+            Err(LinkConfigError::InvalidLatency(-0.2))
+        );
+        assert_eq!(
+            LinkConfig::new(256_000.0, 0.2, f64::INFINITY, 0.5),
+            Err(LinkConfigError::InvalidConnection(f64::INFINITY))
+        );
+        assert!(matches!(
+            LinkConfig::new(256_000.0, 0.2, 0.1, f64::NAN),
+            Err(LinkConfigError::InvalidDegradation(v)) if v.is_nan()
+        ));
+        assert!(WirelessLink::try_new(LinkConfig {
+            bandwidth_bps: 0.0,
+            ..LinkConfig::paper()
+        })
+        .is_err());
+        assert!(WirelessLink::try_new(LinkConfig::paper()).is_ok());
+        // The error message names the offending field and value.
+        let e = LinkConfig::new(0.0, 0.2, 0.1, 0.5).unwrap_err();
+        assert!(e.to_string().contains("bandwidth_bps"));
     }
 
     #[test]

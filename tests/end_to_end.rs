@@ -179,7 +179,9 @@ fn disconnect_frees_session_state_under_churn() {
             Some(b) => assert_eq!(r.bytes, b, "fresh sessions must start cold"),
         }
         let session = c.session();
-        server.disconnect(session);
+        server
+            .disconnect(session)
+            .expect("session was connected above");
         assert_eq!(server.session_sent(session), 0);
     }
 }
