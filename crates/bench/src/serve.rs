@@ -75,6 +75,55 @@ impl ServeConfig {
     }
 }
 
+/// Header line of the per-tick, per-session transcript CSV. Shared with
+/// `mar-load`, whose loopback transcript must be byte-identical to the
+/// in-process harness's.
+pub const TRANSCRIPT_HEADER: &str = "tick,session,coeffs,new_objects,bytes,io,response_s\n";
+
+/// Formats one transcript row exactly as [`run_serve`] does. `mar-load`
+/// calls this with the accounting it received over the wire, so transcript
+/// equality reduces to the wire layer delivering bit-identical numbers.
+pub fn transcript_row(
+    tick: usize,
+    session: usize,
+    coeffs: u64,
+    new_objects: u64,
+    bytes: f64,
+    io: u64,
+    response_s: f64,
+) -> String {
+    format!("{tick},{session},{coeffs},{new_objects},{bytes},{io},{response_s}\n")
+}
+
+/// The tour speed spread sessions cycle through (session `k` tours at
+/// `TOUR_SPEEDS[k % TOUR_SPEEDS.len()]`).
+pub const TOUR_SPEEDS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+/// The scene every serve replay (in-process or wire) is served from:
+/// quick-scale parameters with the config's object/level overrides.
+pub fn serve_scene(cfg: &ServeConfig) -> Scene {
+    let mut scale = Scale::quick();
+    scale.objects_default = cfg.objects;
+    scale.levels = cfg.levels;
+    figs::build_scene(&scale, cfg.objects, Placement::Uniform)
+}
+
+/// Session `k`'s tour under `cfg`: alternating tram/pedestrian kinds over
+/// the deterministic speed spread, seeded `tour_seed + k`.
+pub fn session_tour(cfg: &ServeConfig, space: mar_geom::Rect2, k: usize) -> Tour {
+    let tc = TourConfig::new(
+        space,
+        cfg.ticks,
+        cfg.tour_seed + k as u64,
+        TOUR_SPEEDS[k % TOUR_SPEEDS.len()],
+    );
+    if k.is_multiple_of(2) {
+        tram_tour(&tc)
+    } else {
+        pedestrian_tour(&tc)
+    }
+}
+
 /// One session's tick outcome, as it appears in the transcript.
 #[derive(Debug, Clone, Copy)]
 struct TickRow {
@@ -172,10 +221,7 @@ impl ServeReport {
 /// from it) is identical for any `cfg.jobs`; only the wall-clock fields
 /// change.
 pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
-    let mut scale = Scale::quick();
-    scale.objects_default = cfg.objects;
-    scale.levels = cfg.levels;
-    let scene = figs::build_scene(&scale, cfg.objects, Placement::Uniform);
+    let scene = serve_scene(cfg);
     let data = SceneIndexData::build(&scene);
     // The index bulk-load itself fans out across the same worker budget.
     let index = WaveletIndex::build_jobs(&data, cfg.jobs);
@@ -184,30 +230,18 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
 
     // Sessions connect serially in id order, each with its own tour:
     // alternating tram/pedestrian kinds over a deterministic speed spread.
-    let speeds = [0.1, 0.3, 0.5, 0.7, 0.9];
     let sims: Vec<Mutex<SessionSim>> = (0..cfg.sessions)
         .map(|k| {
-            let tc = TourConfig::new(
-                scene.config.space,
-                cfg.ticks,
-                cfg.tour_seed + k as u64,
-                speeds[k % speeds.len()],
-            );
-            let tour = if k % 2 == 0 {
-                tram_tour(&tc)
-            } else {
-                pedestrian_tour(&tc)
-            };
             Mutex::new(SessionSim {
                 client: IncrementalClient::connect(&server, LinearSpeedMap),
                 smooth: SmoothedSpeed::default(),
-                tour,
+                tour: session_tour(cfg, scene.config.space, k),
             })
         })
         .collect();
 
     let engine = Engine::new(cfg.jobs);
-    let mut transcript = String::from("tick,session,coeffs,new_objects,bytes,io,response_s\n");
+    let mut transcript = String::from(TRANSCRIPT_HEADER);
     let mut tick_ns = Vec::with_capacity(cfg.ticks);
     let mut bytes = 0.0;
     let mut coeffs = 0u64;
@@ -232,9 +266,14 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
         // Merge in session-id order: `Engine::run` returns results in
         // point order, and the points are the session ids.
         for (k, row) in rows.iter().enumerate() {
-            transcript.push_str(&format!(
-                "{tick},{k},{},{},{},{},{}\n",
-                row.coeffs, row.new_objects, row.bytes, row.io, row.response_s
+            transcript.push_str(&transcript_row(
+                tick,
+                k,
+                row.coeffs,
+                row.new_objects,
+                row.bytes,
+                row.io,
+                row.response_s,
             ));
             bytes += row.bytes;
             coeffs += row.coeffs;

@@ -52,6 +52,12 @@ struct Slot {
     w_min: f64,
     /// Whether the block entered via prefetch and has not been used yet.
     pending_use: bool,
+    /// Logical recency stamp: the cache's operation counter at the last
+    /// install or hit. Capacity-shrink eviction drops the smallest stamp
+    /// (the least-recently-used block) first. Stamps are unique — the
+    /// counter advances on every touch — so recency order is total and
+    /// deterministic.
+    touched: u64,
 }
 
 /// A capacity-bounded cache of grid blocks, each held at some resolution.
@@ -63,6 +69,8 @@ pub struct BlockCache {
     // identical runs disagree. Key order is stable.
     slots: BTreeMap<BlockId, Slot>,
     stats: CacheStats,
+    /// Monotone operation counter stamping slot recency.
+    clock: u64,
 }
 
 impl BlockCache {
@@ -72,6 +80,7 @@ impl BlockCache {
             capacity,
             slots: BTreeMap::new(),
             stats: CacheStats::default(),
+            clock: 0,
         }
     }
 
@@ -80,12 +89,34 @@ impl BlockCache {
         self.capacity
     }
 
+    /// The next recency stamp (each call advances the logical clock).
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
     /// Changes the capacity (the multiresolution policy grows the block
-    /// budget at speed); excess blocks are evicted smallest key first.
+    /// budget at speed); on shrink, excess blocks are evicted in recency
+    /// order — least-recently-used first.
+    ///
+    /// Regression (ISSUE 6): this used to evict via `pop_first`, i.e. the
+    /// *smallest block id*, so a capacity shrink at speed dropped hot
+    /// blocks the client had just touched and skewed the Eq. 2 buffer-hit
+    /// metrics (pinned by `set_capacity_evicts_lru_not_smallest_key`).
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
         while self.slots.len() > self.capacity {
-            self.slots.pop_first();
+            let victim = self
+                .slots
+                .iter()
+                .min_by_key(|(_, s)| s.touched)
+                .map(|(b, _)| *b);
+            match victim {
+                Some(b) => {
+                    self.slots.remove(&b);
+                }
+                None => break,
+            }
         }
     }
 
@@ -119,9 +150,11 @@ impl BlockCache {
         misses.clear();
         for b in frame_blocks {
             self.stats.lookups += 1;
+            let stamp = self.tick();
             match self.slots.get_mut(b) {
                 Some(slot) if slot.w_min <= w_min => {
                     self.stats.hits += 1;
+                    slot.touched = stamp;
                     if slot.pending_use {
                         slot.pending_use = false;
                         self.stats.prefetched_used += 1;
@@ -137,11 +170,13 @@ impl BlockCache {
     /// prefetched blocks first.
     pub fn install_demand(&mut self, blocks: &[BlockId], w_min: f64) {
         for b in blocks {
+            let touched = self.tick();
             let prev = self.slots.insert(
                 *b,
                 Slot {
                     w_min,
                     pending_use: false,
+                    touched,
                 },
             );
             if prev.is_none() {
@@ -161,11 +196,13 @@ impl BlockCache {
                 return false;
             }
         }
+        let touched = self.tick();
         self.slots.insert(
             block,
             Slot {
                 w_min,
                 pending_use: true,
+                touched,
             },
         );
         self.stats.prefetched += 1;
@@ -295,6 +332,39 @@ mod tests {
         c.set_capacity(2);
         assert_eq!(c.len(), 2);
         assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn set_capacity_evicts_lru_not_smallest_key() {
+        // Regression (ISSUE 6): shrink eviction used `pop_first`, dropping
+        // the smallest *block id* — here the hot block (0,0) the frame just
+        // touched — instead of the least-recently-used entry.
+        let mut c = BlockCache::new(8);
+        c.install_demand(&[b(0, 0), b(1, 1), b(2, 2), b(3, 3)], 0.0);
+        // Touch the smallest-keyed block last: it is now the hottest.
+        assert!(c.access(&[b(0, 0)], 0.0).is_empty());
+        c.set_capacity(2);
+        assert!(
+            c.contains(&b(0, 0), 0.0),
+            "the just-touched block must survive a capacity shrink"
+        );
+        assert!(c.contains(&b(3, 3), 0.0), "most recent install survives");
+        assert!(!c.contains(&b(1, 1), 0.0), "LRU entry is evicted");
+        assert!(!c.contains(&b(2, 2), 0.0), "LRU entry is evicted");
+    }
+
+    #[test]
+    fn set_capacity_recency_follows_every_touch_kind() {
+        // Hits, demand installs and prefetch installs all refresh recency.
+        let mut c = BlockCache::new(8);
+        c.install_demand(&[b(5, 5)], 0.0); // oldest
+        assert!(c.install_prefetch(b(6, 6), 0.0));
+        c.install_demand(&[b(7, 7)], 0.0);
+        assert!(c.access(&[b(5, 5)], 0.0).is_empty()); // re-heats (5,5)
+        c.set_capacity(2);
+        assert!(c.contains(&b(5, 5), 0.0), "hit refreshed recency");
+        assert!(c.contains(&b(7, 7), 0.0));
+        assert!(!c.contains(&b(6, 6), 0.0), "coldest prefetch evicted");
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub use resilient::{
 };
 pub use retrieval::{FramePlanner, IncrementalClient};
 pub use server::{
-    QueryRegion, QueryResult, ResumeInfo, Server, ServerCore, SessionError, SESSION_STRIPES,
+    QueryRegion, QueryResult, ResumeInfo, Server, ServerCore, SessionError, DEFAULT_TOKEN_SEED,
+    SESSION_STRIPES,
 };
 pub use speedmap::{LinearSpeedMap, SmoothedSpeed, SpeedResolutionMap, SteppedSpeedMap};

@@ -162,6 +162,7 @@ pub struct ResilienceMetrics {
 #[derive(Debug)]
 pub struct ResilientClient<M: SpeedResolutionMap> {
     session: u64,
+    token: u64,
     map: M,
     planner: FramePlanner,
     link: FaultyLink,
@@ -176,8 +177,10 @@ impl<M: SpeedResolutionMap> ResilientClient<M> {
     /// Connects a new resilient client: a server session plus its own
     /// faulty transport channel.
     pub fn connect(server: &Server, map: M, link: FaultyLink, policy: ResilientPolicy) -> Self {
+        let session = server.connect();
         Self {
-            session: server.connect(),
+            session,
+            token: server.session_token(session),
             map,
             planner: FramePlanner::new(),
             link,
@@ -189,9 +192,15 @@ impl<M: SpeedResolutionMap> ResilientClient<M> {
         }
     }
 
-    /// The current server session token.
+    /// The current server session id.
     pub fn session(&self) -> u64 {
         self.session
+    }
+
+    /// The unguessable resume token for the current session (what the
+    /// client presents to [`Server::resume`] after a transport drop).
+    pub fn token(&self) -> u64 {
+        self.token
     }
 
     /// The current degradation level (0 = full fidelity for the speed).
@@ -318,17 +327,19 @@ impl<M: SpeedResolutionMap> ResilientClient<M> {
                     outcome.drops += 1;
                     self.metrics.drops += 1;
                     self.clock.advance(self.link.reconnect_time());
-                    match server.resume(self.session) {
+                    match server.resume(self.token) {
                         Ok(_) => {
                             // Filter retained server-side: nothing already
                             // delivered will be re-sent.
                             outcome.resumed = true;
                             self.metrics.resumed += 1;
                         }
-                        Err(SessionError::UnknownSession(_)) => {
+                        Err(SessionError::UnknownToken(_) | SessionError::UnknownSession(_)) => {
                             // The server forgot us: start over with an
-                            // empty filter and a full refetch.
+                            // empty filter, a fresh token and a full
+                            // refetch.
                             self.session = server.connect();
+                            self.token = server.session_token(self.session);
                             self.planner.reset();
                             self.metrics.reconnects += 1;
                             regions = self.planner.plan(&frame, band);

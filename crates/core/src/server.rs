@@ -53,17 +53,76 @@ pub const SESSION_STRIPES: usize = 16;
 pub enum SessionError {
     /// The session id is not (or no longer) connected.
     UnknownSession(u64),
+    /// The resume token does not name any connected session. The token is
+    /// echoed verbatim — the server never reveals which session id (if
+    /// any) a rejected token would have mapped to.
+    UnknownToken(u64),
 }
 
 impl std::fmt::Display for SessionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::UnknownSession(id) => write!(f, "unknown or disconnected session id {id}"),
+            Self::UnknownToken(tok) => write!(f, "unknown resume token {tok:#018x}"),
         }
     }
 }
 
 impl std::error::Error for SessionError {}
+
+/// Default seed of the resume-token derivation. Deterministic by design
+/// (DESIGN.md §5 — results are a pure function of explicit inputs), so a
+/// deployment that needs tokens to be *secret* rather than merely
+/// unguessable-from-a-session-id must supply its own seed via
+/// [`Server::from_core_seeded`] (the `mar-served` daemon exposes this as
+/// `--token-seed`).
+pub const DEFAULT_TOKEN_SEED: u64 = 0x6d61_725f_7365_7276; // "mar_serv"
+
+/// `splitmix64`'s finalizing mix — the same bijective discipline
+/// `mar_link::fault` uses for its fault schedule. Bijective on `u64`, so
+/// distinct sessions always get distinct tokens.
+fn mix64(x: u64) -> u64 {
+    let z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Multiplicative inverse of an odd constant modulo 2^64 (Newton's
+/// method: each iteration doubles the number of correct low bits).
+const fn inv_mul(m: u64) -> u64 {
+    let mut x = m;
+    let mut i = 0;
+    while i < 6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+        i += 1;
+    }
+    x
+}
+
+/// Inverse of `y = x ^ (x >> s)`: the top `s` bits of `y` are already
+/// correct, and each iteration extends the correct prefix by `s` bits.
+fn un_xsr(y: u64, s: u32) -> u64 {
+    let mut x = y;
+    let mut done = 0;
+    while done < 64 {
+        x = y ^ (x >> s);
+        done += s;
+    }
+    x
+}
+
+/// Exact inverse of [`mix64`] — lets [`Server::resume`] map a presented
+/// token back to its candidate session id in O(1), without keeping any
+/// token→session table.
+fn unmix64(z: u64) -> u64 {
+    let z = un_xsr(z, 31);
+    let z = z.wrapping_mul(inv_mul(0x94d0_49bb_1331_11eb));
+    let z = un_xsr(z, 27);
+    let z = z.wrapping_mul(inv_mul(0xbf58_476d_1ce4_e5b9));
+    let z = un_xsr(z, 30);
+    z.wrapping_sub(0x9e37_79b9_7f4a_7c15)
+}
 
 /// What [`Server::resume`] reattached: how much server-side filter state
 /// survived the transport drop, i.e. how much data will *not* be re-sent.
@@ -184,6 +243,7 @@ pub struct Server {
     core: ServerCore,
     stripes: [Mutex<BTreeMap<u64, Session>>; SESSION_STRIPES],
     next_session: AtomicU64,
+    token_seed: u64,
 }
 
 impl Server {
@@ -192,12 +252,22 @@ impl Server {
         Self::from_core(ServerCore::new(scene))
     }
 
-    /// Builds the session layer over an existing shared core.
+    /// Builds the session layer over an existing shared core, deriving
+    /// resume tokens from [`DEFAULT_TOKEN_SEED`].
     pub fn from_core(core: ServerCore) -> Self {
+        Self::from_core_seeded(core, DEFAULT_TOKEN_SEED)
+    }
+
+    /// Builds the session layer over an existing shared core with an
+    /// explicit resume-token seed. Deployments that expose the server on a
+    /// real wire (`mar-served`) should pass their own seed so tokens are
+    /// not derivable from the public default.
+    pub fn from_core_seeded(core: ServerCore, token_seed: u64) -> Self {
         Self {
             core,
             stripes: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
             next_session: AtomicU64::new(0),
+            token_seed,
         }
     }
 
@@ -250,30 +320,49 @@ impl Server {
             .ok_or(SessionError::UnknownSession(session))
     }
 
+    /// The resume token for a session id: a seeded splitmix64 bijection
+    /// over the id (same derivation discipline as `mar_link::fault`'s
+    /// schedule hash). Sequential session ids map to scattered 64-bit
+    /// tokens, so a wire peer that knows *its own* token — or any session
+    /// id — cannot derive another live session's token without the seed.
+    /// Pure and stateless: the token exists independently of whether the
+    /// session is (still) connected.
+    pub fn session_token(&self, session: u64) -> u64 {
+        mix64(self.token_seed ^ mix64(session))
+    }
+
     /// Reattaches a client to its session after a *transport* drop (the
     /// wireless link died; the server-side session state did not). The
-    /// session token is the identity: if the server still holds the
-    /// session, the client resumes with its sent-filter intact — nothing
-    /// already delivered is ever re-sent — and learns how much state was
-    /// retained. A token the server no longer knows (evicted, never
-    /// connected) is a typed error; the client must [`connect`] fresh and
+    /// caller presents the resume **token** it was handed at connect time
+    /// ([`session_token`]) — *not* the raw session id, which is sequential
+    /// and therefore guessable by any other wire peer. If the token names
+    /// a session the server still holds, the client resumes with its
+    /// sent-filter intact — nothing already delivered is ever re-sent —
+    /// and learns how much state was retained. Any other token (stale,
+    /// forged, or a raw session id) is a typed [`SessionError`] echoing
+    /// only the token itself; the client must [`connect`] fresh and
     /// refetch from scratch.
     ///
     /// [`connect`]: Server::connect
-    pub fn resume(&self, session_token: u64) -> Result<ResumeInfo, SessionError> {
+    /// [`session_token`]: Server::session_token
+    pub fn resume(&self, token: u64) -> Result<ResumeInfo, SessionError> {
+        // The token map is a bijection on u64, so every presented token
+        // inverts to exactly one candidate id; a forged token inverts to
+        // an id that is (overwhelmingly) not a live session.
+        let session = unmix64(unmix64(token) ^ self.token_seed);
         let stripe = self
-            .stripe(session_token)
+            .stripe(session)
             .lock()
             // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
             .expect("session stripe poisoned");
         stripe
-            .get(&session_token)
+            .get(&session)
             .map(|sess| ResumeInfo {
-                session: session_token,
+                session,
                 retained_coeffs: sess.sent.len(),
                 retained_objects: sess.sent_base.len(),
             })
-            .ok_or(SessionError::UnknownSession(session_token))
+            .ok_or(SessionError::UnknownToken(token))
     }
 
     /// Executes a batch of sub-queries for a session, filtering out data
@@ -555,7 +644,7 @@ mod tests {
             Err(SessionError::UnknownSession(42))
         );
         assert_eq!(s.disconnect(42), Err(SessionError::UnknownSession(42)));
-        assert_eq!(s.resume(42), Err(SessionError::UnknownSession(42)));
+        assert_eq!(s.resume(42), Err(SessionError::UnknownToken(42)));
         assert_eq!(
             s.session_sent_set(42),
             Err(SessionError::UnknownSession(42))
@@ -569,12 +658,13 @@ mod tests {
     fn resume_retains_the_sent_filter() {
         let s = server();
         let c = s.connect();
+        let token = s.session_token(c);
         let r = s.query(c, &[whole()]).unwrap();
         assert!(r.coeffs > 0);
-        // A transport drop does not touch server state: resuming the same
-        // token reports the retained filter, and a repeat query still
-        // sends nothing new.
-        let info = s.resume(c).unwrap();
+        // A transport drop does not touch server state: resuming by token
+        // reports the retained filter, and a repeat query still sends
+        // nothing new.
+        let info = s.resume(token).unwrap();
         assert_eq!(info.session, c);
         assert_eq!(info.retained_coeffs, r.coeffs);
         assert_eq!(info.retained_objects, r.new_objects);
@@ -582,12 +672,59 @@ mod tests {
         assert_eq!(again.coeffs, 0, "resume must not cause re-sends");
         // After a real disconnect the token is gone for good.
         s.disconnect(c).unwrap();
-        assert_eq!(s.resume(c), Err(SessionError::UnknownSession(c)));
+        assert_eq!(s.resume(token), Err(SessionError::UnknownToken(token)));
         assert_eq!(
             s.disconnect(c),
             Err(SessionError::UnknownSession(c)),
             "double disconnect is a typed error, not a silent no-op"
         );
+    }
+
+    #[test]
+    fn resume_rejects_the_raw_session_id() {
+        // Regression (ISSUE 6): `resume` used to accept the sequential
+        // session id as the token, so any wire peer could resume — and
+        // hijack the sent-filter of — any other session by counting.
+        let s = server();
+        let a = s.connect();
+        let b = s.connect();
+        s.query(a, &[whole()]).unwrap();
+        s.query(b, &[whole()]).unwrap();
+        for id in [a, b] {
+            assert_eq!(
+                s.resume(id),
+                Err(SessionError::UnknownToken(id)),
+                "a raw session id must not act as a resume token"
+            );
+        }
+        // The real tokens still work, and each names only its own session.
+        assert_eq!(s.resume(s.session_token(a)).unwrap().session, a);
+        assert_eq!(s.resume(s.session_token(b)).unwrap().session, b);
+        assert_ne!(s.session_token(a), s.session_token(b));
+    }
+
+    #[test]
+    fn token_derivation_is_bijective_and_seed_dependent() {
+        let core = ServerCore::new(&{
+            let mut cfg = mar_workload::SceneConfig::paper(3, 13);
+            cfg.levels = 2;
+            cfg.target_bytes = 100_000.0;
+            Scene::generate(cfg)
+        });
+        let s1 = Server::from_core_seeded(core.clone(), 1);
+        let s2 = Server::from_core_seeded(core, 2);
+        // unmix64 is the exact inverse of mix64 across the u64 range.
+        for x in (0..1000u64).chain([u64::MAX, u64::MAX / 2, 1 << 63]) {
+            assert_eq!(unmix64(mix64(x)), x);
+            assert_eq!(mix64(unmix64(x)), x);
+        }
+        // Distinct ids → distinct tokens; different seeds → different maps.
+        let mut seen = std::collections::BTreeSet::new();
+        for id in 0..512u64 {
+            assert!(seen.insert(s1.session_token(id)), "token collision");
+            assert_ne!(s1.session_token(id), s2.session_token(id));
+            assert_ne!(s1.session_token(id), id, "token must not echo the id");
+        }
     }
 
     #[test]

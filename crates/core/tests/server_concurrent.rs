@@ -131,12 +131,23 @@ fn stale_session_ids_error_instead_of_panicking() {
         srv.disconnect(stale),
         Err(SessionError::UnknownSession(stale))
     );
-    assert_eq!(srv.resume(stale), Err(SessionError::UnknownSession(stale)));
+    let stale_token = srv.session_token(stale);
+    assert_eq!(
+        srv.resume(stale_token),
+        Err(SessionError::UnknownToken(stale_token))
+    );
+    assert_eq!(
+        srv.resume(stale),
+        Err(SessionError::UnknownToken(stale)),
+        "a raw session id is not a resume token"
+    );
     assert_eq!(srv.session_count(), 0, "error paths must not mint sessions");
     assert_eq!(srv.resident_filter_entries(), 0);
-    // The error carries the offending token and renders it.
+    // The errors carry the offending id/token and render them.
     let msg = SessionError::UnknownSession(stale).to_string();
     assert!(msg.contains(&stale.to_string()));
+    let msg = SessionError::UnknownToken(stale_token).to_string();
+    assert!(msg.contains(&format!("{stale_token:#018x}")));
 }
 
 #[test]
@@ -155,7 +166,8 @@ fn concurrent_resume_and_query_agree_with_serial() {
                         .map(|t| {
                             let r = client.tick(srv, frame(k, t), speed(k, t));
                             // Simulated drop + resume between every tick.
-                            let info = srv.resume(client.session()).expect("session is live");
+                            let token = srv.session_token(client.session());
+                            let info = srv.resume(token).expect("session is live");
                             assert_eq!(info.session, client.session());
                             assert_eq!(info.retained_coeffs, srv.session_sent(client.session()));
                             r

@@ -1,0 +1,169 @@
+//! `mar-served` — the TCP retrieval daemon.
+//!
+//! Builds the deterministic serve scene, bulk-loads the wavelet index,
+//! and serves it over the DESIGN.md §12 wire protocol:
+//!
+//! ```text
+//! cargo run -p mar-served --release --bin mar-served -- --smoke --port 0 \
+//!     --port-file target/mar-served.port --max-conns 5
+//! ```
+//!
+//! `--port 0` binds an ephemeral port; `--port-file` publishes the bound
+//! port so a separate `mar-load` process can find it. `--max-conns N`
+//! makes the daemon exit after serving N connections — how CI bounds the
+//! loopback smoke job. The scene parameters must match the load
+//! generator's (`--smoke` on both sides) or the transcripts will not
+//! fingerprint-equal.
+
+use mar_bench::serve::{serve_scene, ServeConfig};
+use mar_core::{SceneIndexData, Server, ServerCore, WaveletIndex, DEFAULT_TOKEN_SEED};
+use mar_served::{spawn_daemon, DaemonConfig, DEFAULT_OUTBOX_CAP};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+struct Options {
+    smoke: bool,
+    jobs: usize,
+    port: u16,
+    port_file: Option<String>,
+    outbox_cap: f64,
+    max_conns: Option<usize>,
+    token_seed: u64,
+}
+
+fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        jobs: default_jobs(),
+        port: 4818,
+        port_file: None,
+        outbox_cap: DEFAULT_OUTBOX_CAP,
+        max_conns: None,
+        token_seed: DEFAULT_TOKEN_SEED,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+                .cloned()
+        };
+        match a.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--full" => opts.smoke = false,
+            "--jobs" => {
+                let v = value("--jobs")?;
+                opts.jobs = v
+                    .parse()
+                    .map_err(|_| format!("--jobs: not a number: {v}"))?;
+            }
+            "--port" => {
+                let v = value("--port")?;
+                opts.port = v.parse().map_err(|_| format!("--port: not a port: {v}"))?;
+            }
+            "--port-file" => opts.port_file = Some(value("--port-file")?),
+            "--outbox-cap" => {
+                let v = value("--outbox-cap")?;
+                opts.outbox_cap = v
+                    .parse()
+                    .map_err(|_| format!("--outbox-cap: not a number: {v}"))?;
+            }
+            "--max-conns" => {
+                let v = value("--max-conns")?;
+                opts.max_conns = Some(
+                    v.parse()
+                        .map_err(|_| format!("--max-conns: not a number: {v}"))?,
+                );
+            }
+            "--token-seed" => {
+                let v = value("--token-seed")?;
+                opts.token_seed = v
+                    .parse()
+                    .map_err(|_| format!("--token-seed: not a u64: {v}"))?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument: {other}\nusage: mar-served [--smoke|--full] [--jobs N] \
+                     [--port P] [--port-file PATH] [--outbox-cap BYTES] [--max-conns N] \
+                     [--token-seed N]"
+                ))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let cfg = if opts.smoke {
+        ServeConfig::smoke(opts.jobs)
+    } else {
+        ServeConfig::full(opts.jobs)
+    };
+
+    eprintln!(
+        "mar-served: building scene ({} objects, {} levels) and index (jobs={})",
+        cfg.objects, cfg.levels, cfg.jobs
+    );
+    let scene = serve_scene(&cfg);
+    let data = SceneIndexData::build(&scene);
+    let index = WaveletIndex::build_jobs(&data, cfg.jobs);
+    let server = Arc::new(Server::from_core_seeded(
+        ServerCore::from_parts(Arc::new(data), Arc::new(index)),
+        opts.token_seed,
+    ));
+
+    let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("mar-served: cannot bind 127.0.0.1:{}: {e}", opts.port);
+            std::process::exit(1);
+        }
+    };
+    let handle = match spawn_daemon(
+        server,
+        listener,
+        DaemonConfig {
+            outbox_cap: opts.outbox_cap,
+            max_conns: opts.max_conns,
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("mar-served: cannot spawn acceptor: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(path) = &opts.port_file {
+        if let Err(e) = std::fs::write(path, format!("{}\n", handle.addr.port())) {
+            eprintln!("mar-served: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "mar-served: listening on {} (outbox cap {} B{})",
+        handle.addr,
+        opts.outbox_cap,
+        match opts.max_conns {
+            Some(m) => format!(", exits after {m} conns"),
+            None => String::new(),
+        }
+    );
+
+    let stats = handle.join();
+    eprintln!(
+        "mar-served: done — {} conns, {} frames in, {} frames out, {} overloads, {} errors",
+        stats.connections, stats.frames_in, stats.frames_out, stats.overloads, stats.errors
+    );
+}

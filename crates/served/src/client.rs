@@ -1,0 +1,419 @@
+//! `mar-load` — the wire client and workload replayer (DESIGN.md §12.3).
+//!
+//! [`WireClient`] is the protocol-level client: connect/resume handshake,
+//! query with automatic credit `ACK`, and raw frame access for protocol
+//! tests. [`run_wire_replay`] drives the exact `mar-bench serve` workload
+//! (same scene, same tours, same Algorithm 1 planning) against a live
+//! daemon and builds the same transcript, so wire-layer correctness is a
+//! byte-for-byte fingerprint comparison against the in-process harness.
+
+use crate::codec::{read_frame, write_frame, ErrCode, Frame, WireError, PROTOCOL_VERSION};
+use mar_bench::serve::{serve_scene, session_tour, transcript_row, ServeConfig, TRANSCRIPT_HEADER};
+use mar_core::{FramePlanner, LinearSpeedMap, QueryRegion, SmoothedSpeed, SpeedResolutionMap};
+use mar_link::LinkConfig;
+use mar_workload::{frame_at, Tour};
+use std::fmt;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpStream};
+
+/// A client-side protocol failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket / frame-layer failure.
+    Wire(WireError),
+    /// The server answered with a typed `ERROR` frame.
+    Server {
+        /// The decoded error code (`None` if the byte is not a known code).
+        code: Option<ErrCode>,
+        /// The raw code byte.
+        raw_code: u8,
+        /// Code-specific detail word.
+        detail: u64,
+    },
+    /// The server sent a frame the protocol does not allow here.
+    Unexpected {
+        /// What the client was waiting for.
+        wanted: &'static str,
+        /// The frame that arrived instead.
+        got: &'static str,
+    },
+    /// The server closed the connection while a reply was expected.
+    ServerClosed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Wire(e) => write!(f, "wire error: {e}"),
+            Self::Server {
+                code,
+                raw_code,
+                detail,
+            } => match code {
+                Some(c) => write!(f, "server error: {c} (detail {detail:#x})"),
+                None => write!(
+                    f,
+                    "server error: unknown code {raw_code} (detail {detail:#x})"
+                ),
+            },
+            Self::Unexpected { wanted, got } => {
+                write!(f, "protocol violation: wanted {wanted}, got {got}")
+            }
+            Self::ServerClosed => write!(f, "server closed the connection mid-exchange"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Wire(WireError::Io(e))
+    }
+}
+
+/// The accounting fields of a `RESULT` frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireResult {
+    /// Coefficients served.
+    pub coeffs: u64,
+    /// Objects whose base mesh was served for the first time.
+    pub new_objects: u64,
+    /// Payload bytes served (bit-exact `f64`).
+    pub bytes: f64,
+    /// Index node accesses.
+    pub io: u64,
+}
+
+/// What a `QUERY` round-trip produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryReply {
+    /// The query executed; the result was acked automatically.
+    Served(WireResult),
+    /// Admission refused: the outbox credit is exhausted. The query was
+    /// not executed and can be retried after acking.
+    Overloaded {
+        /// Unacked payload bytes the server holds against this session.
+        outstanding: f64,
+        /// The server's outbox capacity.
+        cap: f64,
+    },
+}
+
+/// A protocol-level connection to a `mar-served` daemon.
+#[derive(Debug)]
+pub struct WireClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    session: u64,
+    token: u64,
+    wire_bytes: u64,
+}
+
+impl WireClient {
+    fn open(addr: SocketAddr) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok((BufReader::new(stream), writer))
+    }
+
+    /// Connects and runs the `HELLO`/`WELCOME` handshake.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ClientError> {
+        let (reader, writer) = Self::open(addr)?;
+        let mut client = Self {
+            reader,
+            writer,
+            session: 0,
+            token: 0,
+            wire_bytes: 0,
+        };
+        client.send(&Frame::Hello {
+            version: PROTOCOL_VERSION,
+        })?;
+        match client.recv()? {
+            Frame::Welcome { session, token } => {
+                client.session = session;
+                client.token = token;
+                Ok(client)
+            }
+            other => Err(unexpected("WELCOME", &other)),
+        }
+    }
+
+    /// Opens a fresh connection and re-attaches to a live session via
+    /// `RESUME`. Returns the client plus the server's retained counts.
+    pub fn resume(addr: SocketAddr, token: u64) -> Result<(Self, u64, u64), ClientError> {
+        let (reader, writer) = Self::open(addr)?;
+        let mut client = Self {
+            reader,
+            writer,
+            session: 0,
+            token,
+            wire_bytes: 0,
+        };
+        client.send(&Frame::Resume { token })?;
+        match client.recv()? {
+            Frame::Resumed {
+                session,
+                retained_coeffs,
+                retained_objects,
+            } => {
+                client.session = session;
+                Ok((client, retained_coeffs, retained_objects))
+            }
+            other => Err(unexpected("RESUMED", &other)),
+        }
+    }
+
+    /// The server-side session id (the transcript ordinal).
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// The resume capability for this session.
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
+    /// Total bytes this client has put on / taken off the wire
+    /// (length prefixes included).
+    pub fn wire_bytes(&self) -> u64 {
+        self.wire_bytes
+    }
+
+    /// Sends one raw frame (protocol tests drive refusal paths with this).
+    pub fn send(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.wire_bytes += write_frame(&mut self.writer, frame)?;
+        Ok(())
+    }
+
+    /// Receives one raw frame; a close here is [`ClientError::ServerClosed`]
+    /// and a server `ERROR` frame surfaces as [`ClientError::Server`].
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        match read_frame(&mut self.reader)? {
+            Some(frame) => {
+                // Frame length on the wire: 4-byte prefix + payload. The
+                // cheap way to recover it is to re-encode — frames are
+                // tiny and the codec is deterministic.
+                if let Ok(buf) = crate::codec::encode(&frame) {
+                    self.wire_bytes += buf.len() as u64;
+                }
+                if let Frame::Error { code, detail } = frame {
+                    return Err(ClientError::Server {
+                        code: ErrCode::from_u8(code),
+                        raw_code: code,
+                        detail,
+                    });
+                }
+                Ok(frame)
+            }
+            None => Err(ClientError::ServerClosed),
+        }
+    }
+
+    /// One `QUERY` round-trip. A `RESULT` is acked immediately (full
+    /// credit return), so a client using only this method is never
+    /// refused; an `OVERLOAD` is surfaced as a typed reply, not an error.
+    pub fn query(&mut self, regions: &[QueryRegion]) -> Result<QueryReply, ClientError> {
+        self.send(&Frame::Query {
+            regions: regions.to_vec(),
+        })?;
+        match self.recv()? {
+            Frame::Result {
+                coeffs,
+                new_objects,
+                bytes,
+                io,
+            } => {
+                if bytes > 0.0 {
+                    self.send(&Frame::Ack { bytes })?;
+                }
+                Ok(QueryReply::Served(WireResult {
+                    coeffs,
+                    new_objects,
+                    bytes,
+                    io,
+                }))
+            }
+            Frame::Overload { outstanding, cap } => Ok(QueryReply::Overloaded { outstanding, cap }),
+            other => Err(unexpected("RESULT|OVERLOAD", &other)),
+        }
+    }
+
+    /// Releases the session (`BYE`), waits for the server's echo, and
+    /// returns the connection's lifetime wire-byte total.
+    pub fn bye(mut self) -> Result<u64, ClientError> {
+        self.send(&Frame::Bye)?;
+        match self.recv()? {
+            Frame::Bye => Ok(self.wire_bytes),
+            other => Err(unexpected("BYE", &other)),
+        }
+    }
+}
+
+fn unexpected(wanted: &'static str, got: &Frame) -> ClientError {
+    ClientError::Unexpected {
+        wanted,
+        got: got.name(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workload replay
+// ---------------------------------------------------------------------------
+
+/// What one wire replay produced — the wire-side mirror of
+/// `mar_bench::serve::ServeReport`.
+#[derive(Debug, Clone)]
+pub struct ReplayReport {
+    /// Sessions replayed.
+    pub sessions: usize,
+    /// Ticks per session.
+    pub ticks: usize,
+    /// `QUERY` round-trips executed.
+    pub queries: u64,
+    /// Payload bytes served across all sessions.
+    pub bytes: f64,
+    /// Coefficients served across all sessions.
+    pub coeffs: u64,
+    /// Index node accesses across all sessions.
+    pub io: u64,
+    /// The deterministic transcript — byte-identical to the in-process
+    /// harness's for the same [`ServeConfig`].
+    pub transcript: String,
+    /// Wall-clock round-trip latency of each `QUERY`, in nanoseconds.
+    pub frame_ns: Vec<u64>,
+    /// Total wall-clock time of the replay loop, in seconds.
+    pub elapsed_s: f64,
+    /// Bytes on the wire, both directions, length prefixes included.
+    pub wire_bytes: u64,
+}
+
+impl ReplayReport {
+    /// Queries per second of wall-clock replay time.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.queries as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (0..=1) of per-query round-trip latency, in
+    /// nanoseconds.
+    pub fn frame_latency_ns(&self, q: f64) -> u64 {
+        if self.frame_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.frame_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+struct ReplaySession {
+    client: WireClient,
+    planner: FramePlanner,
+    smooth: SmoothedSpeed,
+    tour: Tour,
+}
+
+/// Replays the `mar-bench serve` workload for `cfg` against the daemon at
+/// `addr`. Sessions connect serially in id order and every tick issues
+/// each session's query in session order, exactly like the in-process
+/// harness merges its transcript — so the two transcripts are
+/// byte-identical when the daemon serves the same scene.
+pub fn run_wire_replay(addr: SocketAddr, cfg: &ServeConfig) -> Result<ReplayReport, ClientError> {
+    let scene = serve_scene(cfg);
+    let space = scene.config.space;
+    let link = LinkConfig::paper();
+    let map = LinearSpeedMap;
+
+    let mut sessions: Vec<ReplaySession> = Vec::with_capacity(cfg.sessions);
+    for k in 0..cfg.sessions {
+        sessions.push(ReplaySession {
+            client: WireClient::connect(addr)?,
+            planner: FramePlanner::new(),
+            smooth: SmoothedSpeed::default(),
+            tour: session_tour(cfg, space, k),
+        });
+    }
+
+    let mut transcript = String::from(TRANSCRIPT_HEADER);
+    let mut frame_ns = Vec::with_capacity(cfg.sessions * cfg.ticks);
+    let mut bytes = 0.0;
+    let mut coeffs = 0u64;
+    let mut io = 0u64;
+    // mar-lint: allow(D003) — wall-clock throughput/latency measurement is the load generator's job; timings never enter the transcript
+    let t0 = std::time::Instant::now();
+    for tick in 0..cfg.ticks {
+        for (k, s) in sessions.iter_mut().enumerate() {
+            let sample = s.tour.samples[tick];
+            let frame = frame_at(&space, &sample.pos, cfg.frame_frac);
+            let speed = s.smooth.update(sample.speed);
+            let band = map.band_for(speed);
+            let regions = s.planner.plan(&frame, band);
+            // mar-lint: allow(D003) — per-query round-trip latency for the report only
+            let t = std::time::Instant::now();
+            let reply = s.client.query(&regions)?;
+            frame_ns.push(t.elapsed().as_nanos() as u64);
+            let r = match reply {
+                QueryReply::Served(r) => r,
+                // The replay acks every result, so admission can never
+                // refuse it (the overshoot-by-one rule); an OVERLOAD here
+                // is a daemon bug.
+                QueryReply::Overloaded { .. } => {
+                    return Err(ClientError::Unexpected {
+                        wanted: "RESULT",
+                        got: "OVERLOAD",
+                    })
+                }
+            };
+            s.planner.commit(frame, band);
+            let response_s = if r.bytes > 0.0 {
+                link.request_time(r.bytes, speed)
+            } else {
+                0.0
+            };
+            transcript.push_str(&transcript_row(
+                tick,
+                k,
+                r.coeffs,
+                r.new_objects,
+                r.bytes,
+                r.io,
+                response_s,
+            ));
+            bytes += r.bytes;
+            coeffs += r.coeffs;
+            io += r.io;
+        }
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+
+    let mut wire_bytes = 0u64;
+    for s in sessions {
+        wire_bytes += s.client.bye()?;
+    }
+
+    Ok(ReplayReport {
+        sessions: cfg.sessions,
+        ticks: cfg.ticks,
+        queries: (cfg.sessions * cfg.ticks) as u64,
+        bytes,
+        coeffs,
+        io,
+        transcript,
+        frame_ns,
+        elapsed_s,
+        wire_bytes,
+    })
+}

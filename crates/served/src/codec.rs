@@ -1,0 +1,605 @@
+//! The wire frame grammar (DESIGN.md §12.1).
+//!
+//! Every frame is `len: u32 LE` followed by `len` payload bytes; the
+//! payload is `opcode: u8` followed by the opcode's fixed-layout body.
+//! All integers are little-endian; `f64` travels as its IEEE-754 bit
+//! pattern (`f64::to_bits`), so served byte counts cross the wire
+//! bit-exactly and the loopback transcript can be byte-identical to the
+//! in-process harness.
+//!
+//! Decoding is total: any input — truncated, oversized, unknown opcode,
+//! wrong body length — maps to a typed [`DecodeError`] / [`WireError`],
+//! never a panic. Geometry is reconstructed by struct literal (the fields
+//! are public), deliberately bypassing the validating constructors:
+//! an adversarial NaN or inverted rectangle must travel as-is and fall
+//! out of the index as an empty result, not trip a debug assertion in
+//! the server.
+
+use mar_core::QueryRegion;
+use mar_geom::{Point2, Rect2};
+use mar_mesh::ResolutionBand;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Protocol version carried by `HELLO`. A daemon rejects other versions
+/// with `ERROR(BadVersion)`.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (opcode + body). A length prefix above
+/// this is rejected before any allocation — a 4-byte prefix must not let
+/// a peer command a 4 GiB buffer.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Bytes of one encoded query region: 4 × `f64` rectangle corners plus
+/// the 2 × `f64` resolution band.
+const REGION_BYTES: usize = 6 * 8;
+
+/// One protocol frame. The `→` direction is informative; the decoder
+/// accepts any opcode anywhere and the endpoint rejects out-of-role
+/// frames with a typed `ERROR`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// client → server: open a new session. Body: protocol version.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
+    /// server → client: session opened. Body: session id + resume token.
+    Welcome {
+        /// Sequential server-side session id (transcript ordinal).
+        session: u64,
+        /// The unguessable resume capability for this session.
+        token: u64,
+    },
+    /// client → server: execute Algorithm 1's sub-queries for one frame.
+    Query {
+        /// The planned sub-queries (region + band each).
+        regions: Vec<QueryRegion>,
+    },
+    /// client → server: fetch one block-granularity region.
+    Block {
+        /// The block rectangle.
+        region: Rect2,
+        /// The resolution band to fetch it at.
+        band: ResolutionBand,
+    },
+    /// server → client: the session-filtered outcome of a `QUERY`/`BLOCK`.
+    Result {
+        /// Coefficients served.
+        coeffs: u64,
+        /// Objects whose base mesh was served for the first time.
+        new_objects: u64,
+        /// Payload bytes served (exact `f64`, also the credit debit).
+        bytes: f64,
+        /// Index node accesses.
+        io: u64,
+    },
+    /// client → server: re-attach to a live session after a transport
+    /// drop. Body: the resume token from `WELCOME`.
+    Resume {
+        /// The resume capability.
+        token: u64,
+    },
+    /// server → client: resumption accepted; the server-side filter was
+    /// retained.
+    Resumed {
+        /// The re-attached session id.
+        session: u64,
+        /// Coefficients the filter already holds.
+        retained_coeffs: u64,
+        /// Objects whose base mesh was already sent.
+        retained_objects: u64,
+    },
+    /// client → server: the client consumed `bytes` of served payload;
+    /// return that much outbox credit.
+    Ack {
+        /// Payload bytes consumed (exact `f64` from `RESULT`).
+        bytes: f64,
+    },
+    /// server → client: admission refused — the session's unacked payload
+    /// reached the outbox cap. The query was **not** executed; the filter
+    /// is untouched, so the same query can be retried after `ACK`.
+    Overload {
+        /// Unacked payload bytes outstanding.
+        outstanding: f64,
+        /// The configured outbox capacity.
+        cap: f64,
+    },
+    /// server → client: a typed protocol error.
+    Error {
+        /// The [`ErrCode`].
+        code: u8,
+        /// Code-specific detail (offending token, version, opcode, …).
+        detail: u64,
+    },
+    /// Session goodbye. client → server releases the session and its
+    /// filter state; the server echoes `BYE` and closes.
+    Bye,
+}
+
+impl Frame {
+    /// The frame's opcode byte.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Welcome { .. } => 2,
+            Frame::Query { .. } => 3,
+            Frame::Block { .. } => 4,
+            Frame::Result { .. } => 5,
+            Frame::Resume { .. } => 6,
+            Frame::Resumed { .. } => 7,
+            Frame::Ack { .. } => 8,
+            Frame::Overload { .. } => 9,
+            Frame::Error { .. } => 10,
+            Frame::Bye => 11,
+        }
+    }
+
+    /// The frame's name, for error messages.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Frame::Hello { .. } => "HELLO",
+            Frame::Welcome { .. } => "WELCOME",
+            Frame::Query { .. } => "QUERY",
+            Frame::Block { .. } => "BLOCK",
+            Frame::Result { .. } => "RESULT",
+            Frame::Resume { .. } => "RESUME",
+            Frame::Resumed { .. } => "RESUMED",
+            Frame::Ack { .. } => "ACK",
+            Frame::Overload { .. } => "OVERLOAD",
+            Frame::Error { .. } => "ERROR",
+            Frame::Bye => "BYE",
+        }
+    }
+}
+
+/// Typed protocol error codes carried by `ERROR` frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrCode {
+    /// A query/block referenced a session the server does not hold.
+    UnknownSession = 1,
+    /// `RESUME` carried a token no live session derives to.
+    UnknownToken = 2,
+    /// The peer sent a frame that is malformed or out of role here.
+    Malformed = 3,
+    /// `HELLO` carried an unsupported protocol version.
+    BadVersion = 4,
+    /// The opcode byte is not part of the grammar.
+    UnknownOpcode = 5,
+    /// `QUERY`/`BLOCK`/`ACK` before `HELLO`/`RESUME` bound a session.
+    NotConnected = 6,
+    /// `HELLO`/`RESUME` on a connection that already has a session.
+    AlreadyConnected = 7,
+}
+
+impl ErrCode {
+    /// Decodes an `ERROR` frame's code byte.
+    pub fn from_u8(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(Self::UnknownSession),
+            2 => Some(Self::UnknownToken),
+            3 => Some(Self::Malformed),
+            4 => Some(Self::BadVersion),
+            5 => Some(Self::UnknownOpcode),
+            6 => Some(Self::NotConnected),
+            7 => Some(Self::AlreadyConnected),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Self::UnknownSession => "unknown session",
+            Self::UnknownToken => "unknown resume token",
+            Self::Malformed => "malformed or out-of-role frame",
+            Self::BadVersion => "unsupported protocol version",
+            Self::UnknownOpcode => "unknown opcode",
+            Self::NotConnected => "no session bound to this connection",
+            Self::AlreadyConnected => "connection already has a session",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a fully-read payload failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The length prefix was zero: a payload needs at least an opcode.
+    EmptyPayload,
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// The claimed payload length.
+        len: u32,
+        /// The enforced maximum.
+        max: u32,
+    },
+    /// The opcode byte is not part of the grammar.
+    UnknownOpcode(u8),
+    /// The body is shorter or longer than the opcode's layout requires.
+    BadLength {
+        /// The frame's opcode.
+        opcode: u8,
+        /// Bytes the opcode's body layout requires.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::EmptyPayload => write!(f, "zero-length frame payload"),
+            Self::Oversized { len, max } => {
+                write!(f, "length prefix {len} exceeds the {max}-byte cap")
+            }
+            Self::UnknownOpcode(op) => write!(f, "unknown opcode {op}"),
+            Self::BadLength {
+                opcode,
+                expected,
+                got,
+            } => write!(
+                f,
+                "opcode {opcode}: body is {got} bytes, layout requires {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A frame-layer transport or decode failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying socket failed.
+    Io(std::io::Error),
+    /// The peer closed the connection mid-frame (a clean close at a
+    /// frame boundary is `Ok(None)` from [`read_frame`], not an error).
+    Disconnected {
+        /// What was being read when the stream ended.
+        context: &'static str,
+    },
+    /// The frame arrived whole but does not parse.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Disconnected { context } => {
+                write!(f, "peer disconnected mid-frame (reading {context})")
+            }
+            Self::Decode(e) => write!(f, "frame decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<DecodeError> for WireError {
+    fn from(e: DecodeError) -> Self {
+        Self::Decode(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_region(buf: &mut Vec<u8>, region: &Rect2, band: &ResolutionBand) {
+    put_f64(buf, region.lo[0]);
+    put_f64(buf, region.lo[1]);
+    put_f64(buf, region.hi[0]);
+    put_f64(buf, region.hi[1]);
+    put_f64(buf, band.w_min);
+    put_f64(buf, band.w_max);
+}
+
+/// Encodes a frame, length prefix included. Fails only when the payload
+/// would exceed [`MAX_PAYLOAD`] (a `QUERY` with tens of thousands of
+/// regions — Algorithm 1 plans at most a handful).
+pub fn encode(frame: &Frame) -> Result<Vec<u8>, DecodeError> {
+    let mut buf = vec![0u8; 4]; // length prefix back-patched below
+    buf.push(frame.opcode());
+    match frame {
+        Frame::Hello { version } => put_u32(&mut buf, *version),
+        Frame::Welcome { session, token } => {
+            put_u64(&mut buf, *session);
+            put_u64(&mut buf, *token);
+        }
+        Frame::Query { regions } => {
+            put_u32(&mut buf, regions.len() as u32);
+            for q in regions {
+                put_region(&mut buf, &q.region, &q.band);
+            }
+        }
+        Frame::Block { region, band } => put_region(&mut buf, region, band),
+        Frame::Result {
+            coeffs,
+            new_objects,
+            bytes,
+            io,
+        } => {
+            put_u64(&mut buf, *coeffs);
+            put_u64(&mut buf, *new_objects);
+            put_f64(&mut buf, *bytes);
+            put_u64(&mut buf, *io);
+        }
+        Frame::Resume { token } => put_u64(&mut buf, *token),
+        Frame::Resumed {
+            session,
+            retained_coeffs,
+            retained_objects,
+        } => {
+            put_u64(&mut buf, *session);
+            put_u64(&mut buf, *retained_coeffs);
+            put_u64(&mut buf, *retained_objects);
+        }
+        Frame::Ack { bytes } => put_f64(&mut buf, *bytes),
+        Frame::Overload { outstanding, cap } => {
+            put_f64(&mut buf, *outstanding);
+            put_f64(&mut buf, *cap);
+        }
+        Frame::Error { code, detail } => {
+            buf.push(*code);
+            put_u64(&mut buf, *detail);
+        }
+        Frame::Bye => {}
+    }
+    let payload = buf.len() - 4;
+    if payload > MAX_PAYLOAD as usize {
+        return Err(DecodeError::Oversized {
+            len: payload as u32,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let len = (payload as u32).to_le_bytes();
+    buf[..4].copy_from_slice(&len);
+    Ok(buf)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// A bounds-checked little-endian reader over a frame body. Every read
+/// either succeeds or reports how many bytes the layout wanted — no
+/// slice indexing that could panic on adversarial input.
+struct Body<'a> {
+    rest: &'a [u8],
+    opcode: u8,
+    len: usize,
+}
+
+impl<'a> Body<'a> {
+    fn new(opcode: u8, rest: &'a [u8]) -> Self {
+        Self {
+            rest,
+            opcode,
+            len: rest.len(),
+        }
+    }
+
+    fn short(&self, needed: usize) -> DecodeError {
+        DecodeError::BadLength {
+            opcode: self.opcode,
+            expected: self.len - self.rest.len() + needed,
+            got: self.len,
+        }
+    }
+
+    fn take<const N: usize>(&mut self) -> Result<[u8; N], DecodeError> {
+        if self.rest.len() < N {
+            return Err(self.short(N));
+        }
+        let (head, tail) = self.rest.split_at(N);
+        self.rest = tail;
+        let mut out = [0u8; N];
+        out.copy_from_slice(head);
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take::<1>()?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take::<4>()?))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take::<8>()?))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn region(&mut self) -> Result<(Rect2, ResolutionBand), DecodeError> {
+        let (lx, ly) = (self.f64()?, self.f64()?);
+        let (hx, hy) = (self.f64()?, self.f64()?);
+        let (w_min, w_max) = (self.f64()?, self.f64()?);
+        // Struct literals on purpose: `Rect2::from_corners` debug-asserts
+        // ordering and `ResolutionBand::new` clamps/swaps — a hostile
+        // frame must reach the index verbatim and fall out empty.
+        let region = Rect2 {
+            lo: Point2::new([lx, ly]),
+            hi: Point2::new([hx, hy]),
+        };
+        Ok((region, ResolutionBand { w_min, w_max }))
+    }
+
+    /// The body must be fully consumed; trailing bytes are a layout
+    /// mismatch (frames never carry padding).
+    fn finish(self, frame: Frame) -> Result<Frame, DecodeError> {
+        if self.rest.is_empty() {
+            Ok(frame)
+        } else {
+            Err(DecodeError::BadLength {
+                opcode: self.opcode,
+                expected: self.len - self.rest.len(),
+                got: self.len,
+            })
+        }
+    }
+}
+
+/// Decodes one payload (opcode byte + body, the length prefix already
+/// stripped and validated by [`read_frame`]).
+pub fn decode(payload: &[u8]) -> Result<Frame, DecodeError> {
+    let (&opcode, rest) = payload.split_first().ok_or(DecodeError::EmptyPayload)?;
+    if payload.len() > MAX_PAYLOAD as usize {
+        return Err(DecodeError::Oversized {
+            len: payload.len() as u32,
+            max: MAX_PAYLOAD,
+        });
+    }
+    let mut b = Body::new(opcode, rest);
+    let frame = match opcode {
+        1 => Frame::Hello { version: b.u32()? },
+        2 => Frame::Welcome {
+            session: b.u64()?,
+            token: b.u64()?,
+        },
+        3 => {
+            let count = b.u32()? as usize;
+            // The remaining body length must match the count exactly, so
+            // a hostile count cannot command a huge allocation: the
+            // payload is already capped at MAX_PAYLOAD.
+            if b.rest.len() != count * REGION_BYTES {
+                return Err(DecodeError::BadLength {
+                    opcode,
+                    expected: 4 + count * REGION_BYTES,
+                    got: rest.len(),
+                });
+            }
+            let mut regions = Vec::with_capacity(count);
+            for _ in 0..count {
+                let (region, band) = b.region()?;
+                regions.push(QueryRegion { region, band });
+            }
+            Frame::Query { regions }
+        }
+        4 => {
+            let (region, band) = b.region()?;
+            Frame::Block { region, band }
+        }
+        5 => Frame::Result {
+            coeffs: b.u64()?,
+            new_objects: b.u64()?,
+            bytes: b.f64()?,
+            io: b.u64()?,
+        },
+        6 => Frame::Resume { token: b.u64()? },
+        7 => Frame::Resumed {
+            session: b.u64()?,
+            retained_coeffs: b.u64()?,
+            retained_objects: b.u64()?,
+        },
+        8 => Frame::Ack { bytes: b.f64()? },
+        9 => Frame::Overload {
+            outstanding: b.f64()?,
+            cap: b.f64()?,
+        },
+        10 => Frame::Error {
+            code: b.u8()?,
+            detail: b.u64()?,
+        },
+        11 => Frame::Bye,
+        other => return Err(DecodeError::UnknownOpcode(other)),
+    };
+    b.finish(frame)
+}
+
+// ---------------------------------------------------------------------------
+// Stream I/O
+// ---------------------------------------------------------------------------
+
+enum Fill {
+    Full,
+    Eof,
+    Partial,
+}
+
+/// Fills `buf` from `r`; distinguishes "EOF before any byte" from "EOF
+/// mid-buffer" — the former is a clean close at a frame boundary.
+fn fill<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<Fill> {
+    let mut got = 0;
+    while got < buf.len() {
+        match r.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Ok(if got == 0 { Fill::Eof } else { Fill::Partial });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Fill::Full)
+}
+
+/// Reads one frame. `Ok(None)` is a clean close at a frame boundary;
+/// every malformed or truncated input is a typed [`WireError`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Frame>, WireError> {
+    let mut prefix = [0u8; 4];
+    match fill(r, &mut prefix)? {
+        Fill::Eof => return Ok(None),
+        Fill::Partial => {
+            return Err(WireError::Disconnected {
+                context: "length prefix",
+            })
+        }
+        Fill::Full => {}
+    }
+    let len = u32::from_le_bytes(prefix);
+    if len == 0 {
+        return Err(DecodeError::EmptyPayload.into());
+    }
+    if len > MAX_PAYLOAD {
+        return Err(DecodeError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        }
+        .into());
+    }
+    let mut payload = vec![0u8; len as usize];
+    match fill(r, &mut payload)? {
+        Fill::Full => {}
+        Fill::Eof | Fill::Partial => {
+            return Err(WireError::Disconnected {
+                context: "frame payload",
+            })
+        }
+    }
+    Ok(Some(decode(&payload)?))
+}
+
+/// Encodes and writes one frame; returns the bytes put on the wire.
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> Result<u64, WireError> {
+    let buf = encode(frame)?;
+    w.write_all(&buf)?;
+    w.flush()?;
+    Ok(buf.len() as u64)
+}

@@ -1,0 +1,307 @@
+//! End-to-end loopback contract (DESIGN.md §12.4): a real `mar-served`
+//! daemon on 127.0.0.1 must be **unobservable** relative to the
+//! in-process harness — same transcript bytes, same fingerprint — and
+//! must enforce the protocol's security and backpressure semantics.
+
+use mar_bench::serve::{fnv1a64, run_serve, serve_scene, ServeConfig};
+use mar_core::{QueryRegion, SceneIndexData, Server, ServerCore, WaveletIndex};
+use mar_mesh::ResolutionBand;
+use mar_served::{
+    run_wire_replay, spawn_daemon, ClientError, DaemonConfig, DaemonHandle, ErrCode, Frame,
+    QueryReply, WireClient,
+};
+use std::net::TcpListener;
+use std::sync::Arc;
+
+fn tiny_cfg() -> ServeConfig {
+    ServeConfig {
+        sessions: 3,
+        ticks: 12,
+        objects: 8,
+        levels: 2,
+        frame_frac: 0.15,
+        jobs: 1,
+        tour_seed: 901,
+    }
+}
+
+/// Boots a daemon serving the scene for `cfg` on an ephemeral loopback
+/// port; the daemon exits after `max_conns` connections.
+fn boot(cfg: &ServeConfig, daemon_cfg: DaemonConfig) -> (DaemonHandle, Arc<Server>) {
+    let scene = serve_scene(cfg);
+    let data = SceneIndexData::build(&scene);
+    let index = WaveletIndex::build_jobs(&data, 1);
+    let server = Arc::new(Server::from_core(ServerCore::from_parts(
+        Arc::new(data),
+        Arc::new(index),
+    )));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind ephemeral loopback port");
+    let handle = spawn_daemon(Arc::clone(&server), listener, daemon_cfg).expect("spawn daemon");
+    (handle, server)
+}
+
+fn whole_space_full(cfg: &ServeConfig) -> Vec<QueryRegion> {
+    vec![QueryRegion {
+        region: serve_scene(cfg).config.space,
+        band: ResolutionBand::FULL,
+    }]
+}
+
+#[test]
+fn wire_transcript_is_byte_identical_to_in_process() {
+    let cfg = tiny_cfg();
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            max_conns: Some(cfg.sessions),
+            ..DaemonConfig::default()
+        },
+    );
+    let wire = run_wire_replay(handle.addr, &cfg).expect("wire replay");
+    let stats = handle.join();
+
+    let reference = run_serve(&cfg);
+    assert_eq!(
+        wire.transcript, reference.transcript,
+        "the wire layer must be unobservable in the transcript"
+    );
+    assert_eq!(fnv1a64(&wire.transcript), fnv1a64(&reference.transcript));
+    assert_eq!(wire.bytes, reference.bytes, "payload accounting bit-exact");
+    assert_eq!(wire.coeffs, reference.coeffs);
+    assert_eq!(wire.io, reference.io);
+    assert!(wire.bytes > 0.0, "the comparison is not vacuous");
+    assert!(
+        wire.wire_bytes > 0,
+        "frames actually crossed the loopback socket"
+    );
+    assert_eq!(stats.connections as usize, cfg.sessions);
+    assert_eq!(stats.overloads, 0, "an acking replay is never refused");
+    assert_eq!(stats.errors, 0);
+    // BYE released every session.
+    assert_eq!(server.session_count(), 0);
+    assert_eq!(server.resident_filter_entries(), 0);
+}
+
+#[test]
+fn resume_over_the_wire_requires_the_token_not_the_session_id() {
+    let cfg = tiny_cfg();
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            max_conns: Some(4),
+            ..DaemonConfig::default()
+        },
+    );
+    let addr = handle.addr;
+
+    // Session 0 retrieves something, then its transport drops (no BYE).
+    let mut client = WireClient::connect(addr).expect("connect");
+    let session = client.session();
+    let token = client.token();
+    assert_ne!(token, session, "the token must not echo the session id");
+    let reply = client.query(&whole_space_full(&cfg)).expect("query");
+    let QueryReply::Served(first) = reply else {
+        panic!("fresh session refused: {reply:?}");
+    };
+    assert!(first.bytes > 0.0);
+    drop(client); // transport drop, not BYE: the session stays live
+    assert_eq!(server.session_count(), 1);
+
+    // ISSUE 6 regression: the raw sequential session id must NOT work as
+    // a resume token on the wire.
+    match WireClient::resume(addr, session) {
+        Err(ClientError::Server {
+            code: Some(ErrCode::UnknownToken),
+            detail,
+            ..
+        }) => assert_eq!(detail, session, "the error echoes the bad token only"),
+        other => panic!("session-id resume must be refused, got {other:?}"),
+    }
+
+    // The real token re-attaches to the *same* filter state: a repeat of
+    // the identical query now transfers nothing.
+    let (mut resumed, retained_coeffs, _) = WireClient::resume(addr, token).expect("token resume");
+    assert_eq!(resumed.session(), session);
+    assert_eq!(retained_coeffs, first.coeffs, "filter state was retained");
+    match resumed.query(&whole_space_full(&cfg)).expect("requery") {
+        QueryReply::Served(again) => {
+            assert_eq!(again.bytes, 0.0, "resume kept the dedup filter");
+            assert_eq!(again.coeffs, 0);
+        }
+        other => panic!("requery refused: {other:?}"),
+    }
+    resumed.bye().expect("bye");
+    assert_eq!(server.session_count(), 0, "BYE released the session");
+
+    // A token for a never-minted session is refused too.
+    match WireClient::resume(addr, 0x1234_5678_9abc_def0) {
+        Err(ClientError::Server {
+            code: Some(ErrCode::UnknownToken),
+            ..
+        }) => {}
+        other => panic!("forged token must be refused, got {other:?}"),
+    }
+    handle.join();
+}
+
+#[test]
+fn saturated_outbox_returns_typed_overload_and_recovers_on_ack() {
+    let cfg = tiny_cfg();
+    // Cap far below one whole-space full-resolution payload.
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            outbox_cap: 1024.0,
+            max_conns: Some(1),
+        },
+    );
+    let mut client = WireClient::connect(handle.addr).expect("connect");
+    let whole = whole_space_full(&cfg);
+
+    // First query: ledger is 0 < cap, admitted (overshoot-by-one), but
+    // we withhold the ACK.
+    client
+        .send(&Frame::Query {
+            regions: whole.clone(),
+        })
+        .expect("send");
+    let first = match client.recv().expect("recv") {
+        Frame::Result { bytes, .. } => bytes,
+        other => panic!("wanted RESULT, got {}", other.name()),
+    };
+    assert!(first > 1024.0, "scene payload must exceed the cap");
+
+    // Second query: refused with a typed OVERLOAD, not queued, not
+    // executed, not a disconnect.
+    match client.query(&whole).expect("overloaded query") {
+        QueryReply::Overloaded { outstanding, cap } => {
+            assert_eq!(outstanding, first, "ledger holds the unacked payload");
+            assert_eq!(cap, 1024.0);
+        }
+        QueryReply::Served(r) => panic!("daemon served past the cap: {r:?}"),
+    }
+    // Refusal did not touch the filter: after acking, the same query
+    // executes and (because the filter already has everything from the
+    // first transfer) returns zero new bytes.
+    client.send(&Frame::Ack { bytes: first }).expect("ack");
+    match client.query(&whole).expect("recovered query") {
+        QueryReply::Served(r) => assert_eq!(r.bytes, 0.0, "filter survived the refusal"),
+        other => panic!("still refused after full ack: {other:?}"),
+    }
+    client.bye().expect("bye");
+
+    let stats = handle.join();
+    assert_eq!(stats.overloads, 1);
+    assert_eq!(server.session_count(), 0);
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_and_the_daemon_survives() {
+    let cfg = tiny_cfg();
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            max_conns: Some(5),
+            ..DaemonConfig::default()
+        },
+    );
+    let addr = handle.addr;
+
+    // 1. Unknown opcode: typed ERROR, connection stays usable.
+    {
+        let mut client = WireClient::connect(addr).expect("connect");
+        use std::io::Write;
+        let raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        let mut writer = raw.try_clone().expect("clone");
+        let mut reader = std::io::BufReader::new(raw);
+        writer
+            .write_all(&[1u8, 0, 0, 0, 99])
+            .expect("unknown opcode");
+        match mar_served::read_frame(&mut reader).expect("ERROR frame back") {
+            Some(Frame::Error { code, detail }) => {
+                assert_eq!(code, ErrCode::UnknownOpcode as u8);
+                assert_eq!(detail, 99);
+            }
+            other => panic!("wanted ERROR(UnknownOpcode), got {other:?}"),
+        }
+        // The first client's session is untouched by the raw prodding.
+        match client.query(&whole_space_full(&cfg)).expect("query") {
+            QueryReply::Served(r) => assert!(r.bytes > 0.0),
+            other => panic!("refused: {other:?}"),
+        }
+        client.bye().expect("bye");
+    }
+
+    // 2. Oversized length prefix: typed ERROR (Malformed), then close.
+    {
+        use std::io::Write;
+        let raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        let mut writer = raw.try_clone().expect("clone");
+        let mut reader = std::io::BufReader::new(raw);
+        writer
+            .write_all(&u32::MAX.to_le_bytes())
+            .expect("evil prefix");
+        match mar_served::read_frame(&mut reader).expect("ERROR frame back") {
+            Some(Frame::Error { code, detail }) => {
+                assert_eq!(code, ErrCode::Malformed as u8);
+                assert_eq!(detail, u64::from(u32::MAX), "detail carries the bad length");
+            }
+            other => panic!("wanted ERROR(Malformed), got {other:?}"),
+        }
+        assert!(
+            mar_served::read_frame(&mut reader)
+                .expect("clean close")
+                .is_none(),
+            "the daemon closes a desynchronised stream"
+        );
+    }
+
+    // 3. Mid-frame disconnect: no reply owed; the daemon just moves on
+    // and keeps serving new connections.
+    {
+        use std::io::Write;
+        let mut raw = std::net::TcpStream::connect(addr).expect("raw connect");
+        raw.write_all(&[40, 0, 0]).expect("partial prefix");
+        drop(raw);
+    }
+    let mut client = WireClient::connect(addr).expect("daemon still serving");
+    match client.query(&whole_space_full(&cfg)).expect("query") {
+        QueryReply::Served(r) => assert!(r.bytes > 0.0),
+        other => panic!("refused: {other:?}"),
+    }
+    client.bye().expect("bye");
+
+    handle.join();
+    assert_eq!(server.session_count(), 0, "no session leaked");
+}
+
+#[test]
+fn query_before_hello_is_refused_not_minted() {
+    let cfg = tiny_cfg();
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            max_conns: Some(1),
+            ..DaemonConfig::default()
+        },
+    );
+    use std::io::Write;
+    let mut raw = std::net::TcpStream::connect(handle.addr).expect("raw connect");
+    // A QUERY with zero regions, sent before any HELLO/RESUME.
+    raw.write_all(&[5u8, 0, 0, 0, 3, 0, 0, 0, 0]).expect("send");
+    let mut reader = std::io::BufReader::new(raw.try_clone().expect("clone"));
+    match mar_served::read_frame(&mut reader).expect("reply") {
+        Some(Frame::Error { code, .. }) => {
+            assert_eq!(code, ErrCode::NotConnected as u8);
+        }
+        other => panic!("wanted ERROR(NotConnected), got {other:?}"),
+    }
+    drop(raw);
+    drop(reader);
+    handle.join();
+    assert_eq!(
+        server.session_count(),
+        0,
+        "error paths must not mint sessions"
+    );
+}
