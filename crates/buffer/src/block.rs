@@ -68,6 +68,11 @@ pub struct BlockCache {
     // order, and hash order differs per map instance, which made two
     // identical runs disagree. Key order is stable.
     slots: BTreeMap<BlockId, Slot>,
+    /// Recency index: `touched` stamp → block. Stamps are unique (the
+    /// clock advances on every touch), so this is a total order and
+    /// `pop_first` is the LRU victim in O(log n) — a capacity shrink no
+    /// longer scans all n slots per evicted block.
+    lru: BTreeMap<u64, BlockId>,
     stats: CacheStats,
     /// Monotone operation counter stamping slot recency.
     clock: u64,
@@ -79,6 +84,7 @@ impl BlockCache {
         Self {
             capacity,
             slots: BTreeMap::new(),
+            lru: BTreeMap::new(),
             stats: CacheStats::default(),
             clock: 0,
         }
@@ -99,20 +105,17 @@ impl BlockCache {
     /// budget at speed); on shrink, excess blocks are evicted in recency
     /// order — least-recently-used first.
     ///
-    /// Regression (ISSUE 6): this used to evict via `pop_first`, i.e. the
-    /// *smallest block id*, so a capacity shrink at speed dropped hot
-    /// blocks the client had just touched and skewed the Eq. 2 buffer-hit
+    /// Regression (ISSUE 6): this used to evict via `pop_first` on the
+    /// *block-id* map, so a capacity shrink at speed dropped hot blocks
+    /// the client had just touched and skewed the Eq. 2 buffer-hit
     /// metrics (pinned by `set_capacity_evicts_lru_not_smallest_key`).
+    /// Victims now come off the recency index: O(log n) per eviction
+    /// rather than a full-map scan.
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
         while self.slots.len() > self.capacity {
-            let victim = self
-                .slots
-                .iter()
-                .min_by_key(|(_, s)| s.touched)
-                .map(|(b, _)| *b);
-            match victim {
-                Some(b) => {
+            match self.lru.pop_first() {
+                Some((_, b)) => {
                     self.slots.remove(&b);
                 }
                 None => break,
@@ -154,6 +157,8 @@ impl BlockCache {
             match self.slots.get_mut(b) {
                 Some(slot) if slot.w_min <= w_min => {
                     self.stats.hits += 1;
+                    self.lru.remove(&slot.touched);
+                    self.lru.insert(stamp, *b);
                     slot.touched = stamp;
                     if slot.pending_use {
                         slot.pending_use = false;
@@ -179,9 +184,12 @@ impl BlockCache {
                     touched,
                 },
             );
-            if prev.is_none() {
+            if let Some(old) = prev {
+                self.lru.remove(&old.touched);
+            } else {
                 self.stats.demand_fetched += 1;
             }
+            self.lru.insert(touched, *b);
             self.enforce_capacity(b);
         }
     }
@@ -197,7 +205,7 @@ impl BlockCache {
             }
         }
         let touched = self.tick();
-        self.slots.insert(
+        let prev = self.slots.insert(
             block,
             Slot {
                 w_min,
@@ -205,6 +213,10 @@ impl BlockCache {
                 touched,
             },
         );
+        if let Some(old) = prev {
+            self.lru.remove(&old.touched);
+        }
+        self.lru.insert(touched, block);
         self.stats.prefetched += 1;
         self.enforce_capacity(&block);
         true
@@ -222,6 +234,7 @@ impl BlockCache {
     /// buffered region wholesale each replanning tick).
     pub fn retain(&mut self, keep: impl Fn(&BlockId) -> bool) {
         self.slots.retain(|b, _| keep(b));
+        self.lru.retain(|_, b| keep(b));
     }
 
     fn enforce_capacity(&mut self, just_inserted: &BlockId) {
@@ -233,13 +246,25 @@ impl BlockCache {
                 .iter()
                 .filter(|(b, _)| *b != just_inserted)
                 .min_by_key(|(_, s)| if s.pending_use { 0 } else { 1 })
-                .map(|(b, _)| *b);
+                .map(|(b, s)| (*b, s.touched));
             match victim {
-                Some(b) => {
+                Some((b, stamp)) => {
                     self.slots.remove(&b);
+                    self.lru.remove(&stamp);
                 }
                 None => break,
             }
+        }
+    }
+
+    /// Test hook: the recency index must mirror the slot map exactly —
+    /// one entry per slot, keyed by that slot's current stamp.
+    #[cfg(test)]
+    fn assert_lru_mirrors_slots(&self) {
+        assert_eq!(self.lru.len(), self.slots.len(), "index size drifted");
+        for (stamp, block) in &self.lru {
+            let slot = self.slots.get(block).expect("index points at a live slot");
+            assert_eq!(slot.touched, *stamp, "index holds a stale stamp");
         }
     }
 }
@@ -365,6 +390,50 @@ mod tests {
         assert!(c.contains(&b(5, 5), 0.0), "hit refreshed recency");
         assert!(c.contains(&b(7, 7), 0.0));
         assert!(!c.contains(&b(6, 6), 0.0), "coldest prefetch evicted");
+    }
+
+    #[test]
+    fn recency_index_stays_consistent_through_churn() {
+        // REVIEW regression: shrink eviction now pops the recency index
+        // instead of scanning all slots (O(n·k) on a large shrink). The
+        // index must mirror the slot map through every mutation kind —
+        // hits, demand installs, prefetch installs, re-installs at a new
+        // resolution, retain sweeps, and capacity churn.
+        let mut c = BlockCache::new(16);
+        for i in 0..16 {
+            c.install_demand(&[b(i, 0)], 0.5);
+        }
+        c.assert_lru_mirrors_slots();
+        // Re-install half at finer resolution (replaces live slots).
+        for i in 0..8 {
+            c.install_demand(&[b(i, 0)], 0.0);
+        }
+        c.assert_lru_mirrors_slots();
+        // Prefetch over a live coarse slot and into fresh blocks, with
+        // enforce_capacity evictions along the way.
+        assert!(c.install_prefetch(b(8, 0), 0.0));
+        for i in 0..4 {
+            c.install_prefetch(b(i, 1), 0.0);
+        }
+        c.assert_lru_mirrors_slots();
+        // Hits refresh stamps (remove+reinsert in the index).
+        assert!(c.access(&[b(0, 0), b(1, 0)], 0.0).is_empty());
+        c.assert_lru_mirrors_slots();
+        // Wholesale retain sweep.
+        c.retain(|blk| blk.iy == 0);
+        c.assert_lru_mirrors_slots();
+        // Shrink far below occupancy: victims come off the index, and the
+        // two just-touched blocks survive.
+        c.set_capacity(2);
+        c.assert_lru_mirrors_slots();
+        assert_eq!(c.len(), 2);
+        assert!(c.contains(&b(0, 0), 0.0));
+        assert!(c.contains(&b(1, 0), 0.0));
+        // Growing back and refilling keeps the mirror exact.
+        c.set_capacity(4);
+        c.install_demand(&[b(9, 0), b(10, 0), b(11, 0)], 0.0);
+        c.assert_lru_mirrors_slots();
+        assert_eq!(c.len(), 4);
     }
 
     #[test]

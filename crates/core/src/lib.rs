@@ -49,7 +49,6 @@ pub use resilient::{
 };
 pub use retrieval::{FramePlanner, IncrementalClient};
 pub use server::{
-    QueryRegion, QueryResult, ResumeInfo, Server, ServerCore, SessionError, DEFAULT_TOKEN_SEED,
-    SESSION_STRIPES,
+    QueryRegion, QueryResult, ResumeInfo, Server, ServerCore, SessionError, SESSION_STRIPES,
 };
 pub use speedmap::{LinearSpeedMap, SmoothedSpeed, SpeedResolutionMap, SteppedSpeedMap};

@@ -177,10 +177,10 @@ impl<M: SpeedResolutionMap> ResilientClient<M> {
     /// Connects a new resilient client: a server session plus its own
     /// faulty transport channel.
     pub fn connect(server: &Server, map: M, link: FaultyLink, policy: ResilientPolicy) -> Self {
-        let session = server.connect();
+        let (session, token) = server.connect_with_token();
         Self {
             session,
-            token: server.session_token(session),
+            token,
             map,
             planner: FramePlanner::new(),
             link,
@@ -338,8 +338,9 @@ impl<M: SpeedResolutionMap> ResilientClient<M> {
                             // The server forgot us: start over with an
                             // empty filter, a fresh token and a full
                             // refetch.
-                            self.session = server.connect();
-                            self.token = server.session_token(self.session);
+                            let (session, token) = server.connect_with_token();
+                            self.session = session;
+                            self.token = token;
                             self.planner.reset();
                             self.metrics.reconnects += 1;
                             regions = self.planner.plan(&frame, band);

@@ -70,17 +70,17 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
-/// Default seed of the resume-token derivation. Deterministic by design
-/// (DESIGN.md §5 — results are a pure function of explicit inputs), so a
-/// deployment that needs tokens to be *secret* rather than merely
-/// unguessable-from-a-session-id must supply its own seed via
-/// [`Server::from_core_seeded`] (the `mar-served` daemon exposes this as
-/// `--token-seed`).
-pub const DEFAULT_TOKEN_SEED: u64 = 0x6d61_725f_7365_7276; // "mar_serv"
+/// Tokens are minted strictly above this floor, so a token can never
+/// collide with a raw sequential session id (which would need 2^32
+/// connects to reach the floor) — `resume` with a session id is
+/// structurally guaranteed to fail, not just overwhelmingly likely to.
+const TOKEN_FLOOR: u64 = 1 << 32;
 
-/// `splitmix64`'s finalizing mix — the same bijective discipline
-/// `mar_link::fault` uses for its fault schedule. Bijective on `u64`, so
-/// distinct sessions always get distinct tokens.
+/// `splitmix64`'s finalizing mix — the same discipline `mar_link::fault`
+/// uses for its fault schedule. Used only to *expand a seed into a
+/// SipHash key*, never to mint a token directly: the mix is a public
+/// bijection, so a token minted as `mix64(seed ^ mix64(id))` would leak
+/// the seed to any client that inverts its own `(id, token)` pair.
 fn mix64(x: u64) -> u64 {
     let z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -88,47 +88,65 @@ fn mix64(x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Multiplicative inverse of an odd constant modulo 2^64 (Newton's
-/// method: each iteration doubles the number of correct low bits).
-const fn inv_mul(m: u64) -> u64 {
-    let mut x = m;
-    let mut i = 0;
-    while i < 6 {
-        x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
-        i += 1;
-    }
-    x
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13) ^ v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16) ^ v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21) ^ v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17) ^ v[2];
+    v[2] = v[2].rotate_left(32);
 }
 
-/// Inverse of `y = x ^ (x >> s)`: the top `s` bits of `y` are already
-/// correct, and each iteration extends the correct prefix by `s` bits.
-fn un_xsr(y: u64, s: u32) -> u64 {
-    let mut x = y;
-    let mut done = 0;
-    while done < 64 {
-        x = y ^ (x >> s);
-        done += s;
+/// SipHash-2-4 of one 64-bit word under a 128-bit key — a keyed PRF, not
+/// a bijection: a peer holding any number of `(input, output)` pairs
+/// cannot recover the key or predict other outputs. This is what makes
+/// resume tokens capabilities rather than obfuscated session ids.
+fn siphash24(k0: u64, k1: u64, msg: u64) -> u64 {
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575,
+        k1 ^ 0x646f_7261_6e64_6f6d,
+        k0 ^ 0x6c79_6765_6e65_7261,
+        k1 ^ 0x7465_6462_7974_6573,
+    ];
+    // One full 8-byte block.
+    v[3] ^= msg;
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^= msg;
+    // Finalisation block: message length (8) in the top byte.
+    let b = 8u64 << 56;
+    v[3] ^= b;
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^= b;
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sipround(&mut v);
     }
-    x
+    v[0] ^ v[1] ^ v[2] ^ v[3]
 }
 
-/// Exact inverse of [`mix64`] — lets [`Server::resume`] map a presented
-/// token back to its candidate session id in O(1), without keeping any
-/// token→session table.
-fn unmix64(z: u64) -> u64 {
-    let z = un_xsr(z, 31);
-    let z = z.wrapping_mul(inv_mul(0x94d0_49bb_1331_11eb));
-    let z = un_xsr(z, 27);
-    let z = z.wrapping_mul(inv_mul(0xbf58_476d_1ce4_e5b9));
-    let z = un_xsr(z, 30);
-    z.wrapping_sub(0x9e37_79b9_7f4a_7c15)
+/// One word of per-process entropy for the default token key. Tokens are
+/// security capabilities, not results: they never enter a transcript,
+/// fingerprint, or metric, so they are the one place the repo's
+/// determinism discipline (DESIGN.md §5) deliberately does not apply.
+fn entropy_word(tag: u64) -> u64 {
+    use std::hash::{BuildHasher, Hasher};
+    // mar-lint: allow(D003) — token-key entropy is nondeterministic on purpose; tokens never enter any result
+    let mut h = std::collections::hash_map::RandomState::new().build_hasher();
+    h.write_u64(tag);
+    h.finish()
 }
 
 /// What [`Server::resume`] reattached: how much server-side filter state
 /// survived the transport drop, i.e. how much data will *not* be re-sent.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResumeInfo {
-    /// The resumed session id (unchanged — the token is the identity).
+    /// The resumed session id (unchanged — the token named it).
     pub session: u64,
     /// Coefficients the server still knows this client holds.
     pub retained_coeffs: usize,
@@ -167,6 +185,9 @@ struct Session {
     sent: HashSet<CoeffRef>,
     // mar-lint: allow(D001) — membership-only; iteration order never observed
     sent_base: HashSet<u32>,
+    /// The resume capability minted at connect time; `disconnect` uses it
+    /// to release the token-map entry.
+    token: u64,
 }
 
 impl Session {
@@ -243,7 +264,18 @@ pub struct Server {
     core: ServerCore,
     stripes: [Mutex<BTreeMap<u64, Session>>; SESSION_STRIPES],
     next_session: AtomicU64,
-    token_seed: u64,
+    /// 128-bit SipHash key minting resume tokens. Never derivable from
+    /// any number of observed `(session, token)` pairs — SipHash is a
+    /// PRF, unlike the invertible splitmix mix a client could run
+    /// backwards on its own handshake to recover the seed.
+    token_key: (u64, u64),
+    /// Monotone nonce feeding the token PRF (not the session id: the
+    /// nonce advances past skipped candidates, so tokens are not even a
+    /// per-key function of the id).
+    token_nonce: AtomicU64,
+    /// Live resume capabilities: token → session id. `resume` is a map
+    /// lookup, not an inversion — the server stores what it minted.
+    tokens: Mutex<BTreeMap<u64, u64>>,
 }
 
 impl Server {
@@ -252,22 +284,35 @@ impl Server {
         Self::from_core(ServerCore::new(scene))
     }
 
-    /// Builds the session layer over an existing shared core, deriving
-    /// resume tokens from [`DEFAULT_TOKEN_SEED`].
+    /// Builds the session layer over an existing shared core. The resume
+    /// token key is drawn from per-process entropy, so every server
+    /// instance mints its own unpredictable token stream — there is no
+    /// public default a wire peer could use to mint tokens offline.
     pub fn from_core(core: ServerCore) -> Self {
-        Self::from_core_seeded(core, DEFAULT_TOKEN_SEED)
+        Self::with_key(core, (entropy_word(1), entropy_word(2)))
     }
 
-    /// Builds the session layer over an existing shared core with an
-    /// explicit resume-token seed. Deployments that expose the server on a
-    /// real wire (`mar-served`) should pass their own seed so tokens are
-    /// not derivable from the public default.
+    /// Builds the session layer over an existing shared core with a
+    /// deterministic resume-token key expanded from `token_seed`
+    /// (`mar-served --token-seed`). Tokens are then reproducible across
+    /// runs for debugging; they stay unforgeable as long as the seed is
+    /// secret, because the PRF key cannot be recovered from observed
+    /// tokens. A deployment that does not need reproducible tokens should
+    /// prefer [`Server::from_core`]'s entropy key.
     pub fn from_core_seeded(core: ServerCore, token_seed: u64) -> Self {
+        let k0 = mix64(token_seed ^ 0x6d61_725f_7365_7276); // "mar_serv"
+        let k1 = mix64(token_seed ^ 0x746f_6b65_6e5f_6b31); // "token_k1"
+        Self::with_key(core, (k0, k1))
+    }
+
+    fn with_key(core: ServerCore, token_key: (u64, u64)) -> Self {
         Self {
             core,
             stripes: std::array::from_fn(|_| Mutex::new(BTreeMap::new())),
             next_session: AtomicU64::new(0),
-            token_seed,
+            token_key,
+            token_nonce: AtomicU64::new(0),
+            tokens: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -295,11 +340,40 @@ impl Server {
     /// order, so a program that connects sessions deterministically gets
     /// deterministic ids.
     pub fn connect(&self) -> u64 {
+        self.connect_with_token().0
+    }
+
+    /// Opens a client session; returns `(id, resume token)`. This is what
+    /// wire endpoints use: the token is minted and registered atomically
+    /// with the session, so there is no window where a connected session
+    /// has no capability.
+    pub fn connect_with_token(&self) -> (u64, u64) {
         let id = self.next_session.fetch_add(1, Ordering::Relaxed);
+        let token = {
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            let mut tokens = self.tokens.lock().expect("token map poisoned");
+            loop {
+                let nonce = self.token_nonce.fetch_add(1, Ordering::Relaxed);
+                let candidate = siphash24(self.token_key.0, self.token_key.1, nonce);
+                // Skip the (astronomically rare) candidates that could be
+                // mistaken for a session id or collide with a live token.
+                if candidate < TOKEN_FLOOR || tokens.contains_key(&candidate) {
+                    continue;
+                }
+                tokens.insert(candidate, id);
+                break candidate;
+            }
+        };
         // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
         let mut stripe = self.stripe(id).lock().expect("session stripe poisoned");
-        stripe.insert(id, Session::default());
-        id
+        stripe.insert(
+            id,
+            Session {
+                token,
+                ..Session::default()
+            },
+        );
+        (id, token)
     }
 
     /// Drops a session (client disconnected), releasing its sent-filter
@@ -309,47 +383,67 @@ impl Server {
     /// already-disconnected id is a typed error, so a double disconnect
     /// cannot silently pass for a real teardown.
     pub fn disconnect(&self, session: u64) -> Result<(), SessionError> {
-        let mut stripe = self
+        let sess = {
+            let mut stripe = self
+                .stripe(session)
+                .lock()
+                // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+                .expect("session stripe poisoned");
+            stripe
+                .remove(&session)
+                .ok_or(SessionError::UnknownSession(session))?
+        };
+        // Retire the capability with the session, so a stale token can
+        // never resume a future session that happens to reuse state.
+        // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+        let mut tokens = self.tokens.lock().expect("token map poisoned");
+        tokens.remove(&sess.token);
+        Ok(())
+    }
+
+    /// The resume token minted for a *connected* session — a lookup of
+    /// server-side state, not a derivation. There is no public function
+    /// from session ids to tokens: tokens come from a keyed PRF over a
+    /// private nonce stream, so observing any number of `(id, token)`
+    /// pairs (every client sees its own in `WELCOME`) reveals nothing
+    /// about any other session's token. An unknown or disconnected id is
+    /// a typed [`SessionError`].
+    pub fn session_token(&self, session: u64) -> Result<u64, SessionError> {
+        let stripe = self
             .stripe(session)
             .lock()
             // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
             .expect("session stripe poisoned");
         stripe
-            .remove(&session)
-            .map(|_| ())
+            .get(&session)
+            .map(|sess| sess.token)
             .ok_or(SessionError::UnknownSession(session))
-    }
-
-    /// The resume token for a session id: a seeded splitmix64 bijection
-    /// over the id (same derivation discipline as `mar_link::fault`'s
-    /// schedule hash). Sequential session ids map to scattered 64-bit
-    /// tokens, so a wire peer that knows *its own* token — or any session
-    /// id — cannot derive another live session's token without the seed.
-    /// Pure and stateless: the token exists independently of whether the
-    /// session is (still) connected.
-    pub fn session_token(&self, session: u64) -> u64 {
-        mix64(self.token_seed ^ mix64(session))
     }
 
     /// Reattaches a client to its session after a *transport* drop (the
     /// wireless link died; the server-side session state did not). The
     /// caller presents the resume **token** it was handed at connect time
     /// ([`session_token`]) — *not* the raw session id, which is sequential
-    /// and therefore guessable by any other wire peer. If the token names
-    /// a session the server still holds, the client resumes with its
-    /// sent-filter intact — nothing already delivered is ever re-sent —
-    /// and learns how much state was retained. Any other token (stale,
-    /// forged, or a raw session id) is a typed [`SessionError`] echoing
-    /// only the token itself; the client must [`connect`] fresh and
-    /// refetch from scratch.
+    /// and therefore guessable by any other wire peer. The token is looked
+    /// up in the server's capability map; if it names a session the server
+    /// still holds, the client resumes with its sent-filter intact —
+    /// nothing already delivered is ever re-sent — and learns how much
+    /// state was retained. Any other token (stale, forged, or a raw
+    /// session id — tokens are minted above 2^32, so ids can never alias
+    /// them) is a typed [`SessionError`] echoing only the token itself;
+    /// the client must [`connect`] fresh and refetch from scratch.
     ///
     /// [`connect`]: Server::connect
     /// [`session_token`]: Server::session_token
     pub fn resume(&self, token: u64) -> Result<ResumeInfo, SessionError> {
-        // The token map is a bijection on u64, so every presented token
-        // inverts to exactly one candidate id; a forged token inverts to
-        // an id that is (overwhelmingly) not a live session.
-        let session = unmix64(unmix64(token) ^ self.token_seed);
+        let session = {
+            // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+            let tokens = self.tokens.lock().expect("token map poisoned");
+            tokens
+                .get(&token)
+                .copied()
+                .ok_or(SessionError::UnknownToken(token))?
+        };
         let stripe = self
             .stripe(session)
             .lock()
@@ -362,6 +456,8 @@ impl Server {
                 retained_coeffs: sess.sent.len(),
                 retained_objects: sess.sent_base.len(),
             })
+            // A disconnect can race between the two locks; the answer is
+            // the same either way — the capability no longer resumes.
             .ok_or(SessionError::UnknownToken(token))
     }
 
@@ -658,7 +754,7 @@ mod tests {
     fn resume_retains_the_sent_filter() {
         let s = server();
         let c = s.connect();
-        let token = s.session_token(c);
+        let token = s.session_token(c).unwrap();
         let r = s.query(c, &[whole()]).unwrap();
         assert!(r.coeffs > 0);
         // A transport drop does not touch server state: resuming by token
@@ -673,6 +769,11 @@ mod tests {
         // After a real disconnect the token is gone for good.
         s.disconnect(c).unwrap();
         assert_eq!(s.resume(token), Err(SessionError::UnknownToken(token)));
+        assert_eq!(
+            s.session_token(c),
+            Err(SessionError::UnknownSession(c)),
+            "a disconnected session has no token to look up"
+        );
         assert_eq!(
             s.disconnect(c),
             Err(SessionError::UnknownSession(c)),
@@ -698,33 +799,110 @@ mod tests {
             );
         }
         // The real tokens still work, and each names only its own session.
-        assert_eq!(s.resume(s.session_token(a)).unwrap().session, a);
-        assert_eq!(s.resume(s.session_token(b)).unwrap().session, b);
-        assert_ne!(s.session_token(a), s.session_token(b));
+        let ta = s.session_token(a).unwrap();
+        let tb = s.session_token(b).unwrap();
+        assert_eq!(s.resume(ta).unwrap().session, a);
+        assert_eq!(s.resume(tb).unwrap().session, b);
+        assert_ne!(ta, tb);
     }
 
-    #[test]
-    fn token_derivation_is_bijective_and_seed_dependent() {
-        let core = ServerCore::new(&{
+    fn small_core() -> ServerCore {
+        ServerCore::new(&{
             let mut cfg = mar_workload::SceneConfig::paper(3, 13);
             cfg.levels = 2;
             cfg.target_bytes = 100_000.0;
             Scene::generate(cfg)
-        });
-        let s1 = Server::from_core_seeded(core.clone(), 1);
-        let s2 = Server::from_core_seeded(core, 2);
-        // unmix64 is the exact inverse of mix64 across the u64 range.
-        for x in (0..1000u64).chain([u64::MAX, u64::MAX / 2, 1 << 63]) {
-            assert_eq!(unmix64(mix64(x)), x);
-            assert_eq!(mix64(unmix64(x)), x);
-        }
-        // Distinct ids → distinct tokens; different seeds → different maps.
+        })
+    }
+
+    #[test]
+    fn seeded_tokens_are_deterministic_distinct_and_floored() {
+        let s1 = Server::from_core_seeded(small_core(), 7);
+        let s2 = Server::from_core_seeded(small_core(), 7);
+        let s3 = Server::from_core_seeded(small_core(), 8);
         let mut seen = std::collections::BTreeSet::new();
-        for id in 0..512u64 {
-            assert!(seen.insert(s1.session_token(id)), "token collision");
-            assert_ne!(s1.session_token(id), s2.session_token(id));
-            assert_ne!(s1.session_token(id), id, "token must not echo the id");
+        for _ in 0..512u64 {
+            let (id1, t1) = s1.connect_with_token();
+            let (id2, t2) = s2.connect_with_token();
+            let (_, t3) = s3.connect_with_token();
+            assert_eq!(id1, id2);
+            assert_eq!(t1, t2, "same seed + same connect order → same tokens");
+            assert_ne!(t1, t3, "different seeds → different token streams");
+            assert!(seen.insert(t1), "token collision");
+            assert!(
+                t1 >= (1u64 << 32),
+                "tokens stay above the floor so sequential ids can never alias them"
+            );
+            assert_ne!(t1, id1, "token must not echo the id");
+            assert_eq!(s1.session_token(id1), Ok(t1), "lookup is stable");
         }
+    }
+
+    #[test]
+    fn token_seed_is_not_recoverable_from_a_clients_own_handshake() {
+        // Regression (ISSUE 6 review): tokens used to be
+        // `mix64(seed ^ mix64(id))` — a public *bijection*, so any client
+        // could invert its own `(id, token)` pair, recover the seed, and
+        // mint every other session's token. Re-enact that attack against
+        // the PRF-minted tokens and check it now yields garbage.
+        const fn inv_mul(m: u64) -> u64 {
+            let mut x = m;
+            let mut i = 0;
+            while i < 6 {
+                x = x.wrapping_mul(2u64.wrapping_sub(m.wrapping_mul(x)));
+                i += 1;
+            }
+            x
+        }
+        fn un_xsr(y: u64, s: u32) -> u64 {
+            let mut x = y;
+            let mut done = 0;
+            while done < 64 {
+                x = y ^ (x >> s);
+                done += s;
+            }
+            x
+        }
+        fn unmix64(z: u64) -> u64 {
+            let z = un_xsr(z, 31);
+            let z = z.wrapping_mul(inv_mul(0x94d0_49bb_1331_11eb));
+            let z = un_xsr(z, 27);
+            let z = z.wrapping_mul(inv_mul(0xbf58_476d_1ce4_e5b9));
+            let z = un_xsr(z, 30);
+            z.wrapping_sub(0x9e37_79b9_7f4a_7c15)
+        }
+        let seed = 0xdead_beef_cafe_f00d;
+        let s = Server::from_core_seeded(small_core(), seed);
+        let (id0, t0) = s.connect_with_token();
+        let (id1, t1) = s.connect_with_token();
+        // The old public formula must not mint the token any more…
+        assert_ne!(t0, mix64(seed ^ mix64(id0)), "old derivation is dead");
+        // …and the old inversion applied to the attacker's own handshake
+        // must neither recover the seed nor predict the peer's token.
+        let recovered = unmix64(t0) ^ mix64(id0);
+        assert_ne!(recovered, seed, "seed recovery attack is dead");
+        assert_ne!(
+            mix64(recovered ^ mix64(id1)),
+            t1,
+            "the 'recovered' seed must not mint other sessions' tokens"
+        );
+    }
+
+    #[test]
+    fn default_servers_mint_per_instance_token_streams() {
+        // Without an explicit seed the token key comes from per-process
+        // entropy: two servers over the same core must not agree on the
+        // token for session 0, so there is no public default key a wire
+        // peer could use to mint tokens offline.
+        let a = Server::from_core(small_core());
+        let b = Server::from_core(small_core());
+        let (_, ta) = a.connect_with_token();
+        let (_, tb) = b.connect_with_token();
+        assert_ne!(ta, tb, "default token keys are per-instance entropy");
+        assert!(ta >= (1u64 << 32) && tb >= (1u64 << 32));
+        // Each server resumes only its own capability.
+        assert!(a.resume(ta).is_ok());
+        assert_eq!(a.resume(tb), Err(SessionError::UnknownToken(tb)));
     }
 
     #[test]

@@ -113,6 +113,9 @@ fn stale_session_ids_error_instead_of_panicking() {
     // freshly minted state.
     let srv = server();
     let live = srv.connect();
+    // The token must be fetched while the session is live; after the
+    // disconnect both the session and its capability are gone.
+    let stale_token = srv.session_token(live).expect("session is live");
     srv.disconnect(live).expect("just connected");
     let stale = live;
     let region = QueryRegion {
@@ -131,7 +134,11 @@ fn stale_session_ids_error_instead_of_panicking() {
         srv.disconnect(stale),
         Err(SessionError::UnknownSession(stale))
     );
-    let stale_token = srv.session_token(stale);
+    assert_eq!(
+        srv.session_token(stale),
+        Err(SessionError::UnknownSession(stale)),
+        "a disconnected session has no token to look up"
+    );
     assert_eq!(
         srv.resume(stale_token),
         Err(SessionError::UnknownToken(stale_token))
@@ -166,7 +173,9 @@ fn concurrent_resume_and_query_agree_with_serial() {
                         .map(|t| {
                             let r = client.tick(srv, frame(k, t), speed(k, t));
                             // Simulated drop + resume between every tick.
-                            let token = srv.session_token(client.session());
+                            let token = srv
+                                .session_token(client.session())
+                                .expect("session is live");
                             let info = srv.resume(token).expect("session is live");
                             assert_eq!(info.session, client.session());
                             assert_eq!(info.retained_coeffs, srv.session_sent(client.session()));

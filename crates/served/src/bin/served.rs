@@ -16,7 +16,7 @@
 //! fingerprint-equal.
 
 use mar_bench::serve::{serve_scene, ServeConfig};
-use mar_core::{SceneIndexData, Server, ServerCore, WaveletIndex, DEFAULT_TOKEN_SEED};
+use mar_core::{SceneIndexData, Server, ServerCore, WaveletIndex};
 use mar_served::{spawn_daemon, DaemonConfig, DEFAULT_OUTBOX_CAP};
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -28,7 +28,9 @@ struct Options {
     port_file: Option<String>,
     outbox_cap: f64,
     max_conns: Option<usize>,
-    token_seed: u64,
+    /// `None` (the default) mints session tokens from per-process
+    /// entropy; `Some` pins the keyed PRF for reproducible debugging.
+    token_seed: Option<u64>,
 }
 
 fn default_jobs() -> usize {
@@ -43,7 +45,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         port_file: None,
         outbox_cap: DEFAULT_OUTBOX_CAP,
         max_conns: None,
-        token_seed: DEFAULT_TOKEN_SEED,
+        token_seed: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -81,9 +83,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--token-seed" => {
                 let v = value("--token-seed")?;
-                opts.token_seed = v
-                    .parse()
-                    .map_err(|_| format!("--token-seed: not a u64: {v}"))?;
+                opts.token_seed = Some(
+                    v.parse()
+                        .map_err(|_| format!("--token-seed: not a u64: {v}"))?,
+                );
             }
             other => {
                 return Err(format!(
@@ -119,10 +122,13 @@ fn main() {
     let scene = serve_scene(&cfg);
     let data = SceneIndexData::build(&scene);
     let index = WaveletIndex::build_jobs(&data, cfg.jobs);
-    let server = Arc::new(Server::from_core_seeded(
-        ServerCore::from_parts(Arc::new(data), Arc::new(index)),
-        opts.token_seed,
-    ));
+    let core = ServerCore::from_parts(Arc::new(data), Arc::new(index));
+    let server = Arc::new(match opts.token_seed {
+        // Entropy-keyed tokens by default: there is no public key an
+        // attacker could use to mint another session's token.
+        None => Server::from_core(core),
+        Some(seed) => Server::from_core_seeded(core, seed),
+    });
 
     let listener = match TcpListener::bind(("127.0.0.1", opts.port)) {
         Ok(l) => l,

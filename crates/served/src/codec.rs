@@ -171,6 +171,9 @@ pub enum ErrCode {
     NotConnected = 6,
     /// `HELLO`/`RESUME` on a connection that already has a session.
     AlreadyConnected = 7,
+    /// `RESUME` with a valid token for a session that is currently
+    /// attached to another live connection: one connection per session.
+    SessionBusy = 8,
 }
 
 impl ErrCode {
@@ -184,6 +187,7 @@ impl ErrCode {
             5 => Some(Self::UnknownOpcode),
             6 => Some(Self::NotConnected),
             7 => Some(Self::AlreadyConnected),
+            8 => Some(Self::SessionBusy),
             _ => None,
         }
     }
@@ -199,6 +203,7 @@ impl fmt::Display for ErrCode {
             Self::UnknownOpcode => "unknown opcode",
             Self::NotConnected => "no session bound to this connection",
             Self::AlreadyConnected => "connection already has a session",
+            Self::SessionBusy => "session already attached to a live connection",
         };
         f.write_str(s)
     }

@@ -4,9 +4,12 @@
 //! [`Server`] — the core is lock-free for queries and 16-way striped for
 //! session state, so connection threads never serialize on each other.
 //!
-//! **Backpressure is explicit and deterministic.** Each connection tracks
-//! the payload bytes it has served but the client has not yet `ACK`ed
-//! (credit-based flow control, independent of OS socket buffering). A
+//! **Backpressure is explicit and deterministic.** Each *session* (not
+//! each connection) carries a ledger of payload bytes served but not yet
+//! `ACK`ed (credit-based flow control, independent of OS socket
+//! buffering). The ledger lives in daemon-shared state keyed by session
+//! id, so it **survives transport drops**: a client cannot zero its debt
+//! by dropping the socket and `RESUME`ing on a fresh connection. A
 //! `QUERY`/`BLOCK` that arrives while `outstanding >= cap` is refused
 //! with a typed `OVERLOAD` frame *before* touching the session filter, so
 //! a refused query is exactly-once safe to retry. Because admission is
@@ -17,12 +20,17 @@
 //! disappears without `BYE` leaves its session (and server-side filter)
 //! live; the client re-attaches on a fresh connection with `RESUME` and
 //! the unguessable token from `WELCOME`. Only `BYE` releases the session.
+//! Attachment is exclusive: while one connection drives a session, a
+//! `RESUME` for it — even with the valid token — is refused with
+//! `ERROR(SessionBusy)`, so two connections can never interleave frames
+//! against one filter/ledger.
 
 use crate::codec::{read_frame, write_frame, DecodeError, ErrCode, Frame, WireError};
 use mar_core::{Server, SessionError};
+use std::collections::BTreeMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Default per-session outbox capacity: unacked payload bytes a session
@@ -104,21 +112,53 @@ pub fn spawn_daemon(
     Ok(DaemonHandle { addr, thread })
 }
 
+/// Per-session wire state shared across connections. Unlike `Conn` it
+/// survives a transport drop: the unacked-credit ledger follows the
+/// *session*, and `attached` makes attachment exclusive. Created by
+/// `HELLO`, released by `BYE`.
+#[derive(Debug, Clone, Copy, Default)]
+struct WireSession {
+    /// Served-but-unacked payload bytes (the `OVERLOAD` credit ledger).
+    outstanding: f64,
+    /// Whether a live connection currently drives this session.
+    attached: bool,
+}
+
+/// Session id → wire state. A `BTreeMap` for the workspace determinism
+/// discipline (D001); it is keyed-access only, never iterated.
+type Ledgers = Mutex<BTreeMap<u64, WireSession>>;
+
 fn accept_loop(server: &Arc<Server>, listener: &TcpListener, cfg: DaemonConfig) -> DaemonStats {
     let mut stats = DaemonStats::default();
     let mut workers: Vec<JoinHandle<DaemonStats>> = Vec::new();
+    let ledgers: Arc<Ledgers> = Arc::new(Mutex::new(BTreeMap::new()));
     for conn in listener.incoming() {
         let Ok(stream) = conn else {
             // Transient accept failure (peer vanished between SYN and
             // accept); keep serving.
             continue;
         };
+        // Reap finished connection threads as we go: in serve-forever
+        // mode (`max_conns: None`) the accept loop never exits, so
+        // deferring every join to the end would grow one dead JoinHandle
+        // per connection ever served.
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                if let Ok(done) = workers.swap_remove(i).join() {
+                    stats.absorb(&done);
+                }
+            } else {
+                i += 1;
+            }
+        }
         stats.connections += 1;
         let server = Arc::clone(server);
+        let ledgers_for_conn = Arc::clone(&ledgers);
         let cap = cfg.outbox_cap;
         let spawned = std::thread::Builder::new()
             .name(format!("mar-served-conn-{}", stats.connections))
-            .spawn(move || serve_conn(&server, stream, cap));
+            .spawn(move || serve_conn(&server, &ledgers_for_conn, stream, cap));
         if let Ok(h) = spawned {
             workers.push(h);
         }
@@ -136,8 +176,9 @@ fn accept_loop(server: &Arc<Server>, listener: &TcpListener, cfg: DaemonConfig) 
 
 /// Per-connection protocol state machine. Returns this connection's
 /// share of the daemon stats; every exit path leaves the shared server
-/// consistent (a dropped connection keeps its session resumable).
-fn serve_conn(server: &Server, stream: TcpStream, cap: f64) -> DaemonStats {
+/// consistent (a dropped connection keeps its session resumable, and
+/// detaches it so a later `RESUME` can bind).
+fn serve_conn(server: &Server, ledgers: &Ledgers, stream: TcpStream, cap: f64) -> DaemonStats {
     let mut stats = DaemonStats::default();
     // Request/response protocol: without NODELAY every reply would sit
     // out a delayed-ack window.
@@ -149,7 +190,7 @@ fn serve_conn(server: &Server, stream: TcpStream, cap: f64) -> DaemonStats {
     let mut conn = Conn {
         writer: write_half,
         session: None,
-        outstanding: 0.0,
+        ledgers,
         cap,
         stats: &mut stats,
     };
@@ -179,6 +220,16 @@ fn serve_conn(server: &Server, stream: TcpStream, cap: f64) -> DaemonStats {
             Err(WireError::Io(_) | WireError::Disconnected { .. }) => break,
         }
     }
+    // Transport drop without BYE: detach so a later RESUME can bind, but
+    // keep the ledger entry — the unacked credit must survive the
+    // reconnect (dropping the socket is not a way to zero one's debt).
+    if let Some(session) = conn.session {
+        // mar-lint: allow(D004) — poisoning implies another connection thread panicked; propagate
+        let mut map = ledgers.lock().expect("wire-session ledger poisoned");
+        if let Some(ws) = map.get_mut(&session) {
+            ws.attached = false;
+        }
+    }
     stats
 }
 
@@ -195,7 +246,7 @@ fn decode_detail(e: &DecodeError) -> u64 {
 struct Conn<'a> {
     writer: TcpStream,
     session: Option<u64>,
-    outstanding: f64,
+    ledgers: &'a Ledgers,
     cap: f64,
     stats: &'a mut DaemonStats,
 }
@@ -217,6 +268,14 @@ impl Conn<'_> {
         });
     }
 
+    /// Runs `f` on the session's shared wire state (no-op when the
+    /// session has no ledger entry, which only a daemon bug could cause).
+    fn with_ledger<T>(&self, session: u64, f: impl FnOnce(&mut WireSession) -> T) -> Option<T> {
+        // mar-lint: allow(D004) — poisoning implies another connection thread panicked; propagate
+        let mut map = self.ledgers.lock().expect("wire-session ledger poisoned");
+        map.get_mut(&session).map(f)
+    }
+
     /// Handles one frame; `false` ends the connection.
     fn handle(&mut self, server: &Server, frame: Frame) -> bool {
         match frame {
@@ -229,12 +288,20 @@ impl Conn<'_> {
                     self.error(ErrCode::AlreadyConnected, 0);
                     return true;
                 }
-                let session = server.connect();
+                let (session, token) = server.connect_with_token();
+                {
+                    // mar-lint: allow(D004) — poisoning implies another connection thread panicked; propagate
+                    let mut map = self.ledgers.lock().expect("wire-session ledger poisoned");
+                    map.insert(
+                        session,
+                        WireSession {
+                            outstanding: 0.0,
+                            attached: true,
+                        },
+                    );
+                }
                 self.session = Some(session);
-                self.send(&Frame::Welcome {
-                    session,
-                    token: server.session_token(session),
-                });
+                self.send(&Frame::Welcome { session, token });
                 true
             }
             Frame::Resume { token } => {
@@ -244,6 +311,29 @@ impl Conn<'_> {
                 }
                 match server.resume(token) {
                     Ok(info) => {
+                        // Attachment is exclusive and the ledger survives
+                        // the reconnect: RESUME binds this connection to
+                        // the session's *existing* wire state (unacked
+                        // credit intact), and is refused while another
+                        // live connection holds it.
+                        let attached = {
+                            let mut map = self
+                                .ledgers
+                                .lock()
+                                // mar-lint: allow(D004) — poisoning implies another connection thread panicked; propagate
+                                .expect("wire-session ledger poisoned");
+                            let ws = map.entry(info.session).or_default();
+                            if ws.attached {
+                                false
+                            } else {
+                                ws.attached = true;
+                                true
+                            }
+                        };
+                        if !attached {
+                            self.error(ErrCode::SessionBusy, info.session);
+                            return true;
+                        }
                         self.session = Some(info.session);
                         self.send(&Frame::Resumed {
                             session: info.session,
@@ -261,12 +351,12 @@ impl Conn<'_> {
                     self.error(ErrCode::NotConnected, 0);
                     return true;
                 };
-                if !self.admit() {
+                if !self.admit(session) {
                     return true;
                 }
                 match server.query(session, &regions) {
                     Ok(r) => {
-                        self.outstanding += r.bytes;
+                        self.with_ledger(session, |ws| ws.outstanding += r.bytes);
                         self.send(&Frame::Result {
                             coeffs: r.coeffs as u64,
                             new_objects: r.new_objects as u64,
@@ -284,12 +374,12 @@ impl Conn<'_> {
                     self.error(ErrCode::NotConnected, 0);
                     return true;
                 };
-                if !self.admit() {
+                if !self.admit(session) {
                     return true;
                 }
                 match server.fetch_block(session, &region, band) {
                     Ok(r) => {
-                        self.outstanding += r.bytes;
+                        self.with_ledger(session, |ws| ws.outstanding += r.bytes);
                         self.send(&Frame::Result {
                             coeffs: r.coeffs as u64,
                             new_objects: r.new_objects as u64,
@@ -303,14 +393,16 @@ impl Conn<'_> {
                 true
             }
             Frame::Ack { bytes } => {
-                if self.session.is_none() {
+                let Some(session) = self.session else {
                     self.error(ErrCode::NotConnected, 0);
                     return true;
-                }
+                };
                 // Hostile acks (NaN, negative, over-credit) cannot drive
                 // the ledger negative.
                 if bytes.is_finite() && bytes > 0.0 {
-                    self.outstanding = (self.outstanding - bytes).max(0.0);
+                    self.with_ledger(session, |ws| {
+                        ws.outstanding = (ws.outstanding - bytes).max(0.0);
+                    });
                 }
                 true
             }
@@ -320,6 +412,11 @@ impl Conn<'_> {
                     // twice in a pipelined burst; releasing is idempotent
                     // from the connection's point of view.
                     let _ = server.disconnect(session);
+                    // BYE (unlike a transport drop) ends the session for
+                    // good, so its wire state goes with it.
+                    // mar-lint: allow(D004) — poisoning implies another connection thread panicked; propagate
+                    let mut map = self.ledgers.lock().expect("wire-session ledger poisoned");
+                    map.remove(&session);
                 }
                 self.send(&Frame::Bye);
                 false
@@ -336,14 +433,19 @@ impl Conn<'_> {
         }
     }
 
-    /// Admission check: refuses with `OVERLOAD` when the unacked payload
-    /// ledger has reached the cap. Checked *before* executing the query,
-    /// so a refusal leaves the session filter untouched.
-    fn admit(&mut self) -> bool {
-        if self.outstanding >= self.cap {
+    /// Admission check: refuses with `OVERLOAD` when the session's
+    /// unacked payload ledger has reached the cap. Checked *before*
+    /// executing the query, so a refusal leaves the session filter
+    /// untouched. The ledger lives with the session, not the connection:
+    /// dropping the socket and resuming does not reset it.
+    fn admit(&mut self, session: u64) -> bool {
+        let outstanding = self
+            .with_ledger(session, |ws| ws.outstanding)
+            .unwrap_or(0.0);
+        if outstanding >= self.cap {
             self.stats.overloads += 1;
             self.send(&Frame::Overload {
-                outstanding: self.outstanding,
+                outstanding,
                 cap: self.cap,
             });
             return false;

@@ -47,6 +47,26 @@ fn whole_space_full(cfg: &ServeConfig) -> Vec<QueryRegion> {
     }]
 }
 
+/// Resumes `token`, retrying briefly while the daemon still considers
+/// the session attached: after a transport drop the connection thread
+/// detaches only once it observes EOF, so an immediate RESUME can race
+/// it and be refused with `SessionBusy`.
+fn resume_when_free(
+    addr: std::net::SocketAddr,
+    token: u64,
+) -> Result<(WireClient, u64, u64), ClientError> {
+    for _ in 0..200 {
+        match WireClient::resume(addr, token) {
+            Err(ClientError::Server {
+                code: Some(ErrCode::SessionBusy),
+                ..
+            }) => std::thread::sleep(std::time::Duration::from_millis(5)),
+            other => return other,
+        }
+    }
+    WireClient::resume(addr, token)
+}
+
 #[test]
 fn wire_transcript_is_byte_identical_to_in_process() {
     let cfg = tiny_cfg();
@@ -85,10 +105,12 @@ fn wire_transcript_is_byte_identical_to_in_process() {
 #[test]
 fn resume_over_the_wire_requires_the_token_not_the_session_id() {
     let cfg = tiny_cfg();
+    // Serve-forever: the SessionBusy retry below consumes a variable
+    // number of connections, so no exact max_conns fits.
     let (handle, server) = boot(
         &cfg,
         DaemonConfig {
-            max_conns: Some(4),
+            max_conns: None,
             ..DaemonConfig::default()
         },
     );
@@ -120,7 +142,7 @@ fn resume_over_the_wire_requires_the_token_not_the_session_id() {
 
     // The real token re-attaches to the *same* filter state: a repeat of
     // the identical query now transfers nothing.
-    let (mut resumed, retained_coeffs, _) = WireClient::resume(addr, token).expect("token resume");
+    let (mut resumed, retained_coeffs, _) = resume_when_free(addr, token).expect("token resume");
     assert_eq!(resumed.session(), session);
     assert_eq!(retained_coeffs, first.coeffs, "filter state was retained");
     match resumed.query(&whole_space_full(&cfg)).expect("requery") {
@@ -141,7 +163,114 @@ fn resume_over_the_wire_requires_the_token_not_the_session_id() {
         }) => {}
         other => panic!("forged token must be refused, got {other:?}"),
     }
-    handle.join();
+    // Serve-forever daemon: drop the handle instead of joining.
+    drop(handle);
+}
+
+#[test]
+fn overload_ledger_survives_transport_drop_and_resume() {
+    // REVIEW regression: the OVERLOAD credit ledger follows the session,
+    // not the connection. Dropping the socket and resuming must NOT zero
+    // the unacked debt (that would let any client bypass backpressure by
+    // reconnecting).
+    let cfg = tiny_cfg();
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            outbox_cap: 1024.0,
+            max_conns: None,
+        },
+    );
+    let addr = handle.addr;
+    let whole = whole_space_full(&cfg);
+
+    let mut client = WireClient::connect(addr).expect("connect");
+    let token = client.token();
+    // Raw send/recv (not `query`, which acks): the payload stays unacked.
+    client
+        .send(&Frame::Query {
+            regions: whole.clone(),
+        })
+        .expect("send");
+    let first = match client.recv().expect("recv") {
+        Frame::Result { bytes, .. } => bytes,
+        other => panic!("wanted RESULT, got {}", other.name()),
+    };
+    assert!(first > 1024.0, "scene payload must exceed the cap");
+
+    // Drop the transport with the whole payload unacked, then resume.
+    drop(client);
+    let (mut resumed, _, _) = resume_when_free(addr, token).expect("token resume");
+
+    // The debt survived the reconnect: still refused.
+    match resumed.query(&whole).expect("post-resume query") {
+        QueryReply::Overloaded { outstanding, cap } => {
+            assert_eq!(
+                outstanding, first,
+                "the reconnect must not reset the ledger"
+            );
+            assert_eq!(cap, 1024.0);
+        }
+        QueryReply::Served(r) => panic!("reconnect zeroed the credit ledger: {r:?}"),
+    }
+    // Acking on the new connection clears the same ledger.
+    resumed.send(&Frame::Ack { bytes: first }).expect("ack");
+    match resumed.query(&whole).expect("recovered query") {
+        QueryReply::Served(r) => assert_eq!(r.bytes, 0.0, "filter survived throughout"),
+        other => panic!("still refused after full ack: {other:?}"),
+    }
+    resumed.bye().expect("bye");
+    assert_eq!(server.session_count(), 0);
+    drop(handle);
+}
+
+#[test]
+fn resume_is_refused_while_the_session_is_attached() {
+    // REVIEW regression: attachment is exclusive. A valid token must not
+    // let a second connection drive a session that a live connection
+    // already holds.
+    let cfg = tiny_cfg();
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            max_conns: None,
+            ..DaemonConfig::default()
+        },
+    );
+    let addr = handle.addr;
+
+    let mut client = WireClient::connect(addr).expect("connect");
+    let session = client.session();
+    let token = client.token();
+
+    // The first connection is provably attached (WELCOME was received),
+    // so this refusal is deterministic, not a race.
+    match WireClient::resume(addr, token) {
+        Err(ClientError::Server {
+            code: Some(ErrCode::SessionBusy),
+            detail,
+            ..
+        }) => assert_eq!(detail, session, "the error names the busy session"),
+        other => panic!("attached resume must be refused, got {other:?}"),
+    }
+
+    // The refused hijack changed nothing for the holder.
+    match client.query(&whole_space_full(&cfg)).expect("query") {
+        QueryReply::Served(r) => assert!(r.bytes > 0.0),
+        other => panic!("holder refused: {other:?}"),
+    }
+    client.bye().expect("bye");
+
+    // After BYE the session is gone for good: the token is dead, not busy.
+    match WireClient::resume(addr, token) {
+        Err(ClientError::Server {
+            code: Some(ErrCode::UnknownToken),
+            ..
+        }) => {}
+        other => panic!("BYE must kill the token, got {other:?}"),
+    }
+    assert_eq!(server.session_count(), 0);
+    drop(handle);
 }
 
 #[test]
