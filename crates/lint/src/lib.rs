@@ -20,10 +20,25 @@
 //!   justification.
 //! * **D005** — every crate root carries `#![forbid(unsafe_code)]`.
 //!
-//! The only escape hatch is an annotation with a **mandatory** reason:
+//! On top of the per-file rules, the [`concurrency`] module runs a
+//! workspace-wide lock analysis (guard liveness + call graph — see its
+//! module docs) with three more rules:
+//!
+//! * **D006** — cycle in the global lock-order graph (potential
+//!   deadlock), reported with the full witness chain. The intended
+//!   acquisition order is written down in DESIGN.md §13.
+//! * **D007** — blocking operation (socket read/write/accept,
+//!   `JoinHandle::join`, channel `recv`, `thread::sleep`, condvar
+//!   `wait`) while a lock guard is live.
+//! * **D008** — guard held across a re-acquisition of the same named
+//!   lock, directly or through a call chain (self-deadlock).
+//!
+//! The only escape hatch is an annotation with a **mandatory** reason,
+//! naming one or more comma-separated rules:
 //!
 //! ```text
 //! // mar-lint: allow(D001) — membership-only set; iteration order never observed
+//! // mar-lint: allow(D006,D007) — startup path; single-threaded by construction
 //! ```
 //!
 //! placed either at the end of the offending line or alone on the line
@@ -31,6 +46,8 @@
 //! rule) is itself reported as **D000** and does not suppress anything.
 
 #![forbid(unsafe_code)]
+
+mod concurrency;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -58,6 +75,12 @@ pub enum Rule {
     D004,
     /// Crate root missing `#![forbid(unsafe_code)]`.
     D005,
+    /// Cycle in the workspace lock-order graph (potential deadlock).
+    D006,
+    /// Blocking operation while a lock guard is live.
+    D007,
+    /// Same lock acquired again while its guard is live (self-deadlock).
+    D008,
 }
 
 impl Rule {
@@ -70,6 +93,9 @@ impl Rule {
             Rule::D003 => "D003",
             Rule::D004 => "D004",
             Rule::D005 => "D005",
+            Rule::D006 => "D006",
+            Rule::D007 => "D007",
+            Rule::D008 => "D008",
         }
     }
 
@@ -82,6 +108,9 @@ impl Rule {
             "D003" => Some(Rule::D003),
             "D004" => Some(Rule::D004),
             "D005" => Some(Rule::D005),
+            "D006" => Some(Rule::D006),
+            "D007" => Some(Rule::D007),
+            "D008" => Some(Rule::D008),
             _ => None,
         }
     }
@@ -789,6 +818,21 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Finding> {
 // Workspace walking
 // ---------------------------------------------------------------------------
 
+/// Lints a set of `(workspace-relative path, source)` pairs: per-file
+/// rules (D001–D005) on each file plus the workspace-wide concurrency
+/// pass (D006–D008) across the whole set. Findings come back sorted by
+/// `(file, line, col, rule)`.
+pub fn lint_files(files: &[(String, String)]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (rel, src) in files {
+        findings.extend(lint_source(rel, src));
+    }
+    findings.extend(concurrency::analyze(files));
+    findings.sort();
+    findings.dedup();
+    findings
+}
+
 /// Lints every non-vendor workspace source file under `root` and returns
 /// the findings sorted by `(file, line, col, rule)`.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
@@ -800,28 +844,23 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         }
     }
     files.sort();
-    let mut findings = Vec::new();
+    let mut sources = Vec::new();
     for path in files {
-        let rel_owned;
         let rel = match path.strip_prefix(root) {
-            Ok(p) => {
-                rel_owned = p
-                    .components()
-                    .map(|c| c.as_os_str().to_string_lossy())
-                    .collect::<Vec<_>>()
-                    .join("/");
-                rel_owned.as_str()
-            }
+            Ok(p) => p
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/"),
             Err(_) => continue,
         };
-        if classify(rel).is_none() {
+        if classify(&rel).is_none() {
             continue;
         }
         let src = fs::read_to_string(&path)?;
-        findings.extend(lint_source(rel, &src));
+        sources.push((rel, src));
     }
-    findings.sort();
-    Ok(findings)
+    Ok(lint_files(&sources))
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<std::path::PathBuf>) -> io::Result<()> {

@@ -75,6 +75,68 @@ fn json_format_is_machine_readable() {
 }
 
 #[test]
+fn baseline_record_then_compare_then_new_finding() {
+    // Two violations: a missing forbid and a library unwrap.
+    let root = fake_workspace(
+        "cli-baseline",
+        "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    );
+    let baseline = root.join("lint-baseline.txt");
+    let bl = baseline.to_str().expect("utf-8 tmpdir");
+
+    // Record: exits 0 and writes both findings.
+    let (code, stdout, stderr) = run_lint(&root, &["--record-baseline", bl]);
+    assert_eq!(code, Some(0), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("recorded 2 finding(s)"), "{stdout}");
+    let doc = fs::read_to_string(&baseline).expect("read recorded baseline");
+    assert!(doc.contains("[D004]"), "{doc}");
+    assert!(doc.contains("[D005]"), "{doc}");
+
+    // Compare against the fresh baseline: everything known, exit 0.
+    let (code, stdout, _) = run_lint(&root, &["--baseline", bl]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("0 findings"), "{stdout}");
+
+    // Introduce a new violation above the old ones (shifting their lines):
+    // only the new finding fails the run.
+    fs::write(
+        root.join("crates/demo/src/lib.rs"),
+        "pub fn g() {\n    panic!(\"new\")\n}\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n",
+    )
+    .expect("rewrite lib.rs");
+    let (code, stdout, stderr) = run_lint(&root, &["--baseline", bl]);
+    assert_eq!(code, Some(1), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("panic"), "{stdout}");
+    assert!(
+        !stdout.contains("unwrap"),
+        "baselined finding resurfaced despite its line shifting: {stdout}"
+    );
+    assert!(stderr.contains("1 finding(s)"), "{stderr}");
+}
+
+#[test]
+fn missing_baseline_file_exits_two() {
+    let root = fake_workspace(
+        "cli-baseline-missing",
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    let (code, _, stderr) = run_lint(&root, &["--baseline", "does-not-exist.txt"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("cannot read baseline"), "{stderr}");
+}
+
+#[test]
+fn baseline_and_record_baseline_are_mutually_exclusive() {
+    let root = fake_workspace(
+        "cli-baseline-excl",
+        "#![forbid(unsafe_code)]\npub fn f() {}\n",
+    );
+    let (code, _, stderr) = run_lint(&root, &["--baseline", "a", "--record-baseline", "b"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
+
+#[test]
 fn unknown_arguments_exit_two() {
     let (code, _, stderr) = {
         let out = Command::new(env!("CARGO_BIN_EXE_mar-lint"))

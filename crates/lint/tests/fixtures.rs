@@ -3,7 +3,7 @@
 //! library path (the walker skips `fixtures` directories, so the deliberate
 //! violations never pollute a workspace run).
 
-use mar_lint::{lint_source, Finding, Rule};
+use mar_lint::{lint_files, lint_source, Finding, Rule};
 
 fn fixture(name: &str) -> String {
     let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
@@ -13,6 +13,12 @@ fn fixture(name: &str) -> String {
 /// Lints a fixture as if it were library code inside `mar-core`.
 fn lint_as_core_lib(name: &str) -> Vec<Finding> {
     lint_source("crates/core/src/fixture.rs", &fixture(name))
+}
+
+/// Lints a fixture through [`lint_files`], so the workspace-wide
+/// concurrency pass (D006–D008) runs over it.
+fn lint_concurrency(name: &str) -> Vec<Finding> {
+    lint_files(&[("crates/core/src/fixture.rs".to_string(), fixture(name))])
 }
 
 #[test]
@@ -111,6 +117,84 @@ fn d005_failing_fixture() {
 #[test]
 fn d005_passing_fixture() {
     assert!(lint_source("crates/core/src/lib.rs", &fixture("d005_pass.rs")).is_empty());
+}
+
+#[test]
+fn d006_failing_fixture() {
+    let f = lint_concurrency("d006_fail.rs");
+    assert_eq!(
+        f.iter().map(|x| x.rule).collect::<Vec<_>>(),
+        vec![Rule::D006],
+        "{f:#?}"
+    );
+    // The witness chain names the cycle and both functions.
+    assert!(
+        f[0].message.contains("`alpha` → `beta` → `alpha`"),
+        "{}",
+        f[0].message
+    );
+    assert!(f[0].message.contains("forward"), "{}", f[0].message);
+    assert!(f[0].message.contains("backward"), "{}", f[0].message);
+    assert!(f[0].message.contains("bump_beta"), "{}", f[0].message);
+}
+
+#[test]
+fn d006_passing_fixture() {
+    assert!(lint_concurrency("d006_pass.rs").is_empty());
+}
+
+#[test]
+fn d006_allow_fixture_suppresses_with_reason() {
+    assert!(lint_concurrency("d006_allow.rs").is_empty());
+}
+
+#[test]
+fn d007_failing_fixture() {
+    let f = lint_concurrency("d007_fail.rs");
+    assert_eq!(
+        f.iter().map(|x| x.rule).collect::<Vec<_>>(),
+        vec![Rule::D007],
+        "{f:#?}"
+    );
+    assert!(f[0].message.contains("recv"), "{}", f[0].message);
+    assert!(f[0].message.contains("`inner`"), "{}", f[0].message);
+}
+
+#[test]
+fn d007_passing_fixture() {
+    assert!(lint_concurrency("d007_pass.rs").is_empty());
+}
+
+#[test]
+fn d007_allow_fixture_suppresses_with_reason() {
+    assert!(lint_concurrency("d007_allow.rs").is_empty());
+}
+
+#[test]
+fn d008_failing_fixture() {
+    let f = lint_concurrency("d008_fail.rs");
+    assert_eq!(
+        f.iter().map(|x| x.rule).collect::<Vec<_>>(),
+        vec![Rule::D008],
+        "{f:#?}"
+    );
+    assert!(f[0].message.contains("inner_total"), "{}", f[0].message);
+    assert!(f[0].message.contains("`n`"), "{}", f[0].message);
+}
+
+#[test]
+fn d008_passing_fixture() {
+    assert!(lint_concurrency("d008_pass.rs").is_empty());
+}
+
+#[test]
+fn d008_allow_fixture_suppresses_with_reason() {
+    assert!(lint_concurrency("d008_allow.rs").is_empty());
+}
+
+#[test]
+fn multi_rule_allow_fixture_suppresses_both_rules() {
+    assert!(lint_concurrency("allow_multi_rule.rs").is_empty());
 }
 
 #[test]

@@ -1,0 +1,4 @@
+//! Multi-rule allow fixture: one annotation naming two comma-separated
+//! rules suppresses both on the same line.
+
+pub fn probe(m: &std::collections::HashMap<u32, u32>, k: u32) -> u32 { *m.get(&k).unwrap() } // mar-lint: allow(D001,D004) — membership probe; absence is impossible by construction

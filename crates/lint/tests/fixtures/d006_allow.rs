@@ -1,0 +1,27 @@
+//! D006 allow fixture: the same ABBA cycle as `d006_fail.rs`, justified
+//! on one edge of the cycle. An allow on any edge line suppresses the
+//! cycle report.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        // mar-lint: allow(D006) — shutdown-only path; forward() can no longer run here
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

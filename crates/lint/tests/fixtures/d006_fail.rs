@@ -1,0 +1,32 @@
+//! D006 failing fixture: ABBA lock ordering, one leg through a call.
+//!
+//! `forward` locks `alpha` and then calls `bump_beta`, which locks
+//! `beta`; `backward` locks `beta` then `alpha` directly. Two threads
+//! running `forward` and `backward` concurrently deadlock.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        self.bump_beta();
+        drop(a);
+    }
+
+    fn bump_beta(&self) {
+        let b = self.beta.lock();
+        drop(b);
+    }
+
+    pub fn backward(&self) {
+        let b = self.beta.lock();
+        let a = self.alpha.lock();
+        drop(a);
+        drop(b);
+    }
+}

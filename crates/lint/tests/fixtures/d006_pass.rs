@@ -1,0 +1,41 @@
+//! D006 passing fixture: every function takes `alpha` before `beta`
+//! (one consistent global order), and a textually "reversed" pair of
+//! acquisitions is fine when the first guard is block-scoped and dead
+//! before the second lock is taken.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    pub fn also_forward(&self) {
+        let a = self.alpha.lock();
+        self.bump_beta();
+        drop(a);
+    }
+
+    fn bump_beta(&self) {
+        let b = self.beta.lock();
+        drop(b);
+    }
+
+    pub fn sequential(&self) {
+        let snapshot = {
+            let b = self.beta.lock();
+            0
+        };
+        let a = self.alpha.lock();
+        drop(a);
+        let _ = snapshot;
+    }
+}

@@ -1,0 +1,19 @@
+//! D007 failing fixture: a channel `recv()` while the `inner` guard is
+//! live. Every thread contending for `inner` stalls until the sender
+//! wakes this one up.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Drain {
+    inner: Mutex<u32>,
+    rx: Receiver<u32>,
+}
+
+impl Drain {
+    pub fn drain_one(&self) {
+        let g = self.inner.lock();
+        let v = self.rx.recv();
+        let _ = (g, v);
+    }
+}

@@ -1,0 +1,27 @@
+//! D007 passing fixture: the guard is dropped before blocking, and
+//! argument-taking `join` (string join, not `JoinHandle::join`) is not a
+//! blocking operation.
+
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Drain {
+    inner: Mutex<u32>,
+    rx: Receiver<u32>,
+}
+
+impl Drain {
+    pub fn drain_one(&self) {
+        let g = self.inner.lock();
+        drop(g);
+        let v = self.rx.recv();
+        let _ = v;
+    }
+
+    pub fn render(&self, lines: &[String]) -> String {
+        let g = self.inner.lock();
+        let out = lines.join("\n");
+        drop(g);
+        out
+    }
+}

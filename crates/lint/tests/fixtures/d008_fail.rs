@@ -1,0 +1,23 @@
+//! D008 failing fixture: `outer` holds the `n` guard across a call to
+//! `inner_total`, which locks `n` again — a non-reentrant `Mutex`
+//! self-deadlocks.
+
+use std::sync::Mutex;
+
+pub struct Counter {
+    n: Mutex<u32>,
+}
+
+impl Counter {
+    pub fn outer(&self) {
+        let g = self.n.lock();
+        self.inner_total();
+        drop(g);
+    }
+
+    fn inner_total(&self) -> u32 {
+        let g = self.n.lock();
+        drop(g);
+        0
+    }
+}

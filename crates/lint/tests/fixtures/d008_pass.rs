@@ -1,0 +1,22 @@
+//! D008 passing fixture: the guard is dropped before the call that
+//! re-acquires the same lock.
+
+use std::sync::Mutex;
+
+pub struct Counter {
+    n: Mutex<u32>,
+}
+
+impl Counter {
+    pub fn outer(&self) {
+        let g = self.n.lock();
+        drop(g);
+        self.inner_total();
+    }
+
+    fn inner_total(&self) -> u32 {
+        let g = self.n.lock();
+        drop(g);
+        0
+    }
+}

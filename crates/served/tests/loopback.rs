@@ -405,6 +405,79 @@ fn malformed_frames_get_typed_errors_and_the_daemon_survives() {
 }
 
 #[test]
+fn concurrent_connect_resume_bye_interleavings_do_not_wedge() {
+    // PR 7 regression backstop for the lock-order hot path D006 guards:
+    // two clients hammer connect → query → transport-drop → RESUME →
+    // query → BYE concurrently. Each driver crosses every daemon lock
+    // scope (token map, session stripes, wire-session ledger) in every
+    // interleaving the scheduler cares to produce; a lock-order inversion
+    // between those scopes wedges both threads and trips the watchdog.
+    let cfg = tiny_cfg();
+    let (handle, server) = boot(
+        &cfg,
+        DaemonConfig {
+            max_conns: None,
+            ..DaemonConfig::default()
+        },
+    );
+    let addr = handle.addr;
+    let whole = whole_space_full(&cfg);
+
+    const DRIVERS: usize = 2;
+    const ROUNDS: usize = 12;
+    let (done_tx, done_rx) = std::sync::mpsc::channel::<usize>();
+    let mut drivers = Vec::new();
+    for d in 0..DRIVERS {
+        let whole = whole.clone();
+        let done = done_tx.clone();
+        drivers.push(std::thread::spawn(move || {
+            for round in 0..ROUNDS {
+                let mut client = WireClient::connect(addr).expect("connect");
+                let session = client.session();
+                let token = client.token();
+                match client.query(&whole).expect("fresh query") {
+                    QueryReply::Served(r) => assert!(r.bytes > 0.0, "d{d} r{round}"),
+                    other => panic!("d{d} r{round} refused: {other:?}"),
+                }
+                // Odd rounds drop the transport and RESUME; even rounds
+                // just BYE. Both paths interleave against the other driver.
+                if round % 2 == 1 {
+                    drop(client);
+                    let (mut resumed, _, _) = resume_when_free(addr, token).expect("token resume");
+                    assert_eq!(resumed.session(), session, "d{d} r{round}");
+                    match resumed.query(&whole).expect("post-resume query") {
+                        QueryReply::Served(r) => {
+                            assert_eq!(r.bytes, 0.0, "d{d} r{round}: filter retained")
+                        }
+                        other => panic!("d{d} r{round} resume refused: {other:?}"),
+                    }
+                    resumed.bye().expect("bye after resume");
+                } else {
+                    client.bye().expect("bye");
+                }
+            }
+            done.send(d).expect("report completion");
+        }));
+    }
+    drop(done_tx);
+
+    // Watchdog: every driver must finish well inside the deadline; a
+    // deadlock anywhere in the connect/RESUME/BYE path hangs the recv.
+    let deadline = std::time::Duration::from_secs(60);
+    for _ in 0..DRIVERS {
+        done_rx
+            .recv_timeout(deadline)
+            .expect("a driver wedged: lock-order deadlock on the serving path");
+    }
+    for t in drivers {
+        t.join().expect("driver panicked");
+    }
+    assert_eq!(server.session_count(), 0, "every session was released");
+    assert_eq!(server.resident_filter_entries(), 0);
+    drop(handle);
+}
+
+#[test]
 fn query_before_hello_is_refused_not_minted() {
     let cfg = tiny_cfg();
     let (handle, server) = boot(
