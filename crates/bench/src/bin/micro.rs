@@ -43,12 +43,15 @@ struct Entry {
 struct Options {
     smoke: bool,
     out_dir: String,
+    /// Path to a committed `BENCH_micro.json` to regression-gate against.
+    gate: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         smoke: false,
         out_dir: ".".to_string(),
+        gate: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -60,12 +63,22 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| "--out-dir needs a value".to_string())?
                     .clone();
             }
+            "--gate" => {
+                opts.gate = Some(
+                    it.next()
+                        .ok_or_else(|| "--gate needs a baseline path".to_string())?
+                        .clone(),
+                );
+            }
             _ if a.starts_with("--out-dir=") => {
                 opts.out_dir = a["--out-dir=".len()..].to_string();
             }
+            _ if a.starts_with("--gate=") => {
+                opts.gate = Some(a["--gate=".len()..].to_string());
+            }
             other => {
                 return Err(format!(
-                    "unknown argument: {other}\nusage: micro [--smoke] [--out-dir DIR]"
+                    "unknown argument: {other}\nusage: micro [--smoke] [--out-dir DIR] [--gate BASELINE.json]"
                 ))
             }
         }
@@ -195,7 +208,7 @@ fn bench_window_queries(
         .sample_size(ms.sample_size)
         .measurement_time(ms.measurement)
         .warm_up_time(ms.warm_up);
-    for frac in [0.01, 0.05, 0.10, 0.25] {
+    for frac in [0.01, 0.05, 0.10, 0.20, 0.25] {
         for (band_label, band) in bands {
             let name = format!("frac{:02}_{band_label}", (frac * 100.0) as u32);
             let windows: Vec<_> = centers
@@ -218,6 +231,50 @@ fn bench_window_queries(
                     ops_per_iter: windows.len() as u64,
                 });
             }
+        }
+    }
+    group.finish();
+}
+
+/// The batched group-descent kernel at batch sizes K ∈ {1, 4, 16}: the
+/// same 16-window sweep as `window_query/frac05_full`, chunked into
+/// groups of K that descend the index together. `k01` measures the
+/// batched kernel's fixed overhead against the scalar path; `k16` shows
+/// the cross-session sharing win.
+fn bench_window_query_batch(
+    c: &mut Criterion,
+    ms: &MicroScale,
+    scene: &Scene,
+    index: &WaveletIndex,
+    entries: &mut Vec<Entry>,
+) {
+    let centers = query_centers(scene, 4);
+    let queries: Vec<(mar_geom::Rect2, ResolutionBand)> = centers
+        .iter()
+        .map(|p| (frame_at(&scene.config.space, p, 0.05), ResolutionBand::FULL))
+        .collect();
+    let mut group = c.benchmark_group("window_query_batch");
+    group
+        .sample_size(ms.sample_size)
+        .measurement_time(ms.measurement)
+        .warm_up_time(ms.warm_up);
+    for k in [1usize, 4, 16] {
+        let name = format!("k{k:02}_frac05_full");
+        if let Some(m) = group.bench_function_measured(&name, |b| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for chunk in queries.chunks(k) {
+                    index.for_each_batch(black_box(chunk), |_, _| total += 1);
+                }
+                total
+            })
+        }) {
+            entries.push(Entry {
+                group: "window_query_batch",
+                name,
+                m,
+                ops_per_iter: queries.len() as u64,
+            });
         }
     }
     group.finish();
@@ -261,6 +318,91 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// Extracts `"key": "value"` from a single JSON line.
+fn extract_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts `"key": <number>` from a single JSON line.
+fn extract_num(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Parses `(group, name, per_op_ns)` triples out of a committed
+/// `BENCH_micro.json`. Relies only on the one-result-per-line layout this
+/// binary itself writes — no JSON dependency needed.
+fn parse_baseline(path: &str) -> Result<Vec<(String, String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("gate: cannot read {path}: {e}"))?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let (Some(group), Some(name), Some(per_op)) = (
+            extract_str(line, "group"),
+            extract_str(line, "name"),
+            extract_num(line, "per_op_ns"),
+        ) else {
+            continue;
+        };
+        out.push((group, name, per_op));
+    }
+    if out.is_empty() {
+        return Err(format!("gate: no benchmark entries found in {path}"));
+    }
+    Ok(out)
+}
+
+/// The CI perf smoke gate: every `window_query` point measured in this
+/// run must stay within `3x` of the committed baseline's `per_op_ns`.
+/// The factor is deliberately generous — the smoke scene is far smaller
+/// than the committed full-scale scene and CI machines are noisy, so the
+/// gate only fires on order-of-magnitude regressions (e.g. the batched
+/// kernel accidentally losing its vectorised inner loop), never on
+/// jitter. Points present on only one side are skipped, so adding or
+/// retiring a selectivity never breaks the gate.
+fn run_gate(gate_path: &str, entries: &[Entry]) -> Result<usize, String> {
+    const FACTOR: f64 = 3.0;
+    let baseline = parse_baseline(gate_path)?;
+    let mut checked = 0usize;
+    let mut failures: Vec<String> = Vec::new();
+    for e in entries.iter().filter(|e| e.group == "window_query") {
+        let per_op = e.m.mean_ns / e.ops_per_iter as f64;
+        if let Some((_, _, base)) = baseline
+            .iter()
+            .find(|(g, n, _)| g == "window_query" && *n == e.name)
+        {
+            checked += 1;
+            let base = *base;
+            if per_op > base * FACTOR {
+                failures.push(format!(
+                    "  window_query/{}: {per_op:.1} ns/op exceeds {FACTOR}x committed baseline {base:.1} ns/op",
+                    e.name
+                ));
+            }
+        }
+    }
+    if checked == 0 {
+        return Err(format!(
+            "gate: no window_query entries of this run match {gate_path}"
+        ));
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "gate: window_query regression vs {gate_path}:\n{}",
+            failures.join("\n")
+        ));
+    }
+    Ok(checked)
+}
+
 fn write_micro_json(
     path: &str,
     mode: &str,
@@ -270,7 +412,7 @@ fn write_micro_json(
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mar-bench-micro/1\",\n");
+    out.push_str("  \"schema\": \"mar-bench-micro/2\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!(
         "  \"scene\": {{\"objects\": {}, \"coefficients\": {}, \"levels\": {}}},\n",
@@ -358,6 +500,7 @@ fn main() {
     let mut entries: Vec<Entry> = Vec::new();
     bench_index_build(&mut c, &ms, &data, &mut entries);
     bench_window_queries(&mut c, &ms, &scene, &index, &mut entries);
+    bench_window_query_batch(&mut c, &ms, &scene, &index, &mut entries);
 
     eprintln!("\nbench group: end_to_end");
     let (tables, total) = bench_end_to_end(opts.smoke);
@@ -373,4 +516,18 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!("\nmicro: wrote {micro_path} and {repro_path}");
+
+    // The regression gate runs last, after both JSON files exist, so a
+    // failing run still uploads its artifacts for inspection.
+    if let Some(gate_path) = &opts.gate {
+        match run_gate(gate_path, &entries) {
+            Ok(checked) => eprintln!(
+                "micro: perf gate passed ({checked} window_query points within 3x of {gate_path})"
+            ),
+            Err(e) => {
+                eprintln!("micro: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 }

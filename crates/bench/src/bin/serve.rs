@@ -77,7 +77,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
 fn write_serve_json(path: &str, mode: &str, jobs: usize, r: &ServeReport) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mar-bench-serve/1\",\n");
+    out.push_str("  \"schema\": \"mar-bench-serve/2\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"jobs\": {jobs},\n"));
     out.push_str(&format!("  \"sessions\": {},\n", r.sessions));
@@ -86,6 +86,7 @@ fn write_serve_json(path: &str, mode: &str, jobs: usize, r: &ServeReport) -> std
     out.push_str(&format!("  \"bytes_served\": {:.1},\n", r.bytes));
     out.push_str(&format!("  \"coeffs_served\": {},\n", r.coeffs));
     out.push_str(&format!("  \"index_io\": {},\n", r.io));
+    out.push_str(&format!("  \"index_unique_io\": {},\n", r.unique_io));
     out.push_str(&format!("  \"elapsed_s\": {:.6},\n", r.elapsed_s));
     out.push_str(&format!(
         "  \"queries_per_sec\": {:.1},\n",

@@ -20,8 +20,8 @@
 use crate::engine::Engine;
 use crate::{figs, Scale};
 use mar_core::{
-    IncrementalClient, LinearSpeedMap, SceneIndexData, Server, ServerCore, SmoothedSpeed,
-    WaveletIndex,
+    FramePlanner, LinearSpeedMap, QueryRegion, SceneIndexData, Server, ServerCore, SmoothedSpeed,
+    SpeedResolutionMap, WaveletIndex,
 };
 use mar_link::LinkConfig;
 use mar_workload::{frame_at, pedestrian_tour, tram_tour, Placement, Scene, Tour, TourConfig};
@@ -124,51 +124,32 @@ pub fn session_tour(cfg: &ServeConfig, space: mar_geom::Rect2, k: usize) -> Tour
     }
 }
 
-/// One session's tick outcome, as it appears in the transcript.
-#[derive(Debug, Clone, Copy)]
-struct TickRow {
-    coeffs: u64,
-    new_objects: u64,
-    bytes: f64,
-    io: u64,
-    response_s: f64,
-}
-
-/// Per-session simulation state: the incremental client plus its tour and
-/// speed-smoothing filter. Boxed behind one mutex per session — a session
-/// is stepped by exactly one worker per tick, so the lock is uncontended
-/// and exists only to hand the state safely across the scoped threads.
+/// Per-session simulation state: Algorithm 1's frame planner plus the
+/// session's tour and speed-smoothing filter. Boxed behind one mutex per
+/// session — a session is planned by exactly one worker per tick, so the
+/// lock is uncontended and exists only to hand the state safely across
+/// the scoped threads.
 struct SessionSim {
-    client: IncrementalClient<LinearSpeedMap>,
+    session: u64,
+    planner: FramePlanner,
     smooth: SmoothedSpeed,
     tour: Tour,
 }
 
 impl SessionSim {
-    fn step(
-        &mut self,
-        server: &Server,
-        scene: &Scene,
-        tick: usize,
-        frame_frac: f64,
-        link: &LinkConfig,
-    ) -> TickRow {
+    /// Plans this session's tick-`t` sub-queries and commits the frame.
+    /// Committing before the query executes is safe in-process: the query
+    /// is issued unconditionally by the same tick and cannot fail for a
+    /// connected session. Returns the sub-queries plus the smoothed speed
+    /// (needed for the response-time model once the result is back).
+    fn plan(&mut self, scene: &Scene, tick: usize, frame_frac: f64) -> (Vec<QueryRegion>, f64) {
         let s = self.tour.samples[tick];
         let frame = frame_at(&scene.config.space, &s.pos, frame_frac);
         let speed = self.smooth.update(s.speed);
-        let r = self.client.tick(server, frame, speed);
-        let response_s = if r.bytes > 0.0 {
-            link.request_time(r.bytes, speed)
-        } else {
-            0.0
-        };
-        TickRow {
-            coeffs: r.coeffs as u64,
-            new_objects: r.new_objects as u64,
-            bytes: r.bytes,
-            io: r.io,
-            response_s,
-        }
+        let band = LinearSpeedMap.band_for(speed);
+        let regions = self.planner.plan(&frame, band);
+        self.planner.commit(frame, band);
+        (regions, speed)
     }
 }
 
@@ -185,8 +166,13 @@ pub struct ServeReport {
     pub bytes: f64,
     /// Coefficients served across all sessions.
     pub coeffs: u64,
-    /// Index node accesses across all sessions.
+    /// Index node accesses across all sessions (logical: what each
+    /// session's query would have cost on its own).
     pub io: u64,
+    /// Unique physical node visits of the per-tick group descents — the
+    /// pages actually read once the tick's sessions share the index walk.
+    /// Always `<= io`; the gap is the cross-session sharing win.
+    pub unique_io: u64,
     /// The deterministic per-tick, per-session transcript (CSV).
     pub transcript: String,
     /// Wall-clock duration of each tick's batch, in nanoseconds.
@@ -233,7 +219,8 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
     let sims: Vec<Mutex<SessionSim>> = (0..cfg.sessions)
         .map(|k| {
             Mutex::new(SessionSim {
-                client: IncrementalClient::connect(&server, LinearSpeedMap),
+                session: server.connect(),
+                planner: FramePlanner::new(),
                 smooth: SmoothedSpeed::default(),
                 tour: session_tour(cfg, scene.config.space, k),
             })
@@ -246,12 +233,16 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
     let mut bytes = 0.0;
     let mut coeffs = 0u64;
     let mut io = 0u64;
+    let mut unique_io = 0u64;
     // mar-lint: allow(D003) — wall-clock throughput measurement is this harness's job; timings never enter the transcript
     let t0 = std::time::Instant::now();
     for tick in 0..cfg.ticks {
         // mar-lint: allow(D003) — per-tick batch latency for the report only
         let t_tick = std::time::Instant::now();
-        let rows = engine.run(
+        // Phase 1 — plan: every session runs Algorithm 1 for its own tour
+        // sample in parallel. `Engine::run` returns in point (= session
+        // id) order, so the plans line up with the session ids.
+        let plans = engine.run(
             (0..cfg.sessions).collect(),
             || (),
             |_, &k| {
@@ -259,25 +250,43 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
                     .lock()
                     // mar-lint: allow(D004) — poisoning implies a sibling worker panicked; propagate
                     .expect("session sim poisoned");
-                sim.step(&server, &scene, tick, cfg.frame_frac, &link)
+                (sim.session, sim.plan(&scene, tick, cfg.frame_frac))
             },
         );
+        // Phase 2 — one cross-session group descent for the whole tick:
+        // every session's sub-queries share a single index walk, and the
+        // per-session results are demultiplexed in session-id order so the
+        // transcript merge below is unchanged from the scalar harness.
+        let batch: Vec<(u64, &[QueryRegion])> = plans
+            .iter()
+            .map(|(session, (regions, _))| (*session, regions.as_slice()))
+            .collect();
+        let (results, unique) = server.query_batch(&batch);
+        unique_io += unique;
         tick_ns.push(t_tick.elapsed().as_nanos() as u64);
-        // Merge in session-id order: `Engine::run` returns results in
-        // point order, and the points are the session ids.
-        for (k, row) in rows.iter().enumerate() {
+        // Merge in session-id order.
+        for (k, (result, (_, (_, speed)))) in results.iter().zip(&plans).enumerate() {
+            let r = result
+                .as_ref()
+                // mar-lint: allow(D004) — sessions 0..N were minted by the bulk connect above and live until teardown
+                .expect("serve session vanished mid-run");
+            let response_s = if r.bytes > 0.0 {
+                link.request_time(r.bytes, *speed)
+            } else {
+                0.0
+            };
             transcript.push_str(&transcript_row(
                 tick,
                 k,
-                row.coeffs,
-                row.new_objects,
-                row.bytes,
-                row.io,
-                row.response_s,
+                r.coeffs as u64,
+                r.new_objects as u64,
+                r.bytes,
+                r.io,
+                response_s,
             ));
-            bytes += row.bytes;
-            coeffs += row.coeffs;
-            io += row.io;
+            bytes += r.bytes;
+            coeffs += r.coeffs as u64;
+            io += r.io;
         }
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
@@ -303,6 +312,7 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
         bytes,
         coeffs,
         io,
+        unique_io,
         transcript,
         tick_ns,
         elapsed_s,
@@ -342,6 +352,12 @@ mod tests {
         assert_eq!(r.queries, 30);
         assert_eq!(r.tick_ns.len(), 10);
         assert!(r.bytes > 0.0, "clients must retrieve data");
+        assert!(
+            r.unique_io > 0 && r.unique_io <= r.io,
+            "shared descent reads at most the logical page count ({} vs {})",
+            r.unique_io,
+            r.io
+        );
         // Header + one line per (tick, session).
         assert_eq!(r.transcript.lines().count(), 1 + 30);
         assert!(r
@@ -357,6 +373,7 @@ mod tests {
         assert_eq!(serial.bytes, parallel.bytes);
         assert_eq!(serial.coeffs, parallel.coeffs);
         assert_eq!(serial.io, parallel.io);
+        assert_eq!(serial.unique_io, parallel.unique_io);
         assert_eq!(fnv1a64(&serial.transcript), fnv1a64(&parallel.transcript));
     }
 

@@ -16,7 +16,7 @@
 use crate::coeff::{CoeffRef, SceneIndexData};
 use mar_geom::{Rect2, Rect3};
 use mar_mesh::ResolutionBand;
-use mar_rtree::{RTree, RTreeConfig};
+use mar_rtree::{BatchAccesses, RTree, RTreeConfig};
 
 /// The support-region index.
 #[derive(Debug)]
@@ -93,6 +93,25 @@ impl WaveletIndex {
         self.tree.search(&window, |_, id| visit(*id))
     }
 
+    /// Executes a batch of window queries in one grouped descent: every
+    /// tree node shared by several of the `queries` is visited once
+    /// physically, while the returned [`BatchAccesses`] still reports the
+    /// per-query *logical* accesses — exactly what [`WaveletIndex::for_each`]
+    /// would have counted query by query. `visit(q, id)` receives the
+    /// query's index within `queries` plus the matching coefficient; for
+    /// any single `q` the visit order equals the scalar search order.
+    pub fn for_each_batch(
+        &self,
+        queries: &[(Rect2, ResolutionBand)],
+        mut visit: impl FnMut(usize, CoeffRef),
+    ) -> BatchAccesses {
+        let windows: Vec<Rect3> = queries
+            .iter()
+            .map(|(region, band)| region.lift(band.w_min, band.w_max))
+            .collect();
+        self.tree.search_batch(&windows, |q, _, id| visit(q, *id))
+    }
+
     /// Executes `Q(R, w_max, w_min)`: every coefficient whose support
     /// region intersects `region` and whose magnitude lies in `band`.
     /// Returns the hits and the node accesses (I/O).
@@ -104,10 +123,14 @@ impl WaveletIndex {
 
     /// Counts the coefficients `Q(R, w_max, w_min)` would return without
     /// materialising them. Returns the count and the node accesses.
+    ///
+    /// Uses [`RTree::count_in`], the popcount fast path: the same descent
+    /// and the same pruning kernel as [`WaveletIndex::for_each`] (so the
+    /// I/O tally is identical), but leaf matches are counted straight off
+    /// the test bitmask instead of being replayed one hit at a time.
     pub fn count_in(&self, region: &Rect2, band: ResolutionBand) -> (usize, u64) {
-        let mut n = 0usize;
-        let io = self.for_each(region, band, |_| n += 1);
-        (n, io)
+        let window: Rect3 = region.lift(band.w_min, band.w_max);
+        self.tree.count_in(&window)
     }
 
     /// Cumulative I/O across queries (see [`mar_rtree::RTree::io_count`]).

@@ -42,6 +42,7 @@ pub mod system;
 
 pub use coeff::{CoeffRecord, CoeffRef, SceneIndexData};
 pub use index::{WaveletIndex, WaveletIndex4};
+pub use mar_rtree::BatchAccesses;
 pub use metrics::{BufferMetrics, RetrievalMetrics, SystemMetrics};
 pub use naive_index::NaivePointIndex;
 pub use resilient::{

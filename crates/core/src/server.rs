@@ -198,6 +198,23 @@ impl Session {
     }
 }
 
+/// Replays one window's hit list (in index search order) through a
+/// session's sent-filter, accumulating the transmission accounting. Both
+/// query paths route here so a batched and a scalar execution of the same
+/// sub-queries produce bit-identical [`QueryResult`]s.
+fn apply_hits(sess: &mut Session, data: &SceneIndexData, hits: &[CoeffRef], out: &mut QueryResult) {
+    for &id in hits {
+        if sess.sent.insert(id) {
+            out.coeffs += 1;
+            out.bytes += data.coeff_bytes;
+            if sess.sent_base.insert(id.object) {
+                out.new_objects += 1;
+                out.bytes += data.base_bytes[id.object as usize];
+            }
+        }
+    }
+}
+
 /// The shared immutable half of the server: scene-derived index data plus
 /// the wavelet index, both behind `Arc` so clones are cheap handle copies.
 /// Everything here is read-only after construction — safe to share across
@@ -464,10 +481,17 @@ impl Server {
     /// Executes a batch of sub-queries for a session, filtering out data
     /// the client already holds, and returns the transmission accounting.
     ///
+    /// The session's sub-queries run as one grouped index descent
+    /// ([`WaveletIndex::for_each_batch`]): tree nodes shared by several
+    /// sub-query windows are read once physically, while `io` still
+    /// reports the per-sub-query *logical* accesses — exactly what the
+    /// one-window-at-a-time walk would have counted. The per-window hit
+    /// lists are replayed through the session filter in sub-query order,
+    /// so the accounting (including the floating-point byte total) is
+    /// bit-identical to the scalar path.
+    ///
     /// Holds only the session's stripe lock: the index walk itself is a
-    /// lock-free `&self` read of the shared core, with the session filter
-    /// applied inside the tree walk (in index search order) so no
-    /// per-sub-query hit vector is ever materialised.
+    /// lock-free `&self` read of the shared core.
     ///
     /// An unknown or disconnected session id is a typed
     /// [`SessionError`] — the server never mints filter state for a
@@ -487,21 +511,99 @@ impl Server {
             .ok_or(SessionError::UnknownSession(session))?;
         let index = self.core.index();
         let data = self.core.data();
+        let queries: Vec<(Rect2, ResolutionBand)> =
+            regions.iter().map(|q| (q.region, q.band)).collect();
+        let mut hits: Vec<Vec<CoeffRef>> = vec![Vec::new(); queries.len()];
+        let accesses = index.for_each_batch(&queries, |w, id| hits[w].push(id));
         let mut result = QueryResult::default();
-        for q in regions {
-            let io = index.for_each(&q.region, q.band, |id| {
-                if sess.sent.insert(id) {
-                    result.coeffs += 1;
-                    result.bytes += data.coeff_bytes;
-                    if sess.sent_base.insert(id.object) {
-                        result.new_objects += 1;
-                        result.bytes += data.base_bytes[id.object as usize];
-                    }
-                }
-            });
-            result.io += io;
+        for window_hits in &hits {
+            apply_hits(sess, data, window_hits, &mut result);
         }
+        result.io = accesses.logical_total();
         Ok(result)
+    }
+
+    /// Executes every session's sub-queries as **one** cross-session group
+    /// descent: the windows of all sessions in `batch` descend the index
+    /// together, so a tree node needed by several sessions is read once
+    /// physically. Returns the per-session results in caller order plus
+    /// the number of unique physical node visits the merged descent
+    /// performed (the shared-visit metric).
+    ///
+    /// Each per-session [`QueryResult`] — coefficients, bytes, *and* its
+    /// logical `io` count — is bit-identical to what a separate
+    /// [`Server::query`] call would have produced: per-window visit order
+    /// equals the scalar search order, windows replay through the session
+    /// filter in sub-query order, and logical accesses are counted per
+    /// window regardless of physical sharing.
+    ///
+    /// Locking: session stripes are taken one at a time (existence check
+    /// up front, filter application afterwards), never nested with each
+    /// other or held across the index descent. A session that disconnects
+    /// between the two lock windows surfaces as
+    /// [`SessionError::UnknownSession`], the same answer a scalar call in
+    /// that race would give.
+    pub fn query_batch(
+        &self,
+        batch: &[(u64, &[QueryRegion])],
+    ) -> (Vec<Result<QueryResult, SessionError>>, u64) {
+        // Admission: one stripe lock at a time, released before the walk.
+        let known: Vec<bool> = batch
+            .iter()
+            .map(|&(session, _)| {
+                self.stripe(session)
+                    .lock()
+                    // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+                    .expect("session stripe poisoned")
+                    .contains_key(&session)
+            })
+            .collect();
+        // One lock-free grouped descent over every admitted session's
+        // windows; `ranges[s]` is session slot s's window span.
+        let mut queries: Vec<(Rect2, ResolutionBand)> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(batch.len());
+        for (s, &(_, regions)) in batch.iter().enumerate() {
+            let start = queries.len();
+            if known[s] {
+                queries.extend(regions.iter().map(|q| (q.region, q.band)));
+            }
+            ranges.push((start, queries.len()));
+        }
+        let mut hits: Vec<Vec<CoeffRef>> = vec![Vec::new(); queries.len()];
+        let accesses = self
+            .core
+            .index()
+            .for_each_batch(&queries, |w, id| hits[w].push(id));
+        // Demultiplex: apply each session's filter in caller order.
+        let data = self.core.data();
+        let mut out = Vec::with_capacity(batch.len());
+        for (s, &(session, _)) in batch.iter().enumerate() {
+            if !known[s] {
+                out.push(Err(SessionError::UnknownSession(session)));
+                continue;
+            }
+            let (start, end) = ranges[s];
+            let mut stripe = self
+                .stripe(session)
+                .lock()
+                // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
+                .expect("session stripe poisoned");
+            let Some(sess) = stripe.get_mut(&session) else {
+                // Disconnected between admission and apply.
+                out.push(Err(SessionError::UnknownSession(session)));
+                continue;
+            };
+            let mut result = QueryResult::default();
+            for (h, &io) in hits[start..end]
+                .iter()
+                .zip(&accesses.per_window[start..end])
+            {
+                apply_hits(sess, data, h, &mut result);
+                result.io += io;
+            }
+            out.push(Ok(result));
+        }
+        (out, accesses.unique)
     }
 
     /// A stateless query (no session filtering): the raw index answer.
@@ -640,6 +742,73 @@ mod tests {
         let ra = s.query(a, &[whole()]).unwrap();
         let rb = s.query(b, &[whole()]).unwrap();
         assert_eq!(ra.coeffs, rb.coeffs);
+    }
+
+    #[test]
+    fn query_batch_matches_scalar_queries_bit_for_bit() {
+        // Two servers over the same scene: one answers session by session,
+        // the other answers every session in one grouped descent. Every
+        // per-session result — including the f64 byte totals and logical
+        // io — must be identical.
+        let scalar = server();
+        let batched = server();
+        let regions: Vec<Vec<QueryRegion>> = (0..5)
+            .map(|k| {
+                let x = 80.0 * k as f64;
+                vec![
+                    QueryRegion {
+                        region: Rect2::new(
+                            Point2::new([x, 100.0]),
+                            Point2::new([x + 400.0, 620.0]),
+                        ),
+                        band: ResolutionBand::FULL,
+                    },
+                    QueryRegion {
+                        region: Rect2::new(
+                            Point2::new([x, 100.0]),
+                            Point2::new([x + 650.0, 880.0]),
+                        ),
+                        band: ResolutionBand::new(0.4, 1.0),
+                    },
+                ]
+            })
+            .collect();
+        let sessions_a: Vec<u64> = (0..5).map(|_| scalar.connect()).collect();
+        let sessions_b: Vec<u64> = (0..5).map(|_| batched.connect()).collect();
+        for round in 0..3 {
+            let want: Vec<QueryResult> = sessions_a
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| scalar.query(c, &regions[(k + round) % 5]).unwrap())
+                .collect();
+            let batch: Vec<(u64, &[QueryRegion])> = sessions_b
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| (c, regions[(k + round) % 5].as_slice()))
+                .collect();
+            let (got, unique) = batched.query_batch(&batch);
+            let logical: u64 = want.iter().map(|r| r.io).sum();
+            assert!(
+                unique > 0 && unique <= logical,
+                "round {round}: shared descent must not exceed logical io ({unique} vs {logical})"
+            );
+            for (k, (g, w)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(g.as_ref().unwrap(), w, "round {round} session {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_batch_reports_unknown_sessions() {
+        let s = server();
+        let c = s.connect();
+        let regions = [whole()];
+        let batch: Vec<(u64, &[QueryRegion])> =
+            vec![(9999, &regions), (c, &regions), (12345, &regions)];
+        let (got, _) = s.query_batch(&batch);
+        assert!(matches!(got[0], Err(SessionError::UnknownSession(9999))));
+        assert!(got[1].as_ref().unwrap().coeffs > 0);
+        assert!(matches!(got[2], Err(SessionError::UnknownSession(12345))));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the layout a search touches most.
 
 use crate::insert::HasRect;
-use crate::node::{Arena, ChildEntry, Entry, NodeKind};
+use crate::node::{Arena, ChildEntry, Entry, InternalNode, LeafNode, NodeKind};
 use crate::{RTree, RTreeConfig};
 use mar_geom::Rect;
 // `std::sync` here serves the deterministic parallel loader only: slabs are
@@ -49,7 +49,7 @@ impl<const N: usize, T> RTree<N, T> {
                     .reduce(|a, b| a.union(&b))
                     // mar-lint: allow(D004) — grouping emits no empty chunks
                     .expect("non-empty leaf group");
-                (mbr, arena.alloc(NodeKind::Leaf(g)))
+                (mbr, arena.alloc(NodeKind::Leaf(LeafNode::from_entries(g))))
             })
             .collect();
         let mut height = 1usize;
@@ -70,7 +70,10 @@ impl<const N: usize, T> RTree<N, T> {
                         .reduce(|a, b| a.union(&b))
                         // mar-lint: allow(D004) — grouping emits no empty chunks
                         .expect("non-empty internal group");
-                    (mbr, arena.alloc(NodeKind::Internal(g)))
+                    (
+                        mbr,
+                        arena.alloc(NodeKind::Internal(InternalNode::from_entries(g))),
+                    )
                 })
                 .collect();
             height += 1;

@@ -28,9 +28,9 @@ impl<const N: usize, T: PartialEq> RTree<N, T> {
         // Shrink the root while it is an internal node with one child.
         loop {
             let shrink = match self.arena.node_mut(self.root) {
-                NodeKind::Internal(entries) if entries.len() == 1 => {
-                    // mar-lint: allow(D004) — `entries.len() == 1` matched above
-                    Some(entries.pop().expect("single child").child)
+                NodeKind::Internal(node) if node.len() == 1 => {
+                    // mar-lint: allow(D004) — `node.len() == 1` matched above
+                    Some(node.pop().expect("single child").child)
                 }
                 _ => None,
             };
@@ -65,8 +65,8 @@ impl<const N: usize, T: PartialEq> RTree<N, T> {
     {
         let mut victims: Vec<(Rect<N>, T)> = Vec::new();
         self.search(window, |r, t| {
-            if pred(r, t) {
-                victims.push((*r, t.clone()));
+            if pred(&r, t) {
+                victims.push((r, t.clone()));
             }
         });
         let mut out = Vec::with_capacity(victims.len());
@@ -88,22 +88,26 @@ fn remove_rec<const N: usize, T: PartialEq>(
     config: &crate::RTreeConfig,
 ) -> Option<T> {
     if arena.is_leaf(node) {
-        let entries = match arena.node_mut(node) {
-            NodeKind::Leaf(entries) => entries,
+        let leaf = match arena.node_mut(node) {
+            NodeKind::Leaf(leaf) => leaf,
             _ => unreachable!("is_leaf checked above"),
         };
-        let pos = entries
-            .iter()
-            .position(|e| rects_match(&e.rect, rect) && &e.item == item)?;
-        return Some(entries.remove(pos).item);
+        let pos =
+            (0..leaf.len()).find(|&i| rects_match(&leaf.rect(i), rect) && leaf.item(i) == item)?;
+        // Order-preserving removal: the surviving entries keep their
+        // relative order exactly as `Vec::remove` kept it in AoS storage.
+        return Some(leaf.remove(pos).item);
     }
     let mut removed = None;
     let mut touched = 0usize;
     let count = arena.internal(node).len();
     for i in 0..count {
-        let e = arena.internal(node)[i];
-        if e.rect.contains_rect(rect) || e.rect.intersects(rect) {
-            if let Some(it) = remove_rec(arena, e.child, rect, item, orphans, config) {
+        let (e_rect, e_child) = {
+            let inode = arena.internal(node);
+            (inode.rect(i), inode.child(i))
+        };
+        if e_rect.contains_rect(rect) || e_rect.intersects(rect) {
+            if let Some(it) = remove_rec(arena, e_child, rect, item, orphans, config) {
                 removed = Some(it);
                 touched = i;
                 break;
@@ -111,7 +115,7 @@ fn remove_rec<const N: usize, T: PartialEq>(
         }
     }
     let removed = removed?;
-    let child = arena.internal(node)[touched].child;
+    let child = arena.internal(node).child(touched);
     if arena.entry_count(child) < config.min_entries {
         // Dissolve the underfull child; orphan its leaf items.
         arena.internal_mut(node).remove(touched);
@@ -121,7 +125,7 @@ fn remove_rec<const N: usize, T: PartialEq>(
             .mbr(child)
             // mar-lint: allow(D004) — child holds ≥ min_entries per the branch above
             .expect("non-empty child");
-        arena.internal_mut(node)[touched].rect = child_mbr;
+        arena.internal_mut(node).set_rect(touched, &child_mbr);
     }
     Some(removed)
 }
@@ -133,12 +137,12 @@ fn collect_items<const N: usize, T>(
     out: &mut Vec<(Rect<N>, T)>,
 ) {
     match arena.take(node) {
-        NodeKind::Leaf(entries) => {
-            out.extend(entries.into_iter().map(|e| (e.rect, e.item)));
+        NodeKind::Leaf(leaf) => {
+            out.extend(leaf.into_entries().into_iter().map(|e| (e.rect, e.item)));
         }
-        NodeKind::Internal(entries) => {
-            for e in entries {
-                collect_items(arena, e.child, out);
+        NodeKind::Internal(inode) => {
+            for &child in inode.children() {
+                collect_items(arena, child, out);
             }
         }
         NodeKind::Free => {}

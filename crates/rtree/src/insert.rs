@@ -15,7 +15,7 @@
 //!   leaf level only — the level where it buys nearly all of its packing
 //!   benefit — which keeps overflow propagation single-pass.
 
-use crate::node::{Arena, ChildEntry, Entry, NodeKind};
+use crate::node::{Arena, ChildEntry, Entry, InternalNode, LeafNode, NodeKind};
 use crate::{RTree, RTreeConfig, Variant};
 use mar_geom::{Point, Rect};
 use std::cell::Cell;
@@ -91,16 +91,18 @@ impl<const N: usize, T> RTree<N, T> {
             .mbr(old_root)
             // mar-lint: allow(D004) — a node that just split holds ≥ min_entries
             .expect("split root cannot be empty");
-        self.root = self.arena.alloc(NodeKind::Internal(vec![
-            ChildEntry {
-                rect: old_rect,
-                child: old_root,
-            },
-            ChildEntry {
-                rect: sibling_rect,
-                child: sibling,
-            },
-        ]));
+        self.root = self
+            .arena
+            .alloc(NodeKind::Internal(InternalNode::from_entries(vec![
+                ChildEntry {
+                    rect: old_rect,
+                    child: old_root,
+                },
+                ChildEntry {
+                    rect: sibling_rect,
+                    child: sibling,
+                },
+            ])));
         self.height += 1;
     }
 }
@@ -116,52 +118,65 @@ fn insert_rec<const N: usize, T>(
     reinserts: &mut Vec<Entry<N, T>>,
 ) -> Option<(Rect<N>, u32)> {
     if arena.is_leaf(node) {
+        // The no-overflow fast path only appends to the lanes; overflow
+        // materialises the entries, runs the unchanged reinsert/split
+        // permutation, and rebuilds the lanes in the permuted order — so
+        // node contents match the AoS storage byte for byte.
         let (sibling_rect, moved) = match arena.node_mut(node) {
-            NodeKind::Leaf(entries) => {
-                entries.push(entry);
-                if entries.len() <= config.max_entries {
+            NodeKind::Leaf(leaf) => {
+                leaf.push(entry.rect, entry.item);
+                if leaf.len() <= config.max_entries {
                     return None;
                 }
+                let mut entries = leaf.drain_entries();
                 if *allow_reinsert {
                     *allow_reinsert = false;
-                    force_reinsert(entries, config, reinserts);
+                    force_reinsert(&mut entries, config, reinserts);
+                    leaf.extend_entries(entries);
                     return None;
                 }
-                let (keep, moved) = split_items(std::mem::take(entries), config);
+                let (keep, moved) = split_items(entries, config);
                 let sibling_rect = mbr_of(&moved);
-                *entries = keep;
+                leaf.extend_entries(keep);
                 (sibling_rect, moved)
             }
             _ => unreachable!("is_leaf checked above"),
         };
-        let sibling = arena.alloc(NodeKind::Leaf(moved));
+        let sibling = arena.alloc(NodeKind::Leaf(LeafNode::from_entries(moved)));
         return Some((sibling_rect, sibling));
     }
     let (idx, child) = {
-        let entries = arena.internal(node);
-        let child_is_leaf = entries
-            .first()
-            .map(|e| arena.is_leaf(e.child))
-            .unwrap_or(false);
-        let idx = choose_subtree(entries, &entry.rect, config, child_is_leaf);
-        (idx, entries[idx].child)
+        let inode = arena.internal(node);
+        let child_is_leaf = inode.len() > 0 && arena.is_leaf(inode.child(0));
+        let idx = choose_subtree(inode, &entry.rect, config, child_is_leaf);
+        (idx, inode.child(idx))
     };
     let split = insert_rec(arena, child, entry, config, allow_reinsert, reinserts);
     let child_mbr = arena
         .mbr(child)
         // mar-lint: allow(D004) — insertion only ever adds entries
         .expect("child emptied during insert");
-    let entries = arena.internal_mut(node);
-    entries[idx].rect = child_mbr;
-    if let Some((rect, child)) = split {
-        entries.push(ChildEntry { rect, child });
-        if entries.len() > config.max_entries {
-            let (keep, moved) = split_items(std::mem::take(entries), config);
-            let sibling_rect = mbr_of(&moved);
-            *entries = keep;
-            let sibling = arena.alloc(NodeKind::Internal(moved));
-            return Some((sibling_rect, sibling));
+    let overflow = {
+        let inode = arena.internal_mut(node);
+        inode.set_rect(idx, &child_mbr);
+        match split {
+            Some((rect, child)) => {
+                inode.push(rect, child);
+                if inode.len() > config.max_entries {
+                    let (keep, moved) = split_items(inode.drain_entries(), config);
+                    let sibling_rect = mbr_of(&moved);
+                    inode.extend_entries(keep);
+                    Some((sibling_rect, moved))
+                } else {
+                    None
+                }
+            }
+            None => None,
         }
+    };
+    if let Some((sibling_rect, moved)) = overflow {
+        let sibling = arena.alloc(NodeKind::Internal(InternalNode::from_entries(moved)));
+        return Some((sibling_rect, sibling));
     }
     None
 }
@@ -211,7 +226,7 @@ fn force_reinsert<const N: usize, T>(
 
 /// Picks the child to descend into.
 fn choose_subtree<const N: usize>(
-    entries: &[ChildEntry<N>],
+    node: &InternalNode<N>,
     rect: &Rect<N>,
     config: &RTreeConfig,
     child_is_leaf: bool,
@@ -221,21 +236,23 @@ fn choose_subtree<const N: usize>(
         // enlargement, then by volume.
         let mut best = 0;
         let mut best_key = (f64::INFINITY, f64::INFINITY, f64::INFINITY);
-        for (i, e) in entries.iter().enumerate() {
-            let enlarged = e.rect.union(rect);
+        for i in 0..node.len() {
+            let r = node.rect(i);
+            let enlarged = r.union(rect);
             let mut overlap_before = 0.0;
             let mut overlap_after = 0.0;
-            for (j, o) in entries.iter().enumerate() {
+            for j in 0..node.len() {
                 if i == j {
                     continue;
                 }
-                overlap_before += e.rect.overlap_volume(&o.rect);
-                overlap_after += enlarged.overlap_volume(&o.rect);
+                let o = node.rect(j);
+                overlap_before += r.overlap_volume(&o);
+                overlap_after += enlarged.overlap_volume(&o);
             }
             let key = (
                 overlap_after - overlap_before,
-                e.rect.enlargement(rect),
-                e.rect.volume(),
+                r.enlargement(rect),
+                r.volume(),
             );
             if key < best_key {
                 best_key = key;
@@ -247,8 +264,9 @@ fn choose_subtree<const N: usize>(
         // Least volume enlargement, ties by volume.
         let mut best = 0;
         let mut best_key = (f64::INFINITY, f64::INFINITY);
-        for (i, e) in entries.iter().enumerate() {
-            let key = (e.rect.enlargement(rect), e.rect.volume());
+        for i in 0..node.len() {
+            let r = node.rect(i);
+            let key = (r.enlargement(rect), r.volume());
             if key < best_key {
                 best_key = key;
                 best = i;

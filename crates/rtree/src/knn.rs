@@ -61,19 +61,19 @@ impl<const N: usize, T> RTree<N, T> {
                 HeapEntry::Node(idx) => {
                     accesses += 1;
                     match self.arena.node(idx) {
-                        NodeKind::Leaf(entries) => {
-                            for e in entries {
+                        NodeKind::Leaf(node) => {
+                            for i in 0..node.len() {
                                 heap.push(Prioritized {
-                                    dist: e.rect.min_distance(query),
-                                    entry: HeapEntry::Item(&e.item),
+                                    dist: node.rect(i).min_distance(query),
+                                    entry: HeapEntry::Item(node.item(i)),
                                 });
                             }
                         }
-                        NodeKind::Internal(entries) => {
-                            for e in entries {
+                        NodeKind::Internal(node) => {
+                            for i in 0..node.len() {
                                 heap.push(Prioritized {
-                                    dist: e.rect.min_distance(query),
-                                    entry: HeapEntry::Node(e.child),
+                                    dist: node.rect(i).min_distance(query),
+                                    entry: HeapEntry::Node(node.child(i)),
                                 });
                             }
                         }

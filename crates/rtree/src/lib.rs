@@ -39,10 +39,11 @@ mod query;
 mod stats;
 
 pub use node::Entry;
+pub use query::BatchAccesses;
 pub use stats::{LevelStats, TreeStats};
 
 use mar_geom::Rect;
-use node::{Arena, NodeKind};
+use node::{Arena, LeafNode, NodeKind};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which insertion/split algorithm the tree uses.
@@ -142,7 +143,7 @@ impl<const N: usize, T> RTree<N, T> {
     /// Creates an empty tree.
     pub fn new(config: RTreeConfig) -> Self {
         let mut arena = Arena::new();
-        let root = arena.alloc(NodeKind::Leaf(Vec::new()));
+        let root = arena.alloc(NodeKind::Leaf(LeafNode::new()));
         Self {
             config,
             arena,
@@ -225,20 +226,20 @@ impl<const N: usize, T> RTree<N, T> {
     }
 
     /// Iterates over every `(rect, item)` in the tree (arbitrary order).
-    pub fn iter(&self) -> impl Iterator<Item = (&Rect<N>, &T)> {
+    /// Rectangles are materialised by value from the node's coordinate
+    /// lanes.
+    pub fn iter(&self) -> impl Iterator<Item = (Rect<N>, &T)> {
         let mut stack = vec![self.root];
-        let mut leaf_items: Vec<(&Rect<N>, &T)> = Vec::new();
+        let mut leaf_items: Vec<(Rect<N>, &T)> = Vec::new();
         while let Some(idx) = stack.pop() {
             match self.arena.node(idx) {
-                NodeKind::Leaf(entries) => {
-                    for e in entries {
-                        leaf_items.push((&e.rect, &e.item));
+                NodeKind::Leaf(node) => {
+                    for i in 0..node.len() {
+                        leaf_items.push((node.rect(i), node.item(i)));
                     }
                 }
-                NodeKind::Internal(entries) => {
-                    for e in entries {
-                        stack.push(e.child);
-                    }
+                NodeKind::Internal(node) => {
+                    stack.extend_from_slice(node.children());
                 }
                 NodeKind::Free => {}
             }

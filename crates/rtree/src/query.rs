@@ -1,12 +1,27 @@
-//! Window queries with node-access accounting.
+//! Window queries with node-access accounting: a branchless scalar
+//! search and a batched multi-window group descent.
 //!
-//! The search is iterative over arena slot indices and performs no
-//! allocation on the hot path: the traversal stack is a thread-local
-//! scratch buffer of `u32` slots that is taken for the duration of one
-//! search and handed back (grown) afterwards, so steady-state queries
-//! reuse the same capacity forever. A `Cell` (take/replace) rather than a
-//! `RefCell` keeps re-entrant searches safe: a query issued from inside a
-//! visitor simply starts from a fresh empty stack.
+//! Both searches are iterative over arena slot indices and perform no
+//! allocation on the hot path: the traversal stacks are thread-local
+//! scratch buffers that are taken for the duration of one search and
+//! handed back (grown) afterwards, so steady-state queries reuse the same
+//! capacity forever. A `Cell` (take/replace) rather than a `RefCell`
+//! keeps re-entrant searches safe: a query issued from inside a visitor
+//! simply starts from a fresh empty stack.
+//!
+//! Node tests run through [`Lanes::match_bits`]: one sweep over the
+//! node's contiguous per-axis `lo`/`hi` lanes produces a hit bitmask for
+//! up to 64 entries at a time, which iterates by `trailing_zeros`. The
+//! visit order (and therefore every access count) is identical to the
+//! classic one-rect-at-a-time loop; only the comparison shape changes.
+//!
+//! [`RTree::search_batch`] extends this to K windows at once: the stack
+//! carries `(node, window_bitmask)` pairs, so a node shared by several
+//! windows is *physically* visited once per group while the per-window
+//! **logical** access counts (what K independent scalar descents would
+//! have reported, and what the cumulative [`RTree::io_count`] tallies)
+//! are still attributed exactly. The physical visit count — the improved
+//! node-access metric batching buys — is returned alongside.
 
 use crate::node::NodeKind;
 use crate::RTree;
@@ -17,6 +32,30 @@ thread_local! {
     /// Reusable traversal stack shared by every tree on this thread; slot
     /// indices are plain `u32`s, so one buffer serves all `N`/`T`.
     static SEARCH_STACK: Cell<Vec<u32>> = const { Cell::new(Vec::new()) };
+    /// Reusable `(slot, window-bitmask)` stack for the batched descent.
+    static BATCH_STACK: Cell<Vec<(u32, u64)>> = const { Cell::new(Vec::new()) };
+}
+
+/// Access accounting of one [`RTree::search_batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchAccesses {
+    /// Logical node accesses per window — exactly what a scalar
+    /// [`RTree::search`] of the same window would have returned. These are
+    /// what the cumulative [`RTree::io_count`] is incremented by, so
+    /// existing I/O accounting is batch-invariant.
+    pub per_window: Vec<u64>,
+    /// Distinct node visits the grouped descent actually performed (a
+    /// node shared by several windows of a 64-wide group counts once).
+    /// `max(per_window) <= unique <= sum(per_window)`.
+    pub unique: u64,
+}
+
+impl BatchAccesses {
+    /// Sum of the per-window logical accesses (what K scalar searches
+    /// would have cost).
+    pub fn logical_total(&self) -> u64 {
+        self.per_window.iter().sum()
+    }
 }
 
 impl<const N: usize, T> RTree<N, T> {
@@ -24,11 +63,7 @@ impl<const N: usize, T> RTree<N, T> {
     /// returning the number of node (page) accesses the search performed.
     /// The cumulative [`RTree::io_count`] is incremented by the same
     /// amount.
-    pub fn search<'a>(
-        &'a self,
-        window: &Rect<N>,
-        mut visit: impl FnMut(&'a Rect<N>, &'a T),
-    ) -> u64 {
+    pub fn search<'a>(&'a self, window: &Rect<N>, mut visit: impl FnMut(Rect<N>, &'a T)) -> u64 {
         let mut stack = SEARCH_STACK.with(Cell::take);
         stack.clear();
         let mut accesses = 0u64;
@@ -36,18 +71,28 @@ impl<const N: usize, T> RTree<N, T> {
         while let Some(idx) = stack.pop() {
             accesses += 1;
             match self.arena.node(idx) {
-                NodeKind::Leaf(entries) => {
-                    for e in entries {
-                        if e.rect.intersects(window) {
-                            visit(&e.rect, &e.item);
+                NodeKind::Leaf(node) => {
+                    let mut start = 0;
+                    while start < node.len() {
+                        let (mut mask, n) = node.lanes.match_bits(window, start);
+                        while mask != 0 {
+                            let j = mask.trailing_zeros() as usize;
+                            mask &= mask - 1;
+                            visit(node.rect(start + j), node.item(start + j));
                         }
+                        start += n;
                     }
                 }
-                NodeKind::Internal(entries) => {
-                    for e in entries {
-                        if e.rect.intersects(window) {
-                            stack.push(e.child);
+                NodeKind::Internal(node) => {
+                    let mut start = 0;
+                    while start < node.len() {
+                        let (mut mask, n) = node.lanes.match_bits(window, start);
+                        while mask != 0 {
+                            let j = mask.trailing_zeros() as usize;
+                            mask &= mask - 1;
+                            stack.push(node.child(start + j));
                         }
+                        start += n;
                     }
                 }
                 // Free slots are never reachable from the root.
@@ -60,6 +105,114 @@ impl<const N: usize, T> RTree<N, T> {
         accesses
     }
 
+    /// Searches `K` windows in one grouped descent. `visit` receives
+    /// `(window_index, rect, item)` for every window/item intersection —
+    /// per window, exactly the hit set the scalar [`RTree::search`] of
+    /// that window produces (emission order may interleave windows).
+    ///
+    /// Windows are grouped 64 at a time (one bitmask lane each); within a
+    /// group every tree node is physically visited at most once, while
+    /// logical per-window accesses — and through them the cumulative
+    /// [`RTree::io_count`] — are attributed exactly as K scalar searches
+    /// would have. See [`BatchAccesses`].
+    pub fn search_batch<'a>(
+        &'a self,
+        windows: &[Rect<N>],
+        mut visit: impl FnMut(usize, Rect<N>, &'a T),
+    ) -> BatchAccesses {
+        let mut per_window = vec![0u64; windows.len()];
+        let mut unique = 0u64;
+        for (chunk_idx, chunk) in windows.chunks(64).enumerate() {
+            unique += self.search_group(chunk, chunk_idx * 64, &mut per_window, &mut visit);
+        }
+        let total: u64 = per_window.iter().sum();
+        self.io
+            .fetch_add(total, std::sync::atomic::Ordering::Relaxed);
+        BatchAccesses { per_window, unique }
+    }
+
+    /// One ≤64-window group descent; returns the physical node visits.
+    fn search_group<'a>(
+        &'a self,
+        windows: &[Rect<N>],
+        base: usize,
+        per_window: &mut [u64],
+        visit: &mut impl FnMut(usize, Rect<N>, &'a T),
+    ) -> u64 {
+        if windows.is_empty() {
+            return 0;
+        }
+        let all = if windows.len() == 64 {
+            u64::MAX
+        } else {
+            (1u64 << windows.len()) - 1
+        };
+        let mut stack = BATCH_STACK.with(Cell::take);
+        stack.clear();
+        let mut unique = 0u64;
+        stack.push((self.root, all));
+        while let Some((idx, group)) = stack.pop() {
+            unique += 1;
+            // Logical attribution: every window whose bit is set "visits"
+            // this node, exactly as its own scalar descent would have.
+            let mut g = group;
+            while g != 0 {
+                let w = g.trailing_zeros() as usize;
+                g &= g - 1;
+                per_window[base + w] += 1;
+            }
+            match self.arena.node(idx) {
+                NodeKind::Leaf(node) => {
+                    let mut g = group;
+                    while g != 0 {
+                        let w = g.trailing_zeros() as usize;
+                        g &= g - 1;
+                        let window = &windows[w];
+                        let mut start = 0;
+                        while start < node.len() {
+                            let (mut mask, n) = node.lanes.match_bits(window, start);
+                            while mask != 0 {
+                                let j = mask.trailing_zeros() as usize;
+                                mask &= mask - 1;
+                                visit(base + w, node.rect(start + j), node.item(start + j));
+                            }
+                            start += n;
+                        }
+                    }
+                }
+                NodeKind::Internal(node) => {
+                    // Transpose window×entry hits into per-child window
+                    // masks, then push surviving children in entry order.
+                    let mut start = 0;
+                    while start < node.len() {
+                        let n = (node.len() - start).min(64);
+                        let mut child_masks = [0u64; 64];
+                        let mut g = group;
+                        while g != 0 {
+                            let w = g.trailing_zeros() as usize;
+                            g &= g - 1;
+                            let (mut mask, _) = node.lanes.match_bits(&windows[w], start);
+                            while mask != 0 {
+                                let j = mask.trailing_zeros() as usize;
+                                mask &= mask - 1;
+                                child_masks[j] |= 1u64 << w;
+                            }
+                        }
+                        for (j, &cm) in child_masks[..n].iter().enumerate() {
+                            if cm != 0 {
+                                stack.push((node.child(start + j), cm));
+                            }
+                        }
+                        start += n;
+                    }
+                }
+                NodeKind::Free => {}
+            }
+        }
+        BATCH_STACK.with(|cell| cell.set(stack));
+        unique
+    }
+
     /// Collects every item intersecting `window`; returns the items and the
     /// node accesses.
     pub fn query(&self, window: &Rect<N>) -> (Vec<&T>, u64) {
@@ -69,10 +222,129 @@ impl<const N: usize, T> RTree<N, T> {
     }
 
     /// Counts items intersecting `window` without materialising them.
+    ///
+    /// Visits exactly the nodes [`RTree::search`] would (same order, same
+    /// access count), but leaf hits are tallied straight off the match
+    /// bitmask with a popcount — no per-hit rectangle or item access — so
+    /// counting is pure lane arithmetic.
     pub fn count_in(&self, window: &Rect<N>) -> (usize, u64) {
-        let mut n = 0usize;
-        let io = self.search(window, |_, _| n += 1);
-        (n, io)
+        // Node capacities are bounded by the split threshold, so any
+        // configuration up to 56 entries per node (the paper's page
+        // geometry holds 20) guarantees every node fits a single 64-bit
+        // sweep and the whole walk runs mask-at-a-time.
+        if self.config.max_entries > 56 {
+            return self.count_in_chunked(window);
+        }
+        // Axis elision: a full-band query (§VI-B) lifts the region by
+        // the entire magnitude range, so the window spans every stored
+        // rectangle on the lifted axes — those compares cannot reject
+        // anything and the kernels may sweep the two spatial axes only.
+        // Exact because stored rects lie inside the root MBR and the
+        // interval compares are closed.
+        let elide_tail = N == 3
+            && match self.arena.node(self.root) {
+                NodeKind::Leaf(node) => node.lanes.axis_bounds(2),
+                NodeKind::Internal(node) => node.lanes.axis_bounds(2),
+                NodeKind::Free => None,
+            }
+            .is_some_and(|(lo, hi)| window.lo[2] <= lo && hi <= window.hi[2]);
+        if elide_tail {
+            self.count_walk::<true>(window)
+        } else {
+            self.count_walk::<false>(window)
+        }
+    }
+
+    /// Mask-at-a-time counting walk. Counting observes only totals —
+    /// the hit count and the number of node accesses are both invariant
+    /// under traversal order — so this walk is free to use a bounded
+    /// local stack (no thread-local round-trip) and pop in whatever
+    /// order falls out; the totals still equal [`RTree::search`]'s.
+    fn count_walk<const ELIDE: bool>(&self, window: &Rect<N>) -> (usize, u64) {
+        let mut buf = [0u32; 128];
+        let mut top = 1usize;
+        buf[0] = self.root;
+        let mut spill: Vec<u32> = Vec::new();
+        let mut accesses = 0u64;
+        let mut hits = 0usize;
+        loop {
+            let idx = if top > 0 {
+                top -= 1;
+                buf[top]
+            } else if let Some(i) = spill.pop() {
+                i
+            } else {
+                break;
+            };
+            accesses += 1;
+            match self.arena.node(idx) {
+                NodeKind::Leaf(node) => {
+                    let m = if ELIDE {
+                        node.lanes.sweep_front(window)
+                    } else {
+                        node.lanes.sweep(window)
+                    };
+                    hits += m.count_ones() as usize;
+                }
+                NodeKind::Internal(node) => {
+                    let mut mask = if ELIDE {
+                        node.lanes.sweep_front(window)
+                    } else {
+                        node.lanes.sweep(window)
+                    };
+                    while mask != 0 {
+                        let j = mask.trailing_zeros() as usize;
+                        mask &= mask - 1;
+                        let child = node.child(j);
+                        if top < buf.len() {
+                            buf[top] = child;
+                            top += 1;
+                        } else {
+                            spill.push(child);
+                        }
+                    }
+                }
+                NodeKind::Free => {}
+            }
+        }
+        self.io
+            .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
+        (hits, accesses)
+    }
+
+    /// Chunked fallback for configurations whose nodes exceed one
+    /// 64-entry mask; traversal and totals match [`RTree::search`].
+    fn count_in_chunked(&self, window: &Rect<N>) -> (usize, u64) {
+        let mut stack = SEARCH_STACK.with(Cell::take);
+        stack.clear();
+        let mut accesses = 0u64;
+        let mut hits = 0usize;
+        stack.push(self.root);
+        while let Some(idx) = stack.pop() {
+            accesses += 1;
+            match self.arena.node(idx) {
+                NodeKind::Leaf(node) => {
+                    hits += node.lanes.count_matches(window);
+                }
+                NodeKind::Internal(node) => {
+                    let mut start = 0;
+                    while start < node.len() {
+                        let (mut mask, n) = node.lanes.match_bits(window, start);
+                        while mask != 0 {
+                            let j = mask.trailing_zeros() as usize;
+                            mask &= mask - 1;
+                            stack.push(node.child(start + j));
+                        }
+                        start += n;
+                    }
+                }
+                NodeKind::Free => {}
+            }
+        }
+        SEARCH_STACK.with(|cell| cell.set(stack));
+        self.io
+            .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
+        (hits, accesses)
     }
 }
 
@@ -183,5 +455,85 @@ mod tests {
         });
         assert_eq!(outer, 400);
         assert_eq!(inner_total, 400);
+    }
+
+    #[test]
+    fn batch_matches_scalar_hits_and_counts() {
+        let t = grid_tree(Variant::RStar);
+        let windows = [
+            Rect2::new(Point2::new([3.5, 2.5]), Point2::new([8.5, 6.5])),
+            Rect2::point(Point2::new([5.0, 5.0])),
+            Rect2::new(Point2::new([100.0, 100.0]), Point2::new([110.0, 110.0])),
+            Rect2::new(Point2::new([0.0, 0.0]), Point2::new([19.0, 19.0])),
+        ];
+        let mut batch_hits: Vec<Vec<(i32, i32)>> = vec![Vec::new(); windows.len()];
+        let acc = t.search_batch(&windows, |w, _, &item| batch_hits[w].push(item));
+        assert_eq!(acc.per_window.len(), windows.len());
+        let mut logical_sum = 0;
+        let mut max_logical = 0;
+        for (w, window) in windows.iter().enumerate() {
+            let (mut scalar, io) = t.query(window);
+            let mut scalar: Vec<(i32, i32)> = scalar.drain(..).copied().collect();
+            scalar.sort_unstable();
+            batch_hits[w].sort_unstable();
+            assert_eq!(batch_hits[w], scalar, "window {w} hit set");
+            assert_eq!(acc.per_window[w], io, "window {w} logical accesses");
+            logical_sum += io;
+            max_logical = max_logical.max(io);
+        }
+        assert!(acc.unique >= max_logical);
+        assert!(acc.unique <= logical_sum);
+        assert_eq!(acc.logical_total(), logical_sum);
+    }
+
+    #[test]
+    fn batch_shares_node_visits_across_duplicate_windows() {
+        let t = grid_tree(Variant::RStar);
+        let w = Rect2::new(Point2::new([2.0, 2.0]), Point2::new([10.0, 10.0]));
+        let (_, scalar_io) = t.query(&w);
+        let windows = vec![w; 16];
+        let acc = t.search_batch(&windows, |_, _, _| {});
+        // Every window is the same, so the group descends each shared node
+        // exactly once: unique == one scalar descent.
+        assert_eq!(acc.unique, scalar_io);
+        assert!(acc.per_window.iter().all(|&io| io == scalar_io));
+    }
+
+    #[test]
+    fn batch_io_counter_uses_logical_total() {
+        let t = grid_tree(Variant::RStar);
+        t.reset_io();
+        let w = Rect2::new(Point2::new([0.0, 0.0]), Point2::new([9.0, 9.0]));
+        let acc = t.search_batch(&[w, w, w], |_, _, _| {});
+        assert_eq!(t.io_count(), acc.logical_total());
+    }
+
+    #[test]
+    fn batch_handles_more_than_64_windows() {
+        let t = grid_tree(Variant::RStar);
+        let windows: Vec<Rect2> = (0..150)
+            .map(|i| {
+                let x = (i % 20) as f64;
+                let y = (i / 20) as f64;
+                Rect2::new(Point2::new([x, y]), Point2::new([x + 1.5, y + 1.5]))
+            })
+            .collect();
+        let mut batch_counts = vec![0usize; windows.len()];
+        let acc = t.search_batch(&windows, |w, _, _| batch_counts[w] += 1);
+        for (w, window) in windows.iter().enumerate() {
+            let (n, io) = t.count_in(window);
+            assert_eq!(batch_counts[w], n, "window {w} count");
+            assert_eq!(acc.per_window[w], io, "window {w} accesses");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let t = grid_tree(Variant::RStar);
+        t.reset_io();
+        let acc = t.search_batch(&[], |_, _, _| {});
+        assert!(acc.per_window.is_empty());
+        assert_eq!(acc.unique, 0);
+        assert_eq!(t.io_count(), 0);
     }
 }

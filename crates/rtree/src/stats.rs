@@ -69,17 +69,18 @@ fn collect<const N: usize, T>(
     }
     out[level].0 += 1;
     out[level].1 += arena.entry_count(idx);
-    if let NodeKind::Internal(entries) = arena.node(idx) {
+    if let NodeKind::Internal(node) = arena.node(idx) {
         // Pairwise overlap between this node's children.
         let mut overlap = 0.0;
-        for i in 0..entries.len() {
-            for j in (i + 1)..entries.len() {
-                overlap += entries[i].rect.overlap_volume(&entries[j].rect);
+        for i in 0..node.len() {
+            let ri = node.rect(i);
+            for j in (i + 1)..node.len() {
+                overlap += ri.overlap_volume(&node.rect(j));
             }
         }
         out[level].2 += overlap;
-        for e in entries {
-            collect(arena, e.child, level + 1, out);
+        for &child in node.children() {
+            collect(arena, child, level + 1, out);
         }
     }
 }

@@ -126,8 +126,8 @@ fn parallel_bulk_load_builds_the_identical_tree() {
             );
             // iter() walks the leaf level in arena order, so equality here
             // pins the entire physical layout, not just the logical content.
-            let a: Vec<(Rect2, u64)> = serial.iter().map(|(r, &id)| (*r, id)).collect();
-            let b: Vec<(Rect2, u64)> = parallel.iter().map(|(r, &id)| (*r, id)).collect();
+            let a: Vec<(Rect2, u64)> = serial.iter().map(|(r, &id)| (r, id)).collect();
+            let b: Vec<(Rect2, u64)> = parallel.iter().map(|(r, &id)| (r, id)).collect();
             assert_eq!(a, b, "n={n} jobs={jobs}: arena layout differs");
         }
     }

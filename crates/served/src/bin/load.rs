@@ -19,7 +19,7 @@ use mar_bench::serve::{fnv1a64, run_serve, ServeConfig};
 use mar_core::QueryRegion;
 use mar_geom::Rect2;
 use mar_mesh::ResolutionBand;
-use mar_served::{run_wire_replay, QueryReply, ReplayReport, WireClient};
+use mar_served::{run_wire_replay_pipelined, QueryReply, ReplayReport, WireClient};
 use std::net::SocketAddr;
 
 struct Options {
@@ -29,6 +29,7 @@ struct Options {
     check: bool,
     saturate: bool,
     out_dir: String,
+    pipeline: usize,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -39,6 +40,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         check: false,
         saturate: false,
         out_dir: ".".to_string(),
+        pipeline: 1,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -55,10 +57,19 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--addr" => opts.addr = Some(value("--addr")?),
             "--port-file" => opts.port_file = Some(value("--port-file")?),
             "--out-dir" => opts.out_dir = value("--out-dir")?,
+            "--pipeline" => {
+                let v = value("--pipeline")?;
+                opts.pipeline = v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--pipeline needs a positive integer, got {v}"))?;
+            }
             other => {
                 return Err(format!(
                     "unknown argument: {other}\nusage: mar-load (--addr HOST:PORT | \
-                     --port-file PATH) [--smoke|--full] [--check] [--saturate] [--out-dir DIR]"
+                     --port-file PATH) [--smoke|--full] [--check] [--saturate] \
+                     [--pipeline N] [--out-dir DIR]"
                 ))
             }
         }
@@ -143,12 +154,13 @@ fn write_wire_json(
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mar-load-wire/1\",\n");
+    out.push_str("  \"schema\": \"mar-load-wire/2\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!("  \"addr\": \"{addr}\",\n"));
     out.push_str(&format!("  \"sessions\": {},\n", r.sessions));
     out.push_str(&format!("  \"ticks\": {},\n", r.ticks));
     out.push_str(&format!("  \"queries\": {},\n", r.queries));
+    out.push_str(&format!("  \"pipeline\": {},\n", r.pipeline));
     out.push_str(&format!("  \"bytes_served\": {:.1},\n", r.bytes));
     out.push_str(&format!("  \"coeffs_served\": {},\n", r.coeffs));
     out.push_str(&format!("  \"index_io\": {},\n", r.io));
@@ -205,11 +217,11 @@ fn main() {
         ServeConfig::full(1)
     };
     eprintln!(
-        "mar-load: {mode} replay against {addr} ({} sessions x {} ticks)",
-        cfg.sessions, cfg.ticks
+        "mar-load: {mode} replay against {addr} ({} sessions x {} ticks, pipeline {})",
+        cfg.sessions, cfg.ticks, opts.pipeline
     );
 
-    let report = match run_wire_replay(addr, &cfg) {
+    let report = match run_wire_replay_pipelined(addr, &cfg, opts.pipeline) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("mar-load: replay failed: {e}");

@@ -222,9 +222,22 @@ impl WireClient {
     /// credit return), so a client using only this method is never
     /// refused; an `OVERLOAD` is surfaced as a typed reply, not an error.
     pub fn query(&mut self, regions: &[QueryRegion]) -> Result<QueryReply, ClientError> {
+        self.send_query(regions)?;
+        self.recv_result()
+    }
+
+    /// Sends a `QUERY` without waiting for the reply — the issue half of
+    /// a pipelined exchange. Pair with [`WireClient::recv_result`].
+    pub fn send_query(&mut self, regions: &[QueryRegion]) -> Result<(), ClientError> {
         self.send(&Frame::Query {
             regions: regions.to_vec(),
-        })?;
+        })
+    }
+
+    /// Receives the reply to an in-flight `QUERY` issued with
+    /// [`WireClient::send_query`]; a `RESULT` is acked immediately (full
+    /// credit return), exactly as [`WireClient::query`] does.
+    pub fn recv_result(&mut self) -> Result<QueryReply, ClientError> {
         match self.recv()? {
             Frame::Result {
                 coeffs,
@@ -289,11 +302,16 @@ pub struct ReplayReport {
     /// harness's for the same [`ServeConfig`].
     pub transcript: String,
     /// Wall-clock round-trip latency of each `QUERY`, in nanoseconds.
+    /// Under pipelining this includes queue wait: the clock starts at
+    /// issue and stops when the reply is drained.
     pub frame_ns: Vec<u64>,
     /// Total wall-clock time of the replay loop, in seconds.
     pub elapsed_s: f64,
     /// Bytes on the wire, both directions, length prefixes included.
     pub wire_bytes: u64,
+    /// Effective pipeline depth the replay ran with (1 = synchronous
+    /// round-trips).
+    pub pipeline: usize,
 }
 
 impl ReplayReport {
@@ -326,12 +344,56 @@ struct ReplaySession {
     tour: Tour,
 }
 
+/// One issued-but-undrained `QUERY` in the pipelined replay.
+struct InFlight {
+    /// Session index (transcript column `session`).
+    k: usize,
+    /// Tick the query belongs to.
+    tick: usize,
+    /// The planned viewport frame, needed for `FramePlanner::commit`
+    /// once the reply arrives.
+    frame: mar_geom::Rect2,
+    /// The band the frame was planned at.
+    band: mar_mesh::ResolutionBand,
+    /// Smoothed speed at issue time (drives the link-time column).
+    speed: f64,
+    /// Issue timestamp for the latency report.
+    sent: std::time::Instant,
+}
+
 /// Replays the `mar-bench serve` workload for `cfg` against the daemon at
-/// `addr`. Sessions connect serially in id order and every tick issues
-/// each session's query in session order, exactly like the in-process
-/// harness merges its transcript — so the two transcripts are
-/// byte-identical when the daemon serves the same scene.
+/// `addr` with synchronous round-trips. Equivalent to
+/// [`run_wire_replay_pipelined`] at depth 1.
 pub fn run_wire_replay(addr: SocketAddr, cfg: &ServeConfig) -> Result<ReplayReport, ClientError> {
+    run_wire_replay_pipelined(addr, cfg, 1)
+}
+
+/// Replays the `mar-bench serve` workload keeping up to `depth` `QUERY`
+/// frames in flight across the session connections.
+///
+/// Issue order is exactly the synchronous replay's: tick-major, sessions
+/// in id order within a tick. Replies are drained in issue order (the
+/// pipeline is a FIFO), each drain acking its payload and appending its
+/// transcript row — so the transcript is byte-identical to the
+/// synchronous replay's and to the in-process harness's, at every depth.
+///
+/// Two invariants make pipelining unobservable to the daemon's admission
+/// control and to the workload semantics:
+///
+/// - In-flight queries always belong to *distinct sessions* (the FIFO is
+///   drained before a session issues again), so each session still has
+///   at most one unacked `RESULT` outstanding — admission can never
+///   refuse the replay, same as the synchronous loop.
+/// - A session's tick `t+1` plan depends on its tick `t` commit, so the
+///   effective depth is capped at the session count; `depth` beyond that
+///   only measures deeper cross-session windows, which do not exist in
+///   tick-major order.
+pub fn run_wire_replay_pipelined(
+    addr: SocketAddr,
+    cfg: &ServeConfig,
+    depth: usize,
+) -> Result<ReplayReport, ClientError> {
+    let depth = depth.clamp(1, cfg.sessions.max(1));
     let scene = serve_scene(cfg);
     let space = scene.config.space;
     let link = LinkConfig::paper();
@@ -352,50 +414,102 @@ pub fn run_wire_replay(addr: SocketAddr, cfg: &ServeConfig) -> Result<ReplayRepo
     let mut bytes = 0.0;
     let mut coeffs = 0u64;
     let mut io = 0u64;
+    let mut pending: std::collections::VecDeque<InFlight> =
+        std::collections::VecDeque::with_capacity(depth);
+
+    // Drains the oldest in-flight query: receive, ack (inside
+    // `recv_result`), commit the session's planner, append the
+    // transcript row.
+    let drain_one = |sessions: &mut [ReplaySession],
+                     pending: &mut std::collections::VecDeque<InFlight>,
+                     transcript: &mut String,
+                     frame_ns: &mut Vec<u64>,
+                     bytes: &mut f64,
+                     coeffs: &mut u64,
+                     io: &mut u64|
+     -> Result<(), ClientError> {
+        let Some(q) = pending.pop_front() else {
+            return Ok(());
+        };
+        let s = &mut sessions[q.k];
+        let r = match s.client.recv_result()? {
+            QueryReply::Served(r) => r,
+            // Every result is acked on drain and in-flight queries are on
+            // distinct sessions, so admission can never refuse the replay
+            // (the overshoot-by-one rule); an OVERLOAD here is a daemon bug.
+            QueryReply::Overloaded { .. } => {
+                return Err(ClientError::Unexpected {
+                    wanted: "RESULT",
+                    got: "OVERLOAD",
+                })
+            }
+        };
+        frame_ns.push(q.sent.elapsed().as_nanos() as u64);
+        s.planner.commit(q.frame, q.band);
+        let response_s = if r.bytes > 0.0 {
+            link.request_time(r.bytes, q.speed)
+        } else {
+            0.0
+        };
+        transcript.push_str(&transcript_row(
+            q.tick,
+            q.k,
+            r.coeffs,
+            r.new_objects,
+            r.bytes,
+            r.io,
+            response_s,
+        ));
+        *bytes += r.bytes;
+        *coeffs += r.coeffs;
+        *io += r.io;
+        Ok(())
+    };
+
     // mar-lint: allow(D003) — wall-clock throughput/latency measurement is the load generator's job; timings never enter the transcript
     let t0 = std::time::Instant::now();
     for tick in 0..cfg.ticks {
-        for (k, s) in sessions.iter_mut().enumerate() {
+        for k in 0..sessions.len() {
+            if pending.len() == depth {
+                drain_one(
+                    &mut sessions,
+                    &mut pending,
+                    &mut transcript,
+                    &mut frame_ns,
+                    &mut bytes,
+                    &mut coeffs,
+                    &mut io,
+                )?;
+            }
+            let s = &mut sessions[k];
             let sample = s.tour.samples[tick];
             let frame = frame_at(&space, &sample.pos, cfg.frame_frac);
             let speed = s.smooth.update(sample.speed);
             let band = map.band_for(speed);
             let regions = s.planner.plan(&frame, band);
-            // mar-lint: allow(D003) — per-query round-trip latency for the report only
-            let t = std::time::Instant::now();
-            let reply = s.client.query(&regions)?;
-            frame_ns.push(t.elapsed().as_nanos() as u64);
-            let r = match reply {
-                QueryReply::Served(r) => r,
-                // The replay acks every result, so admission can never
-                // refuse it (the overshoot-by-one rule); an OVERLOAD here
-                // is a daemon bug.
-                QueryReply::Overloaded { .. } => {
-                    return Err(ClientError::Unexpected {
-                        wanted: "RESULT",
-                        got: "OVERLOAD",
-                    })
-                }
-            };
-            s.planner.commit(frame, band);
-            let response_s = if r.bytes > 0.0 {
-                link.request_time(r.bytes, speed)
-            } else {
-                0.0
-            };
-            transcript.push_str(&transcript_row(
-                tick,
+            // mar-lint: allow(D003) — per-query latency for the report only
+            let sent = std::time::Instant::now();
+            s.client.send_query(&regions)?;
+            pending.push_back(InFlight {
                 k,
-                r.coeffs,
-                r.new_objects,
-                r.bytes,
-                r.io,
-                response_s,
-            ));
-            bytes += r.bytes;
-            coeffs += r.coeffs;
-            io += r.io;
+                tick,
+                frame,
+                band,
+                speed,
+                sent,
+            });
         }
+    }
+    while !pending.is_empty() {
+        drain_one(
+            &mut sessions,
+            &mut pending,
+            &mut transcript,
+            &mut frame_ns,
+            &mut bytes,
+            &mut coeffs,
+            &mut io,
+        )?;
     }
     let elapsed_s = t0.elapsed().as_secs_f64();
 
@@ -415,5 +529,6 @@ pub fn run_wire_replay(addr: SocketAddr, cfg: &ServeConfig) -> Result<ReplayRepo
         frame_ns,
         elapsed_s,
         wire_bytes,
+        pipeline: depth,
     })
 }

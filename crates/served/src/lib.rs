@@ -25,7 +25,10 @@ pub mod client;
 pub mod codec;
 pub mod daemon;
 
-pub use client::{run_wire_replay, ClientError, QueryReply, ReplayReport, WireClient, WireResult};
+pub use client::{
+    run_wire_replay, run_wire_replay_pipelined, ClientError, QueryReply, ReplayReport, WireClient,
+    WireResult,
+};
 pub use codec::{
     decode, encode, read_frame, write_frame, DecodeError, ErrCode, Frame, WireError, MAX_PAYLOAD,
     PROTOCOL_VERSION,

@@ -7,8 +7,8 @@ use mar_bench::serve::{fnv1a64, run_serve, serve_scene, ServeConfig};
 use mar_core::{QueryRegion, SceneIndexData, Server, ServerCore, WaveletIndex};
 use mar_mesh::ResolutionBand;
 use mar_served::{
-    run_wire_replay, spawn_daemon, ClientError, DaemonConfig, DaemonHandle, ErrCode, Frame,
-    QueryReply, WireClient,
+    run_wire_replay, run_wire_replay_pipelined, spawn_daemon, ClientError, DaemonConfig,
+    DaemonHandle, ErrCode, Frame, QueryReply, WireClient,
 };
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -100,6 +100,36 @@ fn wire_transcript_is_byte_identical_to_in_process() {
     // BYE released every session.
     assert_eq!(server.session_count(), 0);
     assert_eq!(server.resident_filter_entries(), 0);
+}
+
+#[test]
+fn pipelined_replay_transcript_is_depth_invariant() {
+    // The FIFO pipeline drains replies in issue order, so every depth —
+    // including depths beyond the session count, which clamp — must
+    // produce the synchronous replay's exact transcript bytes, and the
+    // daemon must never refuse admission (in-flight queries are always
+    // on distinct sessions, each with at most one unacked RESULT).
+    let cfg = tiny_cfg();
+    let reference = run_serve(&cfg);
+    for depth in [2, 64] {
+        let (handle, server) = boot(
+            &cfg,
+            DaemonConfig {
+                max_conns: Some(cfg.sessions),
+                ..DaemonConfig::default()
+            },
+        );
+        let wire = run_wire_replay_pipelined(handle.addr, &cfg, depth).expect("pipelined replay");
+        let stats = handle.join();
+        assert_eq!(
+            wire.transcript, reference.transcript,
+            "pipeline depth {depth} must be unobservable in the transcript"
+        );
+        assert_eq!(wire.pipeline, depth.min(cfg.sessions));
+        assert_eq!(stats.overloads, 0, "pipelined replay must never be refused");
+        assert_eq!(stats.errors, 0);
+        assert_eq!(server.session_count(), 0);
+    }
 }
 
 #[test]
