@@ -9,6 +9,8 @@
 //! * `abl_multires` — speed-scaled buffer resolutions on/off (§V final ¶).
 //! * `abl_smoothing` — raw vs smoothed speed→resolution mapping on
 //!   station-heavy tram tours.
+//! * `abl_store` — out-of-core buffer-pool policy: the Eq. 2 motion-aware
+//!   eviction vs plain LRU across pool budgets (DESIGN.md §15).
 //!
 //! Like the figures, every ablation fans its sweep points through
 //! [`Engine::run`](crate::engine::Engine::run) and reassembles them in a
@@ -16,15 +18,18 @@
 
 use crate::engine::Engine;
 use crate::figs::mean;
+use crate::serve::{session_tour, ServeConfig};
 use crate::{Scale, Table};
 use mar_buffer::{AllocationStrategy, MotionAwarePrefetcher};
 use mar_core::bufsim::{run_buffer_sim, BufferSimConfig};
 use mar_core::{
-    IncrementalClient, LinearSpeedMap, SceneIndexData, Server, SmoothedSpeed, WaveletIndex,
+    CachePolicy, IncrementalClient, LinearSpeedMap, QueryRegion, SceneIndexData, Server,
+    ServerCore, SmoothedSpeed, SpeedResolutionMap, WaveletIndex,
 };
 use mar_mesh::ResolutionBand;
 use mar_rtree::{RTree, RTreeConfig, Variant};
 use mar_workload::{frame_at, paper_space, tram_tour, Placement, TourConfig};
+use std::sync::Arc;
 
 /// Index ablation: average I/O per tram-tour query for four ways of
 /// building the same support-region index.
@@ -308,6 +313,99 @@ pub fn abl_smoothing_with(engine: &Engine, scale: &Scale) -> Table {
     t
 }
 
+/// Out-of-core buffer-pool ablation: tour-workload hit rate of the
+/// Eq. 2 motion-aware eviction policy vs plain LRU across pool budgets.
+pub fn abl_store(scale: &Scale) -> Table {
+    abl_store_with(&Engine::serial(), scale)
+}
+
+/// [`abl_store`] on an engine: the index is serialized to a scratch page
+/// file once, and every (budget, policy, seed) point reopens it with its
+/// own pool and replays the serve-style tour workload against it. One
+/// point per (budget, policy, seed); the transcript-level answers are
+/// backend-invariant, so only the pool's hit rate distinguishes the
+/// columns.
+pub fn abl_store_with(engine: &Engine, scale: &Scale) -> Table {
+    let scene = engine.scene(scale, scale.objects_default, Placement::Uniform);
+    let data = Arc::new(SceneIndexData::build(&scene));
+    let dir = std::env::temp_dir().join("mar-bench-abl-store");
+    // mar-lint: allow(D004) — a scratch dir the ablation cannot run without
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join(format!("{}.pages", std::process::id()));
+    // mar-lint: allow(D004) — the ablation cannot run without its page file
+    mar_core::write_store(&path, &data).expect("write page file");
+    let policies = [
+        ("motion_aware", CachePolicy::MotionAware),
+        ("lru", CachePolicy::Lru),
+    ];
+    let budgets_kb = [16usize, 32, 64, 128];
+    let points: Vec<(usize, usize, u64)> = budgets_kb
+        .iter()
+        .flat_map(|&kb| {
+            (0..policies.len())
+                .flat_map(move |pi| scale.tour_seeds.iter().map(move |&sd| (kb, pi, sd)))
+        })
+        .collect();
+    let results = engine.run(
+        points,
+        || (),
+        |_, &(kb, pi, seed)| {
+            let index = WaveletIndex::open_paged(&path, kb * 1024, policies[pi].1)
+                // mar-lint: allow(D004) — the file was written above; failing to reopen it is fatal
+                .expect("reopen page file");
+            let server =
+                Server::from_core(ServerCore::from_parts(Arc::clone(&data), Arc::new(index)));
+            let cfg = ServeConfig {
+                sessions: 4,
+                ticks: scale.ticks,
+                objects: scale.objects_default,
+                levels: scale.levels,
+                frame_frac: 0.1,
+                jobs: 1,
+                tour_seed: seed,
+            };
+            let tours: Vec<_> = (0..cfg.sessions)
+                .map(|k| session_tour(&cfg, scene.config.space, k))
+                .collect();
+            let sessions: Vec<u64> = (0..cfg.sessions).map(|_| server.connect()).collect();
+            for tick in 0..cfg.ticks {
+                for (k, &c) in sessions.iter().enumerate() {
+                    let s = &tours[k].samples[tick];
+                    let frame = frame_at(&scene.config.space, &s.pos, cfg.frame_frac);
+                    let q = [QueryRegion {
+                        region: frame,
+                        band: LinearSpeedMap.band_for(s.speed),
+                    }];
+                    server
+                        .query(c, &q)
+                        // mar-lint: allow(D004) — sessions were minted by the connect loop above
+                        .expect("abl_store session vanished");
+                }
+            }
+            let stats = server
+                .index()
+                .cache_stats()
+                // mar-lint: allow(D004) — the index was opened paged above
+                .expect("paged index has a pool");
+            stats.hit_ratio()
+        },
+    );
+    let _ = std::fs::remove_file(&path);
+    let mut t = Table::new(
+        "abl_store",
+        "buffer-pool hit rate: motion-aware vs LRU eviction (paged store)",
+        "pool_kb",
+        policies.iter().map(|(n, _)| n.to_string()).collect(),
+    );
+    let seeds = scale.tour_seeds.len();
+    let per_kb = policies.len() * seeds;
+    for (i, &kb) in budgets_kb.iter().enumerate() {
+        let chunk = &results[i * per_kb..(i + 1) * per_kb];
+        t.push(kb as f64, chunk.chunks(seeds).map(mean).collect());
+    }
+    t
+}
+
 /// Direction-estimator ablation: Kalman/RLS block probabilities vs the
 /// \[15\]-style empirical Markov direction model.
 pub fn abl_direction(scale: &Scale) -> Table {
@@ -346,5 +444,6 @@ pub fn all_ablations_with(engine: &Engine, scale: &Scale) -> Vec<Table> {
         abl_multires_with(engine, scale),
         abl_smoothing_with(engine, scale),
         abl_direction_with(engine, scale),
+        abl_store_with(engine, scale),
     ]
 }

@@ -22,12 +22,17 @@
 
 use criterion::{black_box, Criterion, Measurement};
 use mar_bench::figs;
+use mar_bench::serve::{session_tour, ServeConfig};
 use mar_bench::{Scale, Table};
-use mar_core::{SceneIndexData, WaveletIndex};
+use mar_core::{
+    CachePolicy, LinearSpeedMap, QueryRegion, SceneIndexData, Server, ServerCore,
+    SpeedResolutionMap, WaveletIndex,
+};
 use mar_geom::{Point2, Rect3};
 use mar_mesh::ResolutionBand;
 use mar_rtree::{RTree, RTreeConfig, Variant};
 use mar_workload::{frame_at, Placement, Scene};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// One serialised benchmark entry.
@@ -38,6 +43,8 @@ struct Entry {
     /// Queries executed per iteration (1 for non-query benches) so
     /// per-query time can be derived from the per-iteration mean.
     ops_per_iter: u64,
+    /// Buffer-pool hit ratio of the measured run (`io` tour points only).
+    hit_ratio: Option<f64>,
 }
 
 struct Options {
@@ -93,6 +100,8 @@ struct MicroScale {
     sample_size: usize,
     measurement: Duration,
     warm_up: Duration,
+    /// Ticks each of the `io` tour-workload sessions replays.
+    io_ticks: usize,
 }
 
 impl MicroScale {
@@ -103,6 +112,7 @@ impl MicroScale {
             sample_size: 10,
             measurement: Duration::from_millis(1500),
             warm_up: Duration::from_millis(200),
+            io_ticks: 120,
         }
     }
 
@@ -113,6 +123,7 @@ impl MicroScale {
             sample_size: 2,
             measurement: Duration::from_millis(30),
             warm_up: Duration::from_millis(5),
+            io_ticks: 12,
         }
     }
 }
@@ -161,6 +172,7 @@ fn bench_index_build(
             name: "wavelet_str_bulk".into(),
             m,
             ops_per_iter: 1,
+            hit_ratio: None,
         });
     }
     let paper = RTreeConfig::paper();
@@ -184,6 +196,7 @@ fn bench_index_build(
                 name: label.into(),
                 m,
                 ops_per_iter: 1,
+                hit_ratio: None,
             });
         }
     }
@@ -229,6 +242,7 @@ fn bench_window_queries(
                     name,
                     m,
                     ops_per_iter: windows.len() as u64,
+                    hit_ratio: None,
                 });
             }
         }
@@ -274,10 +288,172 @@ fn bench_window_query_batch(
                 name,
                 m,
                 ops_per_iter: queries.len() as u64,
+                hit_ratio: None,
             });
         }
     }
     group.finish();
+}
+
+/// Byte budget of the `io` tour-workload pool: small enough that the
+/// eviction policy matters, large enough that a policy can actually keep
+/// a working set (8 pages).
+const IO_TOUR_BUDGET: usize = 8 * 4096;
+
+/// The out-of-core read path (`io` group): cold and warm page reads
+/// through the buffer pool, then the tour-workload hit ratio of the
+/// motion-aware eviction policy against plain LRU at the same byte
+/// budget. The page file is built in `--out-dir` so CI exercises the
+/// store writer on every run.
+fn bench_io(
+    c: &mut Criterion,
+    ms: &MicroScale,
+    scene: &Scene,
+    data: &Arc<SceneIndexData>,
+    out_dir: &str,
+    entries: &mut Vec<Entry>,
+) {
+    let store_path = format!("{out_dir}/micro_store.pages");
+    if let Err(e) = mar_core::write_store(std::path::Path::new(&store_path), data) {
+        eprintln!("micro: cannot write page file {store_path}: {e}");
+        std::process::exit(1);
+    }
+    let windows: Vec<_> = query_centers(scene, 4)
+        .iter()
+        .map(|p| frame_at(&scene.config.space, p, 0.05))
+        .collect();
+    let open = |budget: usize, policy: CachePolicy| {
+        WaveletIndex::open_paged(std::path::Path::new(&store_path), budget, policy)
+            // mar-lint: allow(D004) — the store was just written by this process; failing to reopen it is fatal
+            .expect("micro: cannot reopen the page file")
+    };
+    let mut group = c.benchmark_group("io");
+    group
+        .sample_size(ms.sample_size)
+        .measurement_time(ms.measurement)
+        .warm_up_time(ms.warm_up);
+    // Cold: a single-page pool, so nearly every node access faults and
+    // each query pays the full read-and-decode path.
+    let cold = open(4096, CachePolicy::Lru);
+    if let Some(m) = group.bench_function_measured("page_read_cold", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &windows {
+                total += cold.count_in(black_box(w), ResolutionBand::FULL).0;
+            }
+            total
+        })
+    }) {
+        entries.push(Entry {
+            group: "io",
+            name: "page_read_cold".into(),
+            m,
+            ops_per_iter: windows.len() as u64,
+            hit_ratio: None,
+        });
+    }
+    // Warm: a pool big enough for the whole file; after one priming sweep
+    // every read hits, so this is the pure pool-lookup overhead.
+    let warm = open(64 << 20, CachePolicy::Lru);
+    for w in &windows {
+        warm.count_in(w, ResolutionBand::FULL);
+    }
+    if let Some(m) = group.bench_function_measured("page_read_warm", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for w in &windows {
+                total += warm.count_in(black_box(w), ResolutionBand::FULL).0;
+            }
+            total
+        })
+    }) {
+        entries.push(Entry {
+            group: "io",
+            name: "page_read_warm".into(),
+            m,
+            ops_per_iter: windows.len() as u64,
+            hit_ratio: None,
+        });
+    }
+    group.finish();
+
+    // Tour hit ratio: replay the serving tours through a starved pool
+    // under each policy. One deterministic replay per policy — the ratio
+    // is exact, not sampled; the wall time rides along as `mean_ns`.
+    let tour_cfg = ServeConfig {
+        sessions: 4,
+        ticks: ms.io_ticks,
+        objects: ms.objects,
+        levels: ms.levels,
+        frame_frac: 0.1,
+        jobs: 1,
+        tour_seed: 901,
+    };
+    let tours: Vec<_> = (0..tour_cfg.sessions)
+        .map(|k| session_tour(&tour_cfg, scene.config.space, k))
+        .collect();
+    let mut ratios = Vec::new();
+    for (name, policy) in [
+        ("tour_hit_ratio_motion", CachePolicy::MotionAware),
+        ("tour_hit_ratio_lru", CachePolicy::Lru),
+    ] {
+        let index = open(IO_TOUR_BUDGET, policy);
+        let server = Server::from_core(ServerCore::from_parts(data.clone(), Arc::new(index)));
+        let sessions: Vec<u64> = (0..tour_cfg.sessions).map(|_| server.connect()).collect();
+        // mar-lint: allow(D003) — wall-time measurement is this harness's job
+        let t0 = std::time::Instant::now();
+        for tick in 0..tour_cfg.ticks {
+            for (k, &c) in sessions.iter().enumerate() {
+                let s = &tours[k].samples[tick];
+                let frame = frame_at(&scene.config.space, &s.pos, tour_cfg.frame_frac);
+                let q = [QueryRegion {
+                    region: frame,
+                    band: LinearSpeedMap.band_for(s.speed),
+                }];
+                server
+                    .query(c, &q)
+                    // mar-lint: allow(D004) — sessions were minted by the connect loop above and live until teardown
+                    .expect("micro: io tour session vanished");
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64;
+        for &c in &sessions {
+            server
+                .disconnect(c)
+                // mar-lint: allow(D004) — sessions were minted by the connect loop above
+                .expect("micro: io tour session vanished");
+        }
+        let stats = server
+            .index()
+            .cache_stats()
+            // mar-lint: allow(D004) — the index was opened paged three lines up
+            .expect("micro: paged index has a pool");
+        let reads = (stats.hits + stats.faults).max(1);
+        let ratio = stats.hits as f64 / reads as f64;
+        ratios.push(ratio);
+        entries.push(Entry {
+            group: "io",
+            name: name.into(),
+            m: Measurement {
+                mean_ns: ns,
+                min_ns: ns,
+                max_ns: ns,
+                iters: 1,
+            },
+            ops_per_iter: (tour_cfg.sessions * tour_cfg.ticks) as u64,
+            hit_ratio: Some(ratio),
+        });
+        eprintln!(
+            "  io/{name}: hit ratio {ratio:.4} ({} hits / {} faults)",
+            stats.hits, stats.faults
+        );
+    }
+    if ratios[0] <= ratios[1] {
+        eprintln!(
+            "micro: WARNING — motion-aware hit ratio {:.4} does not beat LRU {:.4} on this scene",
+            ratios[0], ratios[1]
+        );
+    }
 }
 
 /// End-to-end: regenerate one index figure and one system figure at the
@@ -360,43 +536,53 @@ fn parse_baseline(path: &str) -> Result<Vec<(String, String, f64)>, String> {
     Ok(out)
 }
 
-/// The CI perf smoke gate: every `window_query` point measured in this
-/// run must stay within `3x` of the committed baseline's `per_op_ns`.
-/// The factor is deliberately generous — the smoke scene is far smaller
-/// than the committed full-scale scene and CI machines are noisy, so the
-/// gate only fires on order-of-magnitude regressions (e.g. the batched
-/// kernel accidentally losing its vectorised inner loop), never on
-/// jitter. Points present on only one side are skipped, so adding or
-/// retiring a selectivity never breaks the gate.
+/// The CI perf smoke gate: every `window_query` and `io` point measured
+/// in this run must stay within `3x` of the committed baseline's
+/// `per_op_ns`. The factor is deliberately generous — the smoke scene is
+/// far smaller than the committed full-scale scene and CI machines are
+/// noisy, so the gate only fires on order-of-magnitude regressions (e.g.
+/// the batched kernel accidentally losing its vectorised inner loop, or
+/// the pool read path growing a copy), never on jitter. Points present on
+/// only one side are skipped, so adding or retiring a point never breaks
+/// the gate — and a committed snapshot that predates the `io` group skips
+/// that whole group gracefully instead of failing. Hit-ratio tour points
+/// are excluded: they are single-shot replays whose wall time is not a
+/// stable signal (the ratio itself is what they report).
 fn run_gate(gate_path: &str, entries: &[Entry]) -> Result<usize, String> {
     const FACTOR: f64 = 3.0;
     let baseline = parse_baseline(gate_path)?;
     let mut checked = 0usize;
     let mut failures: Vec<String> = Vec::new();
-    for e in entries.iter().filter(|e| e.group == "window_query") {
-        let per_op = e.m.mean_ns / e.ops_per_iter as f64;
-        if let Some((_, _, base)) = baseline
+    for grp in ["window_query", "io"] {
+        if !baseline.iter().any(|(g, _, _)| g == grp) {
+            eprintln!("micro: gate: {gate_path} predates the '{grp}' group; skipping it");
+            continue;
+        }
+        for e in entries
             .iter()
-            .find(|(g, n, _)| g == "window_query" && *n == e.name)
+            .filter(|e| e.group == grp && e.hit_ratio.is_none())
         {
-            checked += 1;
-            let base = *base;
-            if per_op > base * FACTOR {
-                failures.push(format!(
-                    "  window_query/{}: {per_op:.1} ns/op exceeds {FACTOR}x committed baseline {base:.1} ns/op",
-                    e.name
-                ));
+            let per_op = e.m.mean_ns / e.ops_per_iter as f64;
+            if let Some((_, _, base)) = baseline.iter().find(|(g, n, _)| g == grp && *n == e.name) {
+                checked += 1;
+                let base = *base;
+                if per_op > base * FACTOR {
+                    failures.push(format!(
+                        "  {grp}/{}: {per_op:.1} ns/op exceeds {FACTOR}x committed baseline {base:.1} ns/op",
+                        e.name
+                    ));
+                }
             }
         }
     }
     if checked == 0 {
         return Err(format!(
-            "gate: no window_query entries of this run match {gate_path}"
+            "gate: no gated entries of this run match {gate_path}"
         ));
     }
     if !failures.is_empty() {
         return Err(format!(
-            "gate: window_query regression vs {gate_path}:\n{}",
+            "gate: perf regression vs {gate_path}:\n{}",
             failures.join("\n")
         ));
     }
@@ -412,7 +598,7 @@ fn write_micro_json(
 ) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"mar-bench-micro/2\",\n");
+    out.push_str("  \"schema\": \"mar-bench-micro/3\",\n");
     out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
     out.push_str(&format!(
         "  \"scene\": {{\"objects\": {}, \"coefficients\": {}, \"levels\": {}}},\n",
@@ -423,10 +609,13 @@ fn write_micro_json(
     out.push_str("  \"results\": [\n");
     for (i, e) in entries.iter().enumerate() {
         let per_op = e.m.mean_ns / e.ops_per_iter as f64;
+        let hit_ratio = e
+            .hit_ratio
+            .map_or(String::new(), |r| format!(", \"hit_ratio\": {r:.6}"));
         out.push_str(&format!(
             "    {{\"group\": \"{}\", \"name\": \"{}\", \"mean_ns\": {:.1}, \
              \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"iters\": {}, \
-             \"ops_per_iter\": {}, \"per_op_ns\": {:.1}}}{}\n",
+             \"ops_per_iter\": {}, \"per_op_ns\": {:.1}{}}}{}\n",
             json_escape(e.group),
             json_escape(&e.name),
             e.m.mean_ns,
@@ -435,6 +624,7 @@ fn write_micro_json(
             e.m.iters,
             e.ops_per_iter,
             per_op,
+            hit_ratio,
             if i + 1 == entries.len() { "" } else { "," }
         ));
     }
@@ -493,7 +683,7 @@ fn main() {
     scale.objects_default = ms.objects;
     scale.levels = ms.levels;
     let scene = figs::build_scene(&scale, ms.objects, Placement::Uniform);
-    let data = SceneIndexData::build(&scene);
+    let data = Arc::new(SceneIndexData::build(&scene));
     let index = WaveletIndex::build(&data);
 
     let mut c = Criterion::default();
@@ -501,6 +691,7 @@ fn main() {
     bench_index_build(&mut c, &ms, &data, &mut entries);
     bench_window_queries(&mut c, &ms, &scene, &index, &mut entries);
     bench_window_query_batch(&mut c, &ms, &scene, &index, &mut entries);
+    bench_io(&mut c, &ms, &scene, &data, &opts.out_dir, &mut entries);
 
     eprintln!("\nbench group: end_to_end");
     let (tables, total) = bench_end_to_end(opts.smoke);
@@ -522,7 +713,7 @@ fn main() {
     if let Some(gate_path) = &opts.gate {
         match run_gate(gate_path, &entries) {
             Ok(checked) => eprintln!(
-                "micro: perf gate passed ({checked} window_query points within 3x of {gate_path})"
+                "micro: perf gate passed ({checked} window_query/io points within 3x of {gate_path})"
             ),
             Err(e) => {
                 eprintln!("micro: {e}");

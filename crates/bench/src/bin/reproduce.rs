@@ -141,6 +141,12 @@ const EXPERIMENTS: &[Experiment] = &[
         ablation: true,
         run: |e, s| one(ablations::abl_direction_with(e, s)),
     },
+    Experiment {
+        name: "abl_store",
+        ids: &["abl_store"],
+        ablation: true,
+        run: |e, s| one(ablations::abl_store_with(e, s)),
+    },
 ];
 
 /// Predicate deciding whether a group selector covers an experiment.

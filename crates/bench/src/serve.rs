@@ -20,11 +20,12 @@
 use crate::engine::Engine;
 use crate::{figs, Scale};
 use mar_core::{
-    FramePlanner, LinearSpeedMap, QueryRegion, SceneIndexData, Server, ServerCore, SmoothedSpeed,
-    SpeedResolutionMap, WaveletIndex,
+    CachePolicy, FramePlanner, LinearSpeedMap, PageCacheStats, QueryRegion, SceneIndexData, Server,
+    ServerCore, SmoothedSpeed, SpeedResolutionMap, WaveletIndex,
 };
 use mar_link::LinkConfig;
 use mar_workload::{frame_at, pedestrian_tour, tram_tour, Placement, Scene, Tour, TourConfig};
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 
 /// Serving-workload parameters.
@@ -153,6 +154,28 @@ impl SessionSim {
     }
 }
 
+/// Where the serving replay reads its index from.
+///
+/// `Ram` is the all-in-memory build every prior harness used. `Paged`
+/// serializes the same index into a page file and serves it through the
+/// motion-aware buffer pool (DESIGN.md §15) — the transcript must be
+/// byte-identical either way, which `crates/bench/tests/serve.rs` pins.
+#[derive(Debug, Clone)]
+pub enum ServeBackend {
+    /// In-memory index (the default).
+    Ram,
+    /// Out-of-core index: node pages + coefficient records in a page
+    /// file at `path`, read through a pool of `budget_bytes` bytes.
+    Paged {
+        /// Where to write (and then serve) the page file.
+        path: PathBuf,
+        /// Hard buffer-pool byte budget.
+        budget_bytes: usize,
+        /// Eviction policy under that budget.
+        policy: CachePolicy,
+    },
+}
+
 /// What one serve run produced.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
@@ -179,6 +202,10 @@ pub struct ServeReport {
     pub tick_ns: Vec<u64>,
     /// Total wall-clock time of the replay loop, in seconds.
     pub elapsed_s: f64,
+    /// Page-file size in bytes (`None` on the in-RAM backend).
+    pub store_file_bytes: Option<u64>,
+    /// Buffer-pool statistics (`None` on the in-RAM backend).
+    pub cache: Option<PageCacheStats>,
 }
 
 impl ServeReport {
@@ -203,15 +230,37 @@ impl ServeReport {
     }
 }
 
-/// Runs the serving workload. The transcript (and every aggregate derived
-/// from it) is identical for any `cfg.jobs`; only the wall-clock fields
-/// change.
+/// Runs the serving workload on the in-RAM backend. The transcript (and
+/// every aggregate derived from it) is identical for any `cfg.jobs`; only
+/// the wall-clock fields change.
 pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
+    run_serve_backend(cfg, &ServeBackend::Ram)
+}
+
+/// Runs the serving workload against the chosen index backend. The
+/// transcript does not depend on the backend (or on `cfg.jobs`): the
+/// out-of-core path answers byte-identically and only the wall-clock and
+/// cache-statistics fields differ.
+pub fn run_serve_backend(cfg: &ServeConfig, backend: &ServeBackend) -> ServeReport {
     let scene = serve_scene(cfg);
-    let data = SceneIndexData::build(&scene);
-    // The index bulk-load itself fans out across the same worker budget.
-    let index = WaveletIndex::build_jobs(&data, cfg.jobs);
-    let server = Server::from_core(ServerCore::from_parts(Arc::new(data), Arc::new(index)));
+    let server = match backend {
+        ServeBackend::Ram => {
+            let data = SceneIndexData::build(&scene);
+            // The index bulk-load itself fans out across the same worker budget.
+            let index = WaveletIndex::build_jobs(&data, cfg.jobs);
+            Server::from_core(ServerCore::from_parts(Arc::new(data), Arc::new(index)))
+        }
+        ServeBackend::Paged {
+            path,
+            budget_bytes,
+            policy,
+        } => {
+            let core = ServerCore::new_paged(&scene, path, *budget_bytes, *policy)
+                // mar-lint: allow(D004) — the harness cannot proceed without its store file; surface the I/O error
+                .expect("serve: cannot build the page-file backend");
+            Server::from_core(core)
+        }
+    };
     let link = LinkConfig::paper();
 
     // Sessions connect serially in id order, each with its own tour:
@@ -304,6 +353,8 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
         0,
         "disconnect must release filter state"
     );
+    let store_file_bytes = server.index().paged().map(mar_core::PagedIndex::file_bytes);
+    let cache = server.index().cache_stats();
 
     ServeReport {
         sessions: cfg.sessions,
@@ -316,6 +367,8 @@ pub fn run_serve(cfg: &ServeConfig) -> ServeReport {
         transcript,
         tick_ns,
         elapsed_s,
+        store_file_bytes,
+        cache,
     }
 }
 

@@ -1,8 +1,11 @@
 //! The determinism contract of the serving harness, mirroring
 //! `tests/parallel.rs`: `--jobs` changes wall-clock time only, never a
-//! single transcript byte.
+//! single transcript byte — and neither does moving the index out of
+//! core: the page-file backend's transcript is pinned to the same
+//! fingerprint as the in-RAM one.
 
-use mar_bench::serve::{fnv1a64, run_serve, ServeConfig};
+use mar_bench::serve::{fnv1a64, run_serve, run_serve_backend, ServeBackend, ServeConfig};
+use mar_core::CachePolicy;
 
 #[test]
 fn serve_transcript_is_byte_identical_jobs_1_vs_4() {
@@ -37,4 +40,60 @@ fn serve_smoke_shape_matches_config() {
     // Wall-clock quantiles are monotone even though their values vary.
     assert!(r.tick_latency_ns(0.50) <= r.tick_latency_ns(0.99));
     assert!(r.tick_latency_ns(0.99) <= r.tick_latency_ns(1.0));
+}
+
+/// The smoke transcript's FNV-1a fingerprint, pinned so that any byte of
+/// drift — in the scene, the planner, the index, or the out-of-core read
+/// path — fails loudly rather than silently shifting every benchmark.
+const SMOKE_TRANSCRIPT_FNV64: u64 = 0x5053_d3c4_84e6_7f80;
+
+#[test]
+fn paged_serve_transcript_is_byte_identical_to_ram() {
+    let cfg = ServeConfig::smoke(2);
+    let ram = run_serve(&cfg);
+    assert_eq!(
+        fnv1a64(&ram.transcript),
+        SMOKE_TRANSCRIPT_FNV64,
+        "the smoke transcript fingerprint moved — if intentional, repin"
+    );
+    assert!(ram.store_file_bytes.is_none() && ram.cache.is_none());
+    // A deliberately starved single-page pool: the store must dwarf it so
+    // the replay genuinely pages, yet the answers may not change by a
+    // single byte.
+    let budget_bytes = 4096;
+    let dir = std::env::temp_dir().join("mar-bench-serve-tests");
+    std::fs::create_dir_all(&dir).expect("create tmp dir");
+    for policy in [CachePolicy::Lru, CachePolicy::MotionAware] {
+        let path = dir.join(format!("{}-{}.pages", std::process::id(), policy.name()));
+        let paged = run_serve_backend(
+            &cfg,
+            &ServeBackend::Paged {
+                path: path.clone(),
+                budget_bytes,
+                policy,
+            },
+        );
+        assert_eq!(
+            paged.transcript,
+            ram.transcript,
+            "paged transcript differs from RAM under {}",
+            policy.name()
+        );
+        assert_eq!(fnv1a64(&paged.transcript), SMOKE_TRANSCRIPT_FNV64);
+        assert_eq!(paged.bytes, ram.bytes);
+        assert_eq!(paged.coeffs, ram.coeffs);
+        assert_eq!(paged.io, ram.io);
+        assert_eq!(paged.unique_io, ram.unique_io);
+        let file_bytes = paged
+            .store_file_bytes
+            .expect("paged run records its store size");
+        assert!(
+            file_bytes >= 50 * budget_bytes as u64,
+            "store must dwarf the pool: {file_bytes} B vs budget {budget_bytes} B"
+        );
+        let stats = paged.cache.expect("paged run records pool stats");
+        assert!(stats.faults > 0, "a starved pool must fault");
+        assert!(stats.hits > 0, "even a starved pool re-hits the root");
+        let _ = std::fs::remove_file(&path);
+    }
 }

@@ -7,6 +7,7 @@
 //! tracked here, at block granularity, exactly as defined.
 
 use mar_geom::BlockId;
+use mar_store::RecencyIndex;
 use std::collections::BTreeMap;
 
 /// Cumulative cache statistics.
@@ -68,14 +69,12 @@ pub struct BlockCache {
     // order, and hash order differs per map instance, which made two
     // identical runs disagree. Key order is stable.
     slots: BTreeMap<BlockId, Slot>,
-    /// Recency index: `touched` stamp → block. Stamps are unique (the
-    /// clock advances on every touch), so this is a total order and
-    /// `pop_first` is the LRU victim in O(log n) — a capacity shrink no
-    /// longer scans all n slots per evicted block.
-    lru: BTreeMap<u64, BlockId>,
+    /// Workspace-shared recency structure: `touched` stamp → block.
+    /// Stamps are unique (the clock advances on every touch), so recency
+    /// is a total order and the LRU victim pops off in O(log n) — a
+    /// capacity shrink no longer scans all n slots per evicted block.
+    recency: RecencyIndex<BlockId>,
     stats: CacheStats,
-    /// Monotone operation counter stamping slot recency.
-    clock: u64,
 }
 
 impl BlockCache {
@@ -84,9 +83,8 @@ impl BlockCache {
         Self {
             capacity,
             slots: BTreeMap::new(),
-            lru: BTreeMap::new(),
+            recency: RecencyIndex::new(),
             stats: CacheStats::default(),
-            clock: 0,
         }
     }
 
@@ -97,8 +95,7 @@ impl BlockCache {
 
     /// The next recency stamp (each call advances the logical clock).
     fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+        self.recency.tick()
     }
 
     /// Changes the capacity (the multiresolution policy grows the block
@@ -114,7 +111,7 @@ impl BlockCache {
     pub fn set_capacity(&mut self, capacity: usize) {
         self.capacity = capacity;
         while self.slots.len() > self.capacity {
-            match self.lru.pop_first() {
+            match self.recency.pop_lru() {
                 Some((_, b)) => {
                     self.slots.remove(&b);
                 }
@@ -157,8 +154,8 @@ impl BlockCache {
             match self.slots.get_mut(b) {
                 Some(slot) if slot.w_min <= w_min => {
                     self.stats.hits += 1;
-                    self.lru.remove(&slot.touched);
-                    self.lru.insert(stamp, *b);
+                    self.recency.remove(slot.touched);
+                    self.recency.insert(stamp, *b);
                     slot.touched = stamp;
                     if slot.pending_use {
                         slot.pending_use = false;
@@ -185,11 +182,11 @@ impl BlockCache {
                 },
             );
             if let Some(old) = prev {
-                self.lru.remove(&old.touched);
+                self.recency.remove(old.touched);
             } else {
                 self.stats.demand_fetched += 1;
             }
-            self.lru.insert(touched, *b);
+            self.recency.insert(touched, *b);
             self.enforce_capacity(b);
         }
     }
@@ -214,9 +211,9 @@ impl BlockCache {
             },
         );
         if let Some(old) = prev {
-            self.lru.remove(&old.touched);
+            self.recency.remove(old.touched);
         }
-        self.lru.insert(touched, block);
+        self.recency.insert(touched, block);
         self.stats.prefetched += 1;
         self.enforce_capacity(&block);
         true
@@ -234,7 +231,7 @@ impl BlockCache {
     /// buffered region wholesale each replanning tick).
     pub fn retain(&mut self, keep: impl Fn(&BlockId) -> bool) {
         self.slots.retain(|b, _| keep(b));
-        self.lru.retain(|_, b| keep(b));
+        self.recency.retain(&keep);
     }
 
     fn enforce_capacity(&mut self, just_inserted: &BlockId) {
@@ -250,7 +247,7 @@ impl BlockCache {
             match victim {
                 Some((b, stamp)) => {
                     self.slots.remove(&b);
-                    self.lru.remove(&stamp);
+                    self.recency.remove(stamp);
                 }
                 None => break,
             }
@@ -261,10 +258,10 @@ impl BlockCache {
     /// one entry per slot, keyed by that slot's current stamp.
     #[cfg(test)]
     fn assert_lru_mirrors_slots(&self) {
-        assert_eq!(self.lru.len(), self.slots.len(), "index size drifted");
-        for (stamp, block) in &self.lru {
+        assert_eq!(self.recency.len(), self.slots.len(), "index size drifted");
+        for (stamp, block) in self.recency.iter() {
             let slot = self.slots.get(block).expect("index points at a live slot");
-            assert_eq!(slot.touched, *stamp, "index holds a stale stamp");
+            assert_eq!(slot.touched, stamp, "index holds a stale stamp");
         }
     }
 }

@@ -1,0 +1,247 @@
+//! Server-side page heat from the Eq. 2 k-direction allocation (§V-A).
+//!
+//! The client-side prefetcher spends its block budget on the sectors a
+//! single client is predicted to move into. [`MotionHeat`] is the same
+//! idea promoted to the server: each connected session contributes its
+//! own Eq. 2 allocation (smoothed direction probabilities →
+//! [`allocate_directions`]), and a page's *heat* is the sum over
+//! sessions of the allocation weight in the sector that page lies in,
+//! attenuated by distance. The server's `PageCache` (mar-store) ranks
+//! admission and eviction by this heat, so pages in front of moving
+//! clients outlive pages behind them.
+//!
+//! Determinism: sessions live in a `BTreeMap`, so `heat_at` sums
+//! contributions in session-id order; direction smoothing is a fixed
+//! exponential moving average of sector votes with no time source.
+
+use std::collections::BTreeMap;
+
+use mar_geom::{Point2, Rect2, SectorPartition, Vector};
+
+use crate::alloc::allocate_directions;
+
+/// Weight a fresh movement observation carries against a session's
+/// smoothed direction distribution. High enough to track a tour's turns
+/// within a few ticks, low enough that one jittered step does not flip
+/// the allocation.
+const DIRECTION_ALPHA: f64 = 0.5;
+
+#[derive(Debug, Clone)]
+struct SessionMotion {
+    pos: Point2,
+    /// Smoothed probability per sector (sums to 1).
+    probs: Vec<f64>,
+    /// Eq. 2 allocation of the nominal budget across the sectors.
+    alloc: Vec<usize>,
+}
+
+/// Aggregated per-session motion state mapping any point in the scene to
+/// a scalar heat.
+#[derive(Debug, Clone)]
+pub struct MotionHeat {
+    partition: SectorPartition,
+    /// Nominal per-session budget Eq. 2 distributes across sectors. Only
+    /// relative weights matter for victim ranking, so this is a fixed
+    /// resolution knob, not a real block count.
+    alloc_total: usize,
+    /// Distance (in scene units) at which a contribution halves.
+    scale: f64,
+    sessions: BTreeMap<u64, SessionMotion>,
+}
+
+impl MotionHeat {
+    /// Creates an empty heat field over `k` axis-centered sectors.
+    /// `scale` is the distance at which a session's contribution halves
+    /// (must be positive and finite).
+    pub fn new(k: usize, alloc_total: usize, scale: f64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "scale must be positive");
+        Self {
+            partition: SectorPartition::axis_centered(k),
+            alloc_total,
+            scale,
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// The defaults the server uses: the paper's k = 4 compass sectors,
+    /// a 64-unit nominal budget, and a half-heat distance of `scale`.
+    pub fn server_default(scale: f64) -> Self {
+        Self::new(4, 64, scale)
+    }
+
+    /// Records that `session` is now at `pos`. The first observation
+    /// seeds a uniform direction distribution; each later one votes the
+    /// movement's sector into the smoothed distribution and refreshes
+    /// the session's Eq. 2 allocation.
+    pub fn observe(&mut self, session: u64, pos: Point2) {
+        let k = self.partition.k();
+        match self.sessions.get_mut(&session) {
+            None => {
+                let probs = vec![1.0 / k as f64; k];
+                let alloc = allocate_directions(self.alloc_total, &probs);
+                self.sessions
+                    .insert(session, SessionMotion { pos, probs, alloc });
+            }
+            Some(m) => {
+                let delta = pos - m.pos;
+                m.pos = pos;
+                // A stationary tick carries no direction information.
+                if let Some(s) = self.partition.sector_of(&delta) {
+                    for p in m.probs.iter_mut() {
+                        *p *= 1.0 - DIRECTION_ALPHA;
+                    }
+                    m.probs[s] += DIRECTION_ALPHA;
+                    m.alloc = allocate_directions(self.alloc_total, &m.probs);
+                }
+            }
+        }
+    }
+
+    /// Drops `session`'s contribution (client disconnected).
+    pub fn forget(&mut self, session: u64) {
+        self.sessions.remove(&session);
+    }
+
+    /// Tracked sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// One session's contribution for an offset `v` from its position:
+    /// the Eq. 2 allocation weight of `v`'s sector, attenuated by
+    /// distance. A zero offset (no sector) counts the full nominal
+    /// budget — as hot as a contribution can be.
+    fn contribution(&self, m: &SessionMotion, v: Vector<2>) -> f64 {
+        let weight = match self.partition.sector_of(&v) {
+            Some(s) => m.alloc[s] as f64,
+            None => self.alloc_total as f64,
+        };
+        weight / (1.0 + v.norm() / self.scale)
+    }
+
+    /// Heat at `center`: the sum over sessions of the Eq. 2 allocation
+    /// weight in `center`'s sector relative to the session, attenuated
+    /// by distance. A point exactly at a session's position (no sector)
+    /// counts the full nominal budget — it is as hot as a page can be.
+    pub fn heat_at(&self, center: Point2) -> f64 {
+        self.sessions
+            .values()
+            .map(|m| self.contribution(m, center - m.pos))
+            .sum()
+    }
+
+    /// Heat of an axis-aligned region: each session contributes the heat
+    /// at the point of `rect` *nearest* to it — a page is as hot as the
+    /// hottest prediction it covers. A region containing a session's
+    /// position counts that session's full nominal budget, which keeps an
+    /// index's root and upper internal pages (their regions cover every
+    /// client) resident ahead of leaf pages off to the side; for small
+    /// leaf-sized regions the nearest point is effectively the center and
+    /// the ranking stays directional.
+    pub fn heat_rect(&self, rect: &Rect2) -> f64 {
+        self.sessions
+            .values()
+            .map(|m| {
+                let nearest = Point2::new([
+                    m.pos[0].clamp(rect.lo[0], rect.hi[0]),
+                    m.pos[1].clamp(rect.lo[1], rect.hi[1]),
+                ]);
+                self.contribution(m, nearest - m.pos)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point2 {
+        Point2::new([x, y])
+    }
+
+    #[test]
+    fn empty_field_is_cold() {
+        let h = MotionHeat::server_default(10.0);
+        assert_eq!(h.heat_at(p(3.0, 4.0)), 0.0);
+    }
+
+    #[test]
+    fn heading_east_heats_the_east() {
+        let mut h = MotionHeat::server_default(10.0);
+        // Session 1 walks steadily east.
+        for i in 0..8 {
+            h.observe(1, p(i as f64, 0.0));
+        }
+        let ahead = h.heat_at(p(12.0, 0.0));
+        let behind = h.heat_at(p(2.0, 0.0));
+        assert!(
+            ahead > behind,
+            "east page must be hotter than the one behind: {ahead} vs {behind}"
+        );
+    }
+
+    #[test]
+    fn closer_pages_are_hotter() {
+        let mut h = MotionHeat::server_default(10.0);
+        for i in 0..4 {
+            h.observe(7, p(i as f64, 0.0));
+        }
+        let near = h.heat_at(p(5.0, 0.0));
+        let far = h.heat_at(p(50.0, 0.0));
+        assert!(near > far, "distance must attenuate: {near} vs {far}");
+    }
+
+    #[test]
+    fn forget_removes_contribution() {
+        let mut h = MotionHeat::server_default(10.0);
+        h.observe(1, p(0.0, 0.0));
+        h.observe(2, p(1.0, 1.0));
+        assert_eq!(h.session_count(), 2);
+        h.forget(1);
+        assert_eq!(h.session_count(), 1);
+        h.forget(1); // idempotent
+        assert_eq!(h.session_count(), 1);
+    }
+
+    #[test]
+    fn containing_rect_is_maximally_hot() {
+        let mut h = MotionHeat::server_default(10.0);
+        for i in 0..8 {
+            h.observe(1, p(i as f64, 0.0));
+        }
+        // The whole-space rect contains the session → full budget, hotter
+        // than any rect strictly ahead, which in turn beats one behind.
+        let root = Rect2::new(p(-100.0, -100.0), p(100.0, 100.0));
+        let ahead = Rect2::new(p(12.0, -1.0), p(14.0, 1.0));
+        let behind = Rect2::new(p(0.0, -1.0), p(2.0, 1.0));
+        let (hr, ha, hb) = (
+            h.heat_rect(&root),
+            h.heat_rect(&ahead),
+            h.heat_rect(&behind),
+        );
+        assert!(hr > ha, "containing rect must dominate: {hr} vs {ha}");
+        assert!(ha > hb, "rect ahead must beat rect behind: {ha} vs {hb}");
+        // A degenerate rect agrees with the point evaluation.
+        let pt = p(12.0, 0.0);
+        assert_eq!(h.heat_rect(&Rect2::new(pt, pt)), h.heat_at(pt));
+    }
+
+    #[test]
+    fn heat_is_session_order_invariant() {
+        // Two fields fed the same observations in different interleavings
+        // agree everywhere (summation runs in BTreeMap session order).
+        let mut a = MotionHeat::server_default(10.0);
+        let mut b = MotionHeat::server_default(10.0);
+        let obs = [(1u64, 0.0), (2u64, 5.0), (1u64, 1.0), (2u64, 4.0)];
+        for (s, x) in obs {
+            a.observe(s, p(x, 0.0));
+        }
+        for (s, x) in [(2u64, 5.0), (2u64, 4.0), (1u64, 0.0), (1u64, 1.0)] {
+            b.observe(s, p(x, 0.0));
+        }
+        for probe in [p(0.0, 0.0), p(3.0, 2.0), p(-8.0, 1.0)] {
+            assert_eq!(a.heat_at(probe), b.heat_at(probe));
+        }
+    }
+}

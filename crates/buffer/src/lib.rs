@@ -25,12 +25,19 @@
 //!   §VII-E.
 //! * [`multires`] — the speed-scaled resolution policy: "a client moving
 //!   at higher speeds buffers more objects with lower resolutions".
+//! * [`heat`] — Eq. 2 promoted to the server: per-session direction
+//!   allocations aggregated into a scalar page *heat* that the
+//!   out-of-core `PageCache` (mar-store) ranks eviction by.
+//!
+//! All recency bookkeeping (here and in mar-store's `PageCache`) shares
+//! one structure, `mar_store::RecencyIndex`, re-exported below.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod alloc;
 pub mod block;
+pub mod heat;
 pub mod lru;
 pub mod multires;
 pub mod prefetch;
@@ -38,7 +45,9 @@ pub mod residence;
 
 pub use alloc::{allocate_directions, best_ordering_allocation};
 pub use block::{BlockCache, CacheStats};
+pub use heat::MotionHeat;
 pub use lru::LruCache;
+pub use mar_store::RecencyIndex;
 pub use multires::MultiresPolicy;
 pub use prefetch::{
     AllocationStrategy, MotionAwarePrefetcher, NaivePrefetcher, PrefetchContext, Prefetcher,

@@ -1,21 +1,21 @@
 //! A plain least-recently-used cache — the §VII-E naive system's caching
 //! policy ("we also use a simple Least Recently Used (LRU) scheme").
 
+use mar_store::RecencyIndex;
 use std::borrow::Borrow;
 use std::collections::BTreeMap;
 
 /// A capacity-bounded LRU map.
 ///
-/// Implemented with a recency counter per entry over a `BTreeMap`
-/// (ties in the eviction scan resolve to the smallest key, so behaviour
-/// is a pure function of the call sequence; capacities here are a few
-/// hundred blocks, so the O(n) eviction scan is irrelevant next to the
-/// simulated wireless costs it models).
+/// Recency lives in the workspace-shared [`RecencyIndex`] (unique
+/// monotone stamps over a `BTreeMap`), so eviction order is a pure
+/// function of the call sequence and the victim pops off the index in
+/// O(log n) instead of a full-map stamp scan.
 #[derive(Debug, Clone)]
 pub struct LruCache<K, V> {
     capacity: usize,
-    tick: u64,
     map: BTreeMap<K, (u64, V)>,
+    recency: RecencyIndex<K>,
     hits: u64,
     lookups: u64,
 }
@@ -26,8 +26,8 @@ impl<K: Ord + Clone, V> LruCache<K, V> {
         assert!(capacity > 0, "LRU capacity must be positive");
         Self {
             capacity,
-            tick: 0,
             map: BTreeMap::new(),
+            recency: RecencyIndex::new(),
             hits: 0,
             lookups: 0,
         }
@@ -50,13 +50,16 @@ impl<K: Ord + Clone, V> LruCache<K, V> {
         Q: Ord + ?Sized,
     {
         self.lookups += 1;
-        self.tick += 1;
-        let tick = self.tick;
-        match self.map.get_mut(k) {
-            Some((t, v)) => {
-                *t = tick;
+        // The clock advances on misses too, matching the original
+        // recency-counter behaviour stamp for stamp.
+        let stamp = self.recency.tick();
+        match self.map.remove_entry(k) {
+            Some((key, (old, v))) => {
+                self.recency.remove(old);
+                self.recency.insert(stamp, key.clone());
                 self.hits += 1;
-                Some(v)
+                let slot = self.map.entry(key).or_insert((stamp, v));
+                Some(&slot.1)
             }
             None => None,
         }
@@ -74,18 +77,21 @@ impl<K: Ord + Clone, V> LruCache<K, V> {
 
     /// Inserts `k → v`, evicting the least recently used entry if full.
     pub fn put(&mut self, k: K, v: V) {
-        self.tick += 1;
-        if !self.map.contains_key(&k) && self.map.len() == self.capacity {
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, (t, _))| *t)
-                .map(|(k, _)| k.clone())
-            {
-                self.map.remove(&victim);
+        let stamp = self.recency.tick();
+        match self.map.get(&k) {
+            Some((old, _)) => {
+                self.recency.remove(*old);
+            }
+            None => {
+                if self.map.len() == self.capacity {
+                    if let Some((_, victim)) = self.recency.pop_lru() {
+                        self.map.remove(&victim);
+                    }
+                }
             }
         }
-        self.map.insert(k, (self.tick, v));
+        self.recency.insert(stamp, k.clone());
+        self.map.insert(k, (stamp, v));
     }
 
     /// Hit rate over all `get` calls so far (1.0 before any lookup).
@@ -130,6 +136,18 @@ mod tests {
         c.put("a", 10);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get("a"), Some(&10));
+    }
+
+    #[test]
+    fn reinsert_refreshes_recency() {
+        let mut c = LruCache::new(2);
+        c.put("a", 1);
+        c.put("b", 2);
+        c.put("a", 10); // "a" is now the most recent entry
+        c.put("c", 3); // so "b" is the victim
+        assert!(c.peek("a"));
+        assert!(!c.peek("b"));
+        assert!(c.peek("c"));
     }
 
     #[test]

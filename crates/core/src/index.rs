@@ -14,14 +14,27 @@
 //! retrieved can be dropped without losing detail inside `R`.
 
 use crate::coeff::{CoeffRef, SceneIndexData};
-use mar_geom::{Rect2, Rect3};
+use crate::paged::PagedIndex;
+use mar_geom::{Point2, Rect2, Rect3};
 use mar_mesh::ResolutionBand;
-use mar_rtree::{BatchAccesses, RTree, RTreeConfig};
+use mar_rtree::{BatchAccesses, IoSnapshot, RTree, RTreeConfig};
+use mar_store::{CachePolicy, PageCacheStats, StoreError};
+use std::path::Path;
+
+/// Where the index's nodes live: the flat in-RAM arena, or a page file
+/// read through the motion-aware buffer pool. Both backends run the same
+/// descent algorithms, so query answers are byte-identical (pinned by
+/// `crates/core/src/paged.rs` and the serve fingerprint tests).
+#[derive(Debug)]
+enum Backend {
+    Ram(RTree<3, CoeffRef>),
+    Paged(PagedIndex),
+}
 
 /// The support-region index.
 #[derive(Debug)]
 pub struct WaveletIndex {
-    tree: RTree<3, CoeffRef>,
+    backend: Backend,
 }
 
 impl WaveletIndex {
@@ -34,7 +47,7 @@ impl WaveletIndex {
     /// Bulk-loads with a custom tree configuration.
     pub fn build_with(data: &SceneIndexData, config: RTreeConfig) -> Self {
         Self {
-            tree: RTree::bulk_load(config, Self::items(data)),
+            backend: Backend::Ram(RTree::bulk_load(config, Self::items(data))),
         }
     }
 
@@ -43,7 +56,11 @@ impl WaveletIndex {
     /// [`WaveletIndex::build`] (see [`RTree::bulk_load_jobs`]).
     pub fn build_jobs(data: &SceneIndexData, jobs: usize) -> Self {
         Self {
-            tree: RTree::bulk_load_jobs(RTreeConfig::paper(), Self::items(data), jobs),
+            backend: Backend::Ram(RTree::bulk_load_jobs(
+                RTreeConfig::paper(),
+                Self::items(data),
+                jobs,
+            )),
         }
     }
 
@@ -57,22 +74,66 @@ impl WaveletIndex {
     /// Wraps an externally built tree (e.g. one filled by incremental
     /// insertion) — used by the index-construction ablation.
     pub fn from_tree(tree: RTree<3, CoeffRef>) -> Self {
-        Self { tree }
+        Self {
+            backend: Backend::Ram(tree),
+        }
+    }
+
+    /// Opens a disk-backed index over the store image at `path` (written
+    /// by [`crate::store::write_store`]), reading node and payload pages
+    /// through a buffer pool of `budget_bytes` with the given eviction
+    /// policy. Query answers are byte-identical to the in-RAM build the
+    /// store was exported from.
+    pub fn open_paged(
+        path: &Path,
+        budget_bytes: usize,
+        policy: CachePolicy,
+    ) -> Result<Self, StoreError> {
+        Ok(Self {
+            backend: Backend::Paged(PagedIndex::open(path, budget_bytes, policy)?),
+        })
+    }
+
+    /// True when this index reads pages from disk.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.backend, Backend::Paged(_))
+    }
+
+    /// The in-RAM tree, when this index has one (store export needs it).
+    pub(crate) fn ram_tree(&self) -> Option<&RTree<3, CoeffRef>> {
+        match &self.backend {
+            Backend::Ram(tree) => Some(tree),
+            Backend::Paged(_) => None,
+        }
+    }
+
+    /// The paged backend, when this index has one.
+    pub fn paged(&self) -> Option<&PagedIndex> {
+        match &self.backend {
+            Backend::Ram(_) => None,
+            Backend::Paged(p) => Some(p),
+        }
     }
 
     /// Number of indexed coefficients.
     pub fn len(&self) -> usize {
-        self.tree.len()
+        match &self.backend {
+            Backend::Ram(tree) => tree.len(),
+            Backend::Paged(p) => p.len(),
+        }
     }
 
     /// True when empty.
     pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
+        self.len() == 0
     }
 
     /// Number of tree nodes (pages).
     pub fn node_count(&self) -> usize {
-        self.tree.node_count()
+        match &self.backend {
+            Backend::Ram(tree) => tree.node_count(),
+            Backend::Paged(p) => p.node_count(),
+        }
     }
 
     /// Executes `Q(R, w_max, w_min)` as a visitor: `visit` is called once
@@ -90,7 +151,10 @@ impl WaveletIndex {
         mut visit: impl FnMut(CoeffRef),
     ) -> u64 {
         let window: Rect3 = region.lift(band.w_min, band.w_max);
-        self.tree.search(&window, |_, id| visit(*id))
+        match &self.backend {
+            Backend::Ram(tree) => tree.search(&window, |_, id| visit(*id)),
+            Backend::Paged(p) => p.for_each(&window, visit),
+        }
     }
 
     /// Executes a batch of window queries in one grouped descent: every
@@ -109,7 +173,10 @@ impl WaveletIndex {
             .iter()
             .map(|(region, band)| region.lift(band.w_min, band.w_max))
             .collect();
-        self.tree.search_batch(&windows, |q, _, id| visit(q, *id))
+        match &self.backend {
+            Backend::Ram(tree) => tree.search_batch(&windows, |q, _, id| visit(q, *id)),
+            Backend::Paged(p) => p.for_each_batch(&windows, visit),
+        }
     }
 
     /// Executes `Q(R, w_max, w_min)`: every coefficient whose support
@@ -130,22 +197,72 @@ impl WaveletIndex {
     /// the test bitmask instead of being replayed one hit at a time.
     pub fn count_in(&self, region: &Rect2, band: ResolutionBand) -> (usize, u64) {
         let window: Rect3 = region.lift(band.w_min, band.w_max);
-        self.tree.count_in(&window)
+        match &self.backend {
+            Backend::Ram(tree) => tree.count_in(&window),
+            Backend::Paged(p) => p.count_in(&window),
+        }
     }
 
     /// Cumulative I/O across queries (see [`mar_rtree::RTree::io_count`]).
     pub fn io_count(&self) -> u64 {
-        self.tree.io_count()
+        match &self.backend {
+            Backend::Ram(tree) => tree.io_count(),
+            Backend::Paged(p) => p.io_count(),
+        }
     }
 
-    /// Resets the cumulative I/O counter.
+    /// Snapshot of the logical / unique / physical access counters. The
+    /// RAM backend never performs a physical read (`physical` stays 0).
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        match &self.backend {
+            Backend::Ram(tree) => tree.io_snapshot(),
+            Backend::Paged(p) => p.io_snapshot(),
+        }
+    }
+
+    /// Resets the cumulative I/O counters.
     pub fn reset_io(&self) {
-        self.tree.reset_io();
+        match &self.backend {
+            Backend::Ram(tree) => tree.reset_io(),
+            Backend::Paged(p) => p.reset_io(),
+        }
     }
 
-    /// Validates the underlying tree (tests).
+    /// Touches the payload page holding `id`'s coefficient record — the
+    /// disk trip transmitting a hit performs. A no-op on the RAM backend,
+    /// where payloads live in [`SceneIndexData`].
+    pub fn touch_payload(&self, id: CoeffRef) {
+        if let Backend::Paged(p) = &self.backend {
+            p.touch_payload(id);
+        }
+    }
+
+    /// Feeds a session's current window centre into the Eq. 2 heat field
+    /// ranking the buffer pool. A no-op on the RAM backend.
+    pub fn observe_motion(&self, session: u64, pos: Point2) {
+        if let Backend::Paged(p) = &self.backend {
+            p.observe_motion(session, pos);
+        }
+    }
+
+    /// Drops a session's heat contribution. A no-op on the RAM backend.
+    pub fn forget_motion(&self, session: u64) {
+        if let Backend::Paged(p) = &self.backend {
+            p.forget_motion(session);
+        }
+    }
+
+    /// Buffer-pool counters, when this index reads through a pool.
+    pub fn cache_stats(&self) -> Option<PageCacheStats> {
+        self.paged().map(PagedIndex::cache_stats)
+    }
+
+    /// Validates the underlying backend (tests).
     pub fn validate(&self) -> Result<(), String> {
-        self.tree.validate()
+        match &self.backend {
+            Backend::Ram(tree) => tree.validate(),
+            Backend::Paged(p) => p.validate(),
+        }
     }
 }
 

@@ -12,6 +12,10 @@
 //! * [`naive_index`] — the §VI straw man: a point R-tree over coefficient
 //!   positions that must compute the neighbours' bounding region and
 //!   re-query the extension.
+//! * [`store`] / [`paged`] — the out-of-core backend: the index's node
+//!   pages and coefficient records serialized into one checksummed page
+//!   file, read back through `mar-store`'s motion-aware buffer pool with
+//!   byte-identical query answers (DESIGN.md §15).
 //! * [`server`] — the data server: scene + index + per-client sessions
 //!   that filter out already-transmitted data (§IV's server-side filter).
 //! * [`retrieval`] — Algorithm 1, the incremental motion-aware client
@@ -34,17 +38,21 @@ pub mod coeff;
 pub mod index;
 pub mod metrics;
 pub mod naive_index;
+pub mod paged;
 pub mod resilient;
 pub mod retrieval;
 pub mod server;
 pub mod speedmap;
+pub mod store;
 pub mod system;
 
 pub use coeff::{CoeffRecord, CoeffRef, SceneIndexData};
 pub use index::{WaveletIndex, WaveletIndex4};
-pub use mar_rtree::BatchAccesses;
+pub use mar_rtree::{BatchAccesses, IoSnapshot};
+pub use mar_store::{CachePolicy, PageCacheStats, StoreError};
 pub use metrics::{BufferMetrics, RetrievalMetrics, SystemMetrics};
 pub use naive_index::NaivePointIndex;
+pub use paged::PagedIndex;
 pub use resilient::{
     ProtocolError, ResilienceMetrics, ResilientClient, ResilientPolicy, ResilientTick,
 };
@@ -53,3 +61,4 @@ pub use server::{
     QueryRegion, QueryResult, ResumeInfo, Server, ServerCore, SessionError, SESSION_STRIPES,
 };
 pub use speedmap::{LinearSpeedMap, SmoothedSpeed, SpeedResolutionMap, SteppedSpeedMap};
+pub use store::{open_store, write_store, write_store_with, StoreMeta, StoredRecord};

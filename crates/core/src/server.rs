@@ -202,9 +202,21 @@ impl Session {
 /// session's sent-filter, accumulating the transmission accounting. Both
 /// query paths route here so a batched and a scalar execution of the same
 /// sub-queries produce bit-identical [`QueryResult`]s.
-fn apply_hits(sess: &mut Session, data: &SceneIndexData, hits: &[CoeffRef], out: &mut QueryResult) {
+///
+/// Every *newly transmitted* coefficient touches its payload page through
+/// the index — a no-op in RAM, a buffer-pool read (and physical-I/O tally
+/// on a miss) on the disk-backed backend. The touch never changes the
+/// result, so RAM and paged transcripts stay byte-identical.
+fn apply_hits(
+    sess: &mut Session,
+    data: &SceneIndexData,
+    index: &WaveletIndex,
+    hits: &[CoeffRef],
+    out: &mut QueryResult,
+) {
     for &id in hits {
         if sess.sent.insert(id) {
+            index.touch_payload(id);
             out.coeffs += 1;
             out.bytes += data.coeff_bytes;
             if sess.sent_base.insert(id.object) {
@@ -240,6 +252,26 @@ impl ServerCore {
     /// [`WaveletIndex::build_jobs`]).
     pub fn from_parts(data: Arc<SceneIndexData>, index: Arc<WaveletIndex>) -> Self {
         Self { data, index }
+    }
+
+    /// Builds a **disk-backed** core: writes the complete store image
+    /// (tree node pages + coefficient records) to `store_path`, then
+    /// serves every index read through a buffer pool of `budget_bytes`
+    /// with the given eviction policy. Query and fetch answers are
+    /// byte-identical to [`ServerCore::new`] over the same scene.
+    pub fn new_paged(
+        scene: &Scene,
+        store_path: &std::path::Path,
+        budget_bytes: usize,
+        policy: mar_store::CachePolicy,
+    ) -> Result<Self, mar_store::StoreError> {
+        let data = SceneIndexData::build(scene);
+        crate::store::write_store(store_path, &data)?;
+        let index = WaveletIndex::open_paged(store_path, budget_bytes, policy)?;
+        Ok(Self {
+            data: Arc::new(data),
+            index: Arc::new(index),
+        })
     }
 
     /// The scene-derived index data.
@@ -415,6 +447,10 @@ impl Server {
         // mar-lint: allow(D004) — poisoning implies another client thread panicked; propagate
         let mut tokens = self.tokens.lock().expect("token map poisoned");
         tokens.remove(&sess.token);
+        drop(tokens);
+        // And its heat contribution: a gone client must not keep pages
+        // warm (no-op on the in-RAM backend).
+        self.core.index().forget_motion(session);
         Ok(())
     }
 
@@ -511,13 +547,20 @@ impl Server {
             .ok_or(SessionError::UnknownSession(session))?;
         let index = self.core.index();
         let data = self.core.data();
+        // The session's predicted motion (Eq. 2) feeds the buffer pool's
+        // heat field: the first sub-query window's centre is the client's
+        // position this tick. (No-op on the in-RAM backend; only the
+        // stripe → pager lock edge of DESIGN.md §13 is taken.)
+        if let Some(q) = regions.first() {
+            index.observe_motion(session, q.region.center());
+        }
         let queries: Vec<(Rect2, ResolutionBand)> =
             regions.iter().map(|q| (q.region, q.band)).collect();
         let mut hits: Vec<Vec<CoeffRef>> = vec![Vec::new(); queries.len()];
         let accesses = index.for_each_batch(&queries, |w, id| hits[w].push(id));
         let mut result = QueryResult::default();
         for window_hits in &hits {
-            apply_hits(sess, data, window_hits, &mut result);
+            apply_hits(sess, data, index, window_hits, &mut result);
         }
         result.io = accesses.logical_total();
         Ok(result)
@@ -558,6 +601,15 @@ impl Server {
                     .contains_key(&session)
             })
             .collect();
+        // Feed each admitted session's window centre into the pool's heat
+        // field before the descent reads any pages (no locks held here).
+        for (s, &(session, regions)) in batch.iter().enumerate() {
+            if known[s] {
+                if let Some(q) = regions.first() {
+                    self.core.index().observe_motion(session, q.region.center());
+                }
+            }
+        }
         // One lock-free grouped descent over every admitted session's
         // windows; `ranges[s]` is session slot s's window span.
         let mut queries: Vec<(Rect2, ResolutionBand)> = Vec::new();
@@ -576,6 +628,7 @@ impl Server {
             .for_each_batch(&queries, |w, id| hits[w].push(id));
         // Demultiplex: apply each session's filter in caller order.
         let data = self.core.data();
+        let index = self.core.index();
         let mut out = Vec::with_capacity(batch.len());
         for (s, &(session, _)) in batch.iter().enumerate() {
             if !known[s] {
@@ -598,7 +651,7 @@ impl Server {
                 .iter()
                 .zip(&accesses.per_window[start..end])
             {
-                apply_hits(sess, data, h, &mut result);
+                apply_hits(sess, data, index, h, &mut result);
                 result.io += io;
             }
             out.push(Ok(result));

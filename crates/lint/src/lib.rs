@@ -57,7 +57,8 @@ use std::path::Path;
 
 /// Crates whose library code must be deterministic (D001 applies).
 pub const DETERMINISTIC_CRATES: &[&str] = &[
-    "bench", "buffer", "core", "geom", "link", "mesh", "motion", "rtree", "served", "workload",
+    "bench", "buffer", "core", "geom", "link", "mesh", "motion", "rtree", "served", "store",
+    "workload",
 ];
 
 /// A lint rule identifier.

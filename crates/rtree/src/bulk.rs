@@ -86,7 +86,7 @@ impl<const N: usize, T> RTree<N, T> {
             root,
             height,
             len,
-            io: std::sync::atomic::AtomicU64::new(0),
+            io: crate::IoCounters::new(),
         }
     }
 }

@@ -89,8 +89,8 @@ impl<const N: usize, T> RTree<N, T> {
                 }
             }
         }
-        self.io
-            .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
+        self.io.add(crate::IoKind::Logical, accesses);
+        self.io.add(crate::IoKind::Unique, accesses);
         (out, accesses)
     }
 

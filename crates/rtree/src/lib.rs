@@ -31,20 +31,23 @@
 #![warn(missing_docs)]
 
 mod bulk;
+mod counters;
 mod delete;
 mod insert;
 mod knn;
 mod node;
+mod pages;
 mod query;
 mod stats;
 
+pub use counters::{IoCounters, IoKind, IoSnapshot};
 pub use node::Entry;
+pub use pages::{NodePage, PageExport, PagedNodeKind};
 pub use query::BatchAccesses;
 pub use stats::{LevelStats, TreeStats};
 
 use mar_geom::Rect;
 use node::{Arena, LeafNode, NodeKind};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Which insertion/split algorithm the tree uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,11 +122,11 @@ pub struct RTree<const N: usize, T> {
     /// Height of the tree: 1 for a single leaf node.
     pub(crate) height: usize,
     pub(crate) len: usize,
-    /// Cumulative node accesses across all queries since the last reset.
-    /// Atomic (not `Cell`) so a read-only tree can be shared across
-    /// threads: queries take `&self` yet still tally the paper's I/O
-    /// metric.
-    pub(crate) io: AtomicU64,
+    /// Cumulative node-access counters across all queries since the last
+    /// reset (see [`IoCounters`]). Atomics (not `Cell`s) so a read-only
+    /// tree can be shared across threads: queries take `&self` yet still
+    /// tally the paper's I/O metric.
+    pub(crate) io: IoCounters,
 }
 
 impl<const N: usize, T: Clone> Clone for RTree<N, T> {
@@ -134,7 +137,7 @@ impl<const N: usize, T: Clone> Clone for RTree<N, T> {
             root: self.root,
             height: self.height,
             len: self.len,
-            io: AtomicU64::new(self.io.load(Ordering::Relaxed)),
+            io: self.io.clone(),
         }
     }
 }
@@ -150,7 +153,7 @@ impl<const N: usize, T> RTree<N, T> {
             root,
             height: 1,
             len: 0,
-            io: AtomicU64::new(0),
+            io: IoCounters::new(),
         }
     }
 
@@ -184,15 +187,27 @@ impl<const N: usize, T> RTree<N, T> {
         self.arena.mbr(self.root)
     }
 
-    /// Cumulative node accesses performed by queries since the last
-    /// [`RTree::reset_io`].
+    /// Cumulative **logical** node accesses performed by queries since
+    /// the last [`RTree::reset_io`] — the paper's §VI metric. See
+    /// [`RTree::io_snapshot`] for the unique/physical companions.
     pub fn io_count(&self) -> u64 {
-        self.io.load(Ordering::Relaxed)
+        self.io.get(IoKind::Logical)
     }
 
-    /// Resets the cumulative node-access counter.
+    /// Snapshot of all three node-access counters.
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.io.snapshot()
+    }
+
+    /// The live counters (so an out-of-core wrapper can account its page
+    /// faults through the same structure queries tally into).
+    pub fn io_counters(&self) -> &IoCounters {
+        &self.io
+    }
+
+    /// Resets all cumulative node-access counters.
     pub fn reset_io(&self) {
-        self.io.store(0, Ordering::Relaxed);
+        self.io.reset();
     }
 
     /// Checks every structural invariant (entry counts, MBR containment,

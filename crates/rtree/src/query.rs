@@ -24,7 +24,7 @@
 //! node-access metric batching buys — is returned alongside.
 
 use crate::node::NodeKind;
-use crate::RTree;
+use crate::{IoKind, RTree};
 use mar_geom::Rect;
 use std::cell::Cell;
 
@@ -100,8 +100,8 @@ impl<const N: usize, T> RTree<N, T> {
             }
         }
         SEARCH_STACK.with(|cell| cell.set(stack));
-        self.io
-            .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
+        self.io.add(IoKind::Logical, accesses);
+        self.io.add(IoKind::Unique, accesses);
         accesses
     }
 
@@ -126,8 +126,8 @@ impl<const N: usize, T> RTree<N, T> {
             unique += self.search_group(chunk, chunk_idx * 64, &mut per_window, &mut visit);
         }
         let total: u64 = per_window.iter().sum();
-        self.io
-            .fetch_add(total, std::sync::atomic::Ordering::Relaxed);
+        self.io.add(IoKind::Logical, total);
+        self.io.add(IoKind::Unique, unique);
         BatchAccesses { per_window, unique }
     }
 
@@ -307,8 +307,8 @@ impl<const N: usize, T> RTree<N, T> {
                 NodeKind::Free => {}
             }
         }
-        self.io
-            .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
+        self.io.add(IoKind::Logical, accesses);
+        self.io.add(IoKind::Unique, accesses);
         (hits, accesses)
     }
 
@@ -342,8 +342,8 @@ impl<const N: usize, T> RTree<N, T> {
             }
         }
         SEARCH_STACK.with(|cell| cell.set(stack));
-        self.io
-            .fetch_add(accesses, std::sync::atomic::Ordering::Relaxed);
+        self.io.add(IoKind::Logical, accesses);
+        self.io.add(IoKind::Unique, accesses);
         (hits, accesses)
     }
 }

@@ -14,11 +14,18 @@
 //! loopback smoke job. The scene parameters must match the load
 //! generator's (`--smoke` on both sides) or the transcripts will not
 //! fingerprint-equal.
+//!
+//! `--store PATH` switches the daemon out-of-core: the index is written
+//! to a page file at `PATH` and every descent reads through the
+//! motion-aware buffer pool, capped at `--cache-mb N` MiB (default 64).
+//! Responses are byte-identical to the in-RAM build (DESIGN.md §15), so
+//! `mar-load --check` passes against either backend.
 
 use mar_bench::serve::{serve_scene, ServeConfig};
-use mar_core::{SceneIndexData, Server, ServerCore, WaveletIndex};
+use mar_core::{CachePolicy, SceneIndexData, Server, ServerCore, WaveletIndex};
 use mar_served::{spawn_daemon, DaemonConfig, DEFAULT_OUTBOX_CAP};
 use std::net::TcpListener;
+use std::path::Path;
 use std::sync::Arc;
 
 struct Options {
@@ -31,6 +38,10 @@ struct Options {
     /// `None` (the default) mints session tokens from per-process
     /// entropy; `Some` pins the keyed PRF for reproducible debugging.
     token_seed: Option<u64>,
+    /// `Some(path)` serves out-of-core from a page file at `path`.
+    store: Option<String>,
+    /// Buffer-pool budget in MiB (only meaningful with `--store`).
+    cache_mb: usize,
 }
 
 fn default_jobs() -> usize {
@@ -46,6 +57,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         outbox_cap: DEFAULT_OUTBOX_CAP,
         max_conns: None,
         token_seed: None,
+        store: None,
+        cache_mb: 64,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -88,14 +101,28 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                         .map_err(|_| format!("--token-seed: not a u64: {v}"))?,
                 );
             }
+            "--store" => opts.store = Some(value("--store")?),
+            "--cache-mb" => {
+                let v = value("--cache-mb")?;
+                let mb: usize = v
+                    .parse()
+                    .map_err(|_| format!("--cache-mb: not a number: {v}"))?;
+                if mb == 0 {
+                    return Err("--cache-mb: must be at least 1".to_string());
+                }
+                opts.cache_mb = mb;
+            }
             other => {
                 return Err(format!(
                     "unknown argument: {other}\nusage: mar-served [--smoke|--full] [--jobs N] \
                      [--port P] [--port-file PATH] [--outbox-cap BYTES] [--max-conns N] \
-                     [--token-seed N]"
+                     [--token-seed N] [--store PATH] [--cache-mb N]"
                 ))
             }
         }
+    }
+    if opts.store.is_none() && opts.cache_mb != 64 {
+        return Err("--cache-mb only makes sense with --store".to_string());
     }
     Ok(opts)
 }
@@ -120,9 +147,29 @@ fn main() {
         cfg.objects, cfg.levels, cfg.jobs
     );
     let scene = serve_scene(&cfg);
-    let data = SceneIndexData::build(&scene);
-    let index = WaveletIndex::build_jobs(&data, cfg.jobs);
-    let core = ServerCore::from_parts(Arc::new(data), Arc::new(index));
+    let core = match &opts.store {
+        None => {
+            let data = SceneIndexData::build(&scene);
+            let index = WaveletIndex::build_jobs(&data, cfg.jobs);
+            ServerCore::from_parts(Arc::new(data), Arc::new(index))
+        }
+        Some(path) => {
+            let budget = opts.cache_mb << 20;
+            match ServerCore::new_paged(&scene, Path::new(path), budget, CachePolicy::MotionAware) {
+                Ok(core) => {
+                    eprintln!(
+                        "mar-served: out-of-core — store {path}, pool {} MiB, motion-aware eviction",
+                        opts.cache_mb
+                    );
+                    core
+                }
+                Err(e) => {
+                    eprintln!("mar-served: cannot build page store at {path}: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+    };
     let server = Arc::new(match opts.token_seed {
         // Entropy-keyed tokens by default: there is no public key an
         // attacker could use to mint another session's token.
