@@ -17,11 +17,12 @@
 //! aggregate are byte-identical for any `--jobs` value; the JSON records
 //! the FNV-1a transcript fingerprint for cross-process comparison.
 
-use mar_bench::chaos::{run_chaos, ChaosConfig, ChaosReport};
-use mar_bench::serve::fnv1a64;
+use mar_bench::chaos::{run_chaos_backend, ChaosConfig, ChaosReport};
+use mar_bench::serve::{fnv1a64, ServeBackend};
 
 struct Options {
     smoke: bool,
+    paged: bool,
     jobs: usize,
     out_dir: String,
 }
@@ -33,6 +34,7 @@ fn default_jobs() -> usize {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         smoke: false,
+        paged: false,
         jobs: default_jobs(),
         out_dir: ".".to_string(),
     };
@@ -40,6 +42,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => opts.smoke = true,
+            "--paged" => opts.paged = true,
             "--jobs" => {
                 let v = it
                     .next()
@@ -65,7 +68,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument: {other}\nusage: chaos [--smoke] [--jobs N] [--out-dir DIR]"
+                    "unknown argument: {other}\nusage: chaos [--smoke] [--paged] [--jobs N] [--out-dir DIR]"
                 ))
             }
         }
@@ -129,15 +132,31 @@ fn main() {
     } else {
         ChaosConfig::full(opts.jobs)
     };
+    // Out-of-core mode replays the same grid over a store-backed core —
+    // the transcript must not change (DESIGN.md §15), only the backend.
+    let store_path = std::env::temp_dir().join(format!("mar-chaos-{}.pages", std::process::id()));
+    let backend = if opts.paged {
+        ServeBackend::Paged {
+            path: store_path.clone(),
+            budget_bytes: 256 * 1024,
+            policy: mar_core::CachePolicy::MotionAware,
+        }
+    } else {
+        ServeBackend::Ram
+    };
     eprintln!(
-        "chaos: {mode} run ({} sessions x {} ticks, {} grid points, jobs={})",
+        "chaos: {mode} run ({} sessions x {} ticks, {} grid points, jobs={}, backend={})",
         cfg.sessions,
         cfg.ticks,
         cfg.grid.len(),
-        cfg.jobs
+        cfg.jobs,
+        if opts.paged { "paged" } else { "ram" }
     );
 
-    let report = run_chaos(&cfg);
+    let report = run_chaos_backend(&cfg, &backend);
+    if opts.paged {
+        let _ = std::fs::remove_file(&store_path);
+    }
     for p in &report.points {
         eprintln!(
             "chaos: loss {:>4.1}% drop_every {:>3}: {} retries, {} drops ({} resumed), \

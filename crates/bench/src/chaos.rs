@@ -23,7 +23,7 @@
 //! never enters the transcript.
 
 use crate::engine::Engine;
-use crate::serve::fnv1a64;
+use crate::serve::{fnv1a64, ServeBackend};
 use crate::{figs, Scale};
 use mar_core::{
     LinearSpeedMap, ResilienceMetrics, ResilientClient, ResilientPolicy, SceneIndexData, Server,
@@ -205,6 +205,19 @@ struct SessionOutcome {
 /// Panics when the workload itself is miswired (empty grid, faulted grid
 /// point 0) — configuration bugs, not runtime faults.
 pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
+    run_chaos_backend(cfg, &ServeBackend::Ram)
+}
+
+/// [`run_chaos`] against a chosen index backend. The transcript, every
+/// aggregate and every fingerprint are backend-independent — the paged
+/// store answers byte-identically to RAM (DESIGN.md §15), so the chaos
+/// invariant carries over to the out-of-core server unchanged (pinned by
+/// this module's tests).
+///
+/// # Panics
+/// Panics on a miswired workload (see [`run_chaos`]) or when the page
+/// file backing a [`ServeBackend::Paged`] run cannot be written.
+pub fn run_chaos_backend(cfg: &ChaosConfig, backend: &ServeBackend) -> ChaosReport {
     assert!(
         matches!(cfg.grid.first(), Some(p) if p.loss == 0.0 && p.drop_every == 0),
         "grid point 0 must be the fault-free reference"
@@ -213,8 +226,23 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     scale.objects_default = cfg.objects;
     scale.levels = cfg.levels;
     let scene = figs::build_scene(&scale, cfg.objects, Placement::Uniform);
-    let data = Arc::new(SceneIndexData::build(&scene));
-    let index = Arc::new(WaveletIndex::build_jobs(&data, cfg.jobs));
+    // One immutable core shared by every grid point's fresh server: only
+    // session (filter) state must not leak between grid points, and that
+    // lives in the `Server`, not the core.
+    let core = match backend {
+        ServeBackend::Ram => {
+            let data = Arc::new(SceneIndexData::build(&scene));
+            let index = Arc::new(WaveletIndex::build_jobs(&data, cfg.jobs));
+            ServerCore::from_parts(data, index)
+        }
+        ServeBackend::Paged {
+            path,
+            budget_bytes,
+            policy,
+        } => ServerCore::new_paged(&scene, path, *budget_bytes, *policy)
+            // mar-lint: allow(D004) — the harness cannot proceed without its store file; surface the I/O error
+            .expect("chaos: cannot build the page-file backend"),
+    };
     let engine = Engine::new(cfg.jobs);
     let speeds = [0.1, 0.3, 0.5, 0.7, 0.9];
 
@@ -229,10 +257,7 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     for gp in &cfg.grid {
         // A fresh server per grid point over the same immutable core, so
         // filter state can never leak between grid points.
-        let server = Server::from_core(ServerCore::from_parts(
-            Arc::clone(&data),
-            Arc::clone(&index),
-        ));
+        let server = Server::from_core(core.clone());
         let fault = if gp.loss == 0.0 && gp.drop_every == 0 {
             FaultConfig::none(cfg.fault_seed)
         } else {
@@ -459,6 +484,32 @@ mod tests {
         assert!(r.transcript.starts_with(
             "loss_pct,drop_every,session,tick,coeffs,new_objects,bytes,io,retries,drops,level,time_s\n"
         ));
+    }
+
+    #[test]
+    fn chaos_invariant_holds_on_the_paged_backend() {
+        let path = std::env::temp_dir().join(format!(
+            "mar-bench-chaos-paged-{}.pages",
+            std::process::id()
+        ));
+        let ram = run_chaos(&tiny(1));
+        let paged = run_chaos_backend(
+            &tiny(1),
+            &ServeBackend::Paged {
+                path: path.clone(),
+                budget_bytes: 64 * 1024,
+                policy: mar_core::CachePolicy::MotionAware,
+            },
+        );
+        let _ = std::fs::remove_file(&path);
+        assert!(paged.invariant_ok, "chaos invariant must hold out-of-core");
+        assert_eq!(
+            ram.transcript, paged.transcript,
+            "the paged store must answer byte-identically to RAM"
+        );
+        for (a, b) in ram.points.iter().zip(&paged.points) {
+            assert_eq!(a, b, "grid-point aggregates must be backend-invariant");
+        }
     }
 
     #[test]

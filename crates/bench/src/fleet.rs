@@ -1,0 +1,642 @@
+//! `mar-bench fleet` — the sharded serving tier under shard failure.
+//!
+//! Replays the serve-style multi-session tour workload against a
+//! [`mar_core::FleetServer`]: the ground plane is partitioned over S
+//! shard cores, every window query is scatter-gathered by the stateless
+//! router, and a seeded [`mar_link::ShardOutagePlan`] kills whole shards
+//! on a pure schedule. The harness measures throughput, per-query wall
+//! latency (p50/p99) and **availability** — the fraction of outage-tick
+//! queries still served at full fidelity — and proves the tier's central
+//! invariant at every grid point:
+//!
+//! > clients are **never** errored during a shard outage (replica
+//! > promotion or degraded neighbour service always answers), and after
+//! > the shard recovers, every session's resident set **over the final
+//! > frame at the final band** is byte-identical to the fault-free run's.
+//!
+//! Determinism mirrors `mar-bench chaos` (DESIGN.md §10): the outage
+//! schedule is keyed by tick, sessions tour with seeds keyed by client
+//! index `k`, results come back in point order, and the transcript is
+//! byte-identical at any `jobs`. Wall-clock latency is reported but never
+//! enters the transcript.
+
+use crate::engine::Engine;
+use crate::serve::fnv1a64;
+use crate::{figs, Scale};
+use mar_core::{
+    FleetConfig, FleetHealth, FleetServer, FramePlanner, LinearSpeedMap, SceneIndexData,
+    SmoothedSpeed, SpeedResolutionMap,
+};
+use mar_link::ShardOutagePlan;
+use mar_workload::{frame_at, pedestrian_tour, tram_tour, Placement, TourConfig};
+use std::sync::Arc;
+
+/// One fleet-grid point: a replica policy plus an outage schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetGridPoint {
+    /// Whether every shard has a promotable replica.
+    pub replicas: bool,
+    /// Outage event period in ticks (`0` = no outages — the reference).
+    pub period: u64,
+    /// Ticks a victim shard stays down within each event.
+    pub outage: u64,
+}
+
+/// Fleet-workload parameters.
+#[derive(Debug, Clone)]
+pub struct FleetBenchConfig {
+    /// Concurrent client sessions per grid point.
+    pub sessions: usize,
+    /// Ticks each session replays.
+    pub ticks: usize,
+    /// Shard grid columns.
+    pub nx: u32,
+    /// Shard grid rows.
+    pub ny: u32,
+    /// Objects in the generated scene.
+    pub objects: usize,
+    /// Subdivision levels per object.
+    pub levels: usize,
+    /// Query frame fraction of the space.
+    pub frame_frac: f64,
+    /// Worker threads (`<= 1` = serial reference execution).
+    pub jobs: usize,
+    /// Base tour seed; session `k` tours with seed `base + k`.
+    pub tour_seed: u64,
+    /// Shard-outage schedule seed (shared; the schedule is tick-keyed).
+    pub outage_seed: u64,
+    /// The grid. The first point must be outage-free — it is the
+    /// reference every other point's resident sets are compared against.
+    pub grid: Vec<FleetGridPoint>,
+}
+
+impl FleetBenchConfig {
+    /// The full measurement: 10 000 sessions × 24 ticks over an 8×4 fleet
+    /// (32 shards), outage-free vs shard-kill with and without replicas.
+    pub fn full(jobs: usize) -> Self {
+        Self {
+            sessions: 10_000,
+            ticks: 24,
+            nx: 8,
+            ny: 4,
+            objects: 48,
+            levels: 3,
+            frame_frac: 0.05,
+            jobs,
+            tour_seed: 1201,
+            outage_seed: 6363,
+            grid: vec![
+                FleetGridPoint {
+                    replicas: false,
+                    period: 0,
+                    outage: 0,
+                },
+                FleetGridPoint {
+                    replicas: true,
+                    period: 8,
+                    outage: 3,
+                },
+                FleetGridPoint {
+                    replicas: false,
+                    period: 8,
+                    outage: 3,
+                },
+            ],
+        }
+    }
+
+    /// A seconds-scale CI smoke grid: 32 sessions × 16 ticks over a 4×2
+    /// fleet, same three failure-policy points.
+    pub fn smoke(jobs: usize) -> Self {
+        Self {
+            sessions: 32,
+            ticks: 16,
+            nx: 4,
+            ny: 2,
+            objects: 12,
+            levels: 2,
+            frame_frac: 0.1,
+            jobs,
+            tour_seed: 1201,
+            outage_seed: 6363,
+            grid: vec![
+                FleetGridPoint {
+                    replicas: false,
+                    period: 0,
+                    outage: 0,
+                },
+                FleetGridPoint {
+                    replicas: true,
+                    period: 6,
+                    outage: 2,
+                },
+                FleetGridPoint {
+                    replicas: false,
+                    period: 6,
+                    outage: 2,
+                },
+            ],
+        }
+    }
+
+    /// Total shards (validated against the 64-shard health word by the
+    /// fleet build).
+    pub fn shards(&self) -> u32 {
+        self.nx * self.ny
+    }
+}
+
+/// What one grid point measured, summed over its sessions. Deterministic
+/// except for the wall-clock fields (`latencies_ns`, `elapsed_s`), which
+/// never enter the transcript.
+#[derive(Debug, Clone)]
+pub struct FleetPointReport {
+    /// The grid point replayed.
+    pub point: FleetGridPoint,
+    /// Tick queries issued (one per session per tick, plus finish passes).
+    pub queries: u64,
+    /// Shard sub-query tasks executed.
+    pub tasks: u64,
+    /// Sub-rects a promoted replica served.
+    pub replica_promotions: u64,
+    /// Sub-rects served only via neighbour halo coverage.
+    pub degraded_subqueries: u64,
+    /// Sub-rects nobody could serve.
+    pub unserved_subqueries: u64,
+    /// Tick queries issued while at least one shard was down.
+    pub outage_queries: u64,
+    /// Outage-tick queries still served at full fidelity.
+    pub complete_outage_queries: u64,
+    /// Payload bytes delivered.
+    pub bytes: f64,
+    /// Index node accesses.
+    pub io: u64,
+    /// Per-session fingerprint of the resident set over the final frame
+    /// at the final band — equal across grid points iff the invariant
+    /// holds.
+    pub fingerprints: Vec<u64>,
+    /// Per-tick-query wall latencies, in session order (nondeterministic;
+    /// report-only).
+    pub latencies_ns: Vec<u64>,
+    /// Wall-clock seconds this grid point took (report-only).
+    pub elapsed_s: f64,
+}
+
+impl FleetPointReport {
+    /// Fraction of outage-tick queries served at full fidelity (`1.0`
+    /// when there were no outage ticks). The shard-kill invariant demands
+    /// this stays strictly positive: healthy-region clients keep full
+    /// service, dead-region clients get replicas or degraded answers —
+    /// never errors.
+    pub fn availability(&self) -> f64 {
+        if self.outage_queries == 0 {
+            1.0
+        } else {
+            self.complete_outage_queries as f64 / self.outage_queries as f64
+        }
+    }
+
+    /// Tick queries per wall second.
+    pub fn queries_per_sec(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.queries as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) of per-query wall latency, in ns.
+    pub fn latency_ns(&self, q: f64) -> u64 {
+        if self.latencies_ns.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.latencies_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+}
+
+/// What one fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Sessions per grid point.
+    pub sessions: usize,
+    /// Ticks per session.
+    pub ticks: usize,
+    /// Shards in the fleet.
+    pub shards: u32,
+    /// One report per grid point, in grid order.
+    pub points: Vec<FleetPointReport>,
+    /// The deterministic per-grid-point, per-session, per-tick transcript.
+    pub transcript: String,
+    /// Whether every grid point's final-frame resident sets matched the
+    /// outage-free reference (grid point 0) and every outage query was
+    /// answered.
+    pub invariant_ok: bool,
+    /// Total wall-clock time of the replay, in seconds.
+    pub elapsed_s: f64,
+}
+
+/// What one session's worker brings home.
+struct SessionOutcome {
+    rows: String,
+    queries: u64,
+    tasks: u64,
+    replica_promotions: u64,
+    degraded_subqueries: u64,
+    unserved_subqueries: u64,
+    outage_queries: u64,
+    complete_outage_queries: u64,
+    bytes: f64,
+    io: u64,
+    latencies_ns: Vec<u64>,
+    fingerprint: u64,
+    covered: bool,
+    session: u64,
+}
+
+/// The transcript column header.
+pub const FLEET_TRANSCRIPT_HEADER: &str =
+    "replicas,period,session,tick,coeffs,new_objects,bytes,io,tasks,promotions,degraded,unserved,complete\n";
+
+/// Runs the fleet workload. The transcript, every deterministic aggregate
+/// and every fingerprint are identical for any `cfg.jobs`; only the
+/// wall-clock fields vary.
+///
+/// # Panics
+/// Panics when the workload itself is miswired (empty grid, outaged grid
+/// point 0, outage outliving its period, too many shards) — configuration
+/// bugs, not runtime faults.
+pub fn run_fleet(cfg: &FleetBenchConfig) -> FleetReport {
+    assert!(
+        matches!(cfg.grid.first(), Some(p) if p.period == 0),
+        "grid point 0 must be the outage-free reference"
+    );
+    let mut scale = Scale::quick();
+    scale.objects_default = cfg.objects;
+    scale.levels = cfg.levels;
+    let scene = figs::build_scene(&scale, cfg.objects, Placement::Uniform);
+    let space = scene.config.space;
+    let data = Arc::new(SceneIndexData::build(&scene));
+    let engine = Engine::new(cfg.jobs);
+    let speeds = [0.1, 0.3, 0.5, 0.7, 0.9];
+    let shards = cfg.shards();
+
+    let mut transcript = String::from(FLEET_TRANSCRIPT_HEADER);
+    let mut points: Vec<FleetPointReport> = Vec::with_capacity(cfg.grid.len());
+    let mut invariant_ok = true;
+    // mar-lint: allow(D003) — wall-clock for the throughput report only; never enters the transcript
+    let t0 = std::time::Instant::now();
+
+    for gp in &cfg.grid {
+        // A fresh fleet per grid point (replica policy differs and filter
+        // state must never leak between points) over the shared scene data.
+        let fleet =
+            FleetServer::build(&data, space, &FleetConfig::ram(cfg.nx, cfg.ny, gp.replicas))
+                // mar-lint: allow(D004) — the shard grid is validated static configuration
+                .expect("fleet grid is valid");
+        let outage = if gp.period == 0 {
+            ShardOutagePlan::none(cfg.outage_seed)
+        } else {
+            ShardOutagePlan::new(cfg.outage_seed, gp.period, gp.outage)
+                // mar-lint: allow(D004) — the outage grid is validated static configuration
+                .expect("outage plan is valid")
+        };
+        let replicas_col = u8::from(gp.replicas);
+        // mar-lint: allow(D003) — wall-clock for the per-point q/s report only
+        let pt0 = std::time::Instant::now();
+
+        let outcomes: Vec<SessionOutcome> = engine.run(
+            (0..cfg.sessions).collect(),
+            || (),
+            |_, &k| {
+                let tc = TourConfig::new(
+                    space,
+                    cfg.ticks,
+                    cfg.tour_seed + k as u64,
+                    speeds[k % speeds.len()],
+                );
+                let tour = if k % 2 == 0 {
+                    tram_tour(&tc)
+                } else {
+                    pedestrian_tour(&tc)
+                };
+                let session = fleet.connect();
+                let mut planner = FramePlanner::new();
+                let mut smooth = SmoothedSpeed::default();
+                let mut out = SessionOutcome {
+                    rows: String::new(),
+                    queries: 0,
+                    tasks: 0,
+                    replica_promotions: 0,
+                    degraded_subqueries: 0,
+                    unserved_subqueries: 0,
+                    outage_queries: 0,
+                    complete_outage_queries: 0,
+                    bytes: 0.0,
+                    io: 0,
+                    latencies_ns: Vec::with_capacity(tour.samples.len() + 1),
+                    fingerprint: 0,
+                    covered: false,
+                    session,
+                };
+                let mut last = None;
+                for (tick, s) in tour.samples.iter().enumerate() {
+                    let frame = frame_at(&space, &s.pos, cfg.frame_frac);
+                    let speed = smooth.update(s.speed);
+                    let band = LinearSpeedMap.band_for(speed);
+                    let health =
+                        FleetHealth::from_down_mask(outage.down_mask(tick as u64, shards));
+                    let regions = planner.plan(&frame, band);
+                    let mut coeffs = 0usize;
+                    let mut new_objects = 0usize;
+                    let mut bytes = 0.0f64;
+                    let mut io = 0u64;
+                    let mut tasks = 0u32;
+                    let mut promotions = 0u32;
+                    let mut degraded = 0u32;
+                    let mut unserved = 0u32;
+                    let mut complete = true;
+                    // mar-lint: allow(D003) — per-query wall latency for the report only
+                    let q0 = std::time::Instant::now();
+                    for r in &regions {
+                        let fr = fleet
+                            .query(session, health, &r.region, r.band)
+                            // mar-lint: allow(D004) — outages degrade answers, they never error; an error here is the bug this harness exists to catch
+                            .expect("fleet never errors a live session");
+                        coeffs += fr.result.coeffs;
+                        new_objects += fr.result.new_objects;
+                        bytes += fr.result.bytes;
+                        io += fr.result.io;
+                        tasks += fr.tasks;
+                        promotions += fr.replica_promotions;
+                        degraded += fr.degraded_subqueries;
+                        unserved += fr.unserved_subqueries;
+                        complete &= fr.complete;
+                    }
+                    out.latencies_ns.push(q0.elapsed().as_nanos() as u64);
+                    if complete {
+                        // Only a fully-served tick advances the planner:
+                        // degraded coverage is refetched after recovery.
+                        planner.commit(frame, band);
+                    }
+                    out.queries += 1;
+                    out.tasks += u64::from(tasks);
+                    out.replica_promotions += u64::from(promotions);
+                    out.degraded_subqueries += u64::from(degraded);
+                    out.unserved_subqueries += u64::from(unserved);
+                    out.bytes += bytes;
+                    out.io += io;
+                    if health.down_count() > 0 {
+                        out.outage_queries += 1;
+                        out.complete_outage_queries += u64::from(complete);
+                    }
+                    out.rows.push_str(&format!(
+                        "{replicas_col},{},{k},{tick},{coeffs},{new_objects},{bytes},{io},{tasks},{promotions},{degraded},{unserved},{}\n",
+                        gp.period,
+                        u8::from(complete),
+                    ));
+                    last = Some((frame, speed));
+                }
+                let (final_frame, final_speed) =
+                    // mar-lint: allow(D004) — tours always have >= 1 sample
+                    last.expect("tour is non-empty");
+                // Recovery pass: the shard is back (all-up health); refetch
+                // whatever the uncommitted planner coverage still owes over
+                // the final frame at the final band.
+                let band = LinearSpeedMap.band_for(final_speed);
+                // mar-lint: allow(D003) — per-query wall latency for the report only
+                let q0 = std::time::Instant::now();
+                let mut fin_coeffs = 0usize;
+                let mut fin_bytes = 0.0f64;
+                for r in planner.plan(&final_frame, band) {
+                    let fr = fleet
+                        .query(session, FleetHealth::all_up(), &r.region, r.band)
+                        // mar-lint: allow(D004) — all-up health cannot degrade or error
+                        .expect("recovered fleet serves everything");
+                    debug_assert!(fr.complete);
+                    fin_coeffs += fr.result.coeffs;
+                    fin_bytes += fr.result.bytes;
+                    out.bytes += fr.result.bytes;
+                    out.io += fr.result.io;
+                    out.tasks += u64::from(fr.tasks);
+                }
+                out.latencies_ns.push(q0.elapsed().as_nanos() as u64);
+                out.queries += 1;
+                planner.commit(final_frame, band);
+                out.rows.push_str(&format!(
+                    "{replicas_col},{},{k},finish,{fin_coeffs},0,{fin_bytes},0,0,0,0,0,1\n",
+                    gp.period,
+                ));
+                // The invariant's object: the resident set over the final
+                // frame at the final band.
+                let (want, _) = fleet.query_stateless(&final_frame, band);
+                let sent = fleet
+                    .session_sent_set(session)
+                    // mar-lint: allow(D004) — the worker's session is live until teardown
+                    .expect("fleet session is live");
+                out.covered = want.iter().all(|id| sent.binary_search(id).is_ok());
+                let mut fp_input = String::new();
+                for id in want.iter().filter(|id| sent.binary_search(id).is_ok()) {
+                    fp_input.push_str(&format!("{}:{};", id.object, id.coeff));
+                }
+                out.fingerprint = fnv1a64(&fp_input);
+                out
+            },
+        );
+
+        let mut report = FleetPointReport {
+            point: *gp,
+            queries: 0,
+            tasks: 0,
+            replica_promotions: 0,
+            degraded_subqueries: 0,
+            unserved_subqueries: 0,
+            outage_queries: 0,
+            complete_outage_queries: 0,
+            bytes: 0.0,
+            io: 0,
+            fingerprints: Vec::with_capacity(cfg.sessions),
+            latencies_ns: Vec::with_capacity(cfg.sessions * (cfg.ticks + 1)),
+            elapsed_s: 0.0,
+        };
+        for o in &outcomes {
+            transcript.push_str(&o.rows);
+            report.queries += o.queries;
+            report.tasks += o.tasks;
+            report.replica_promotions += o.replica_promotions;
+            report.degraded_subqueries += o.degraded_subqueries;
+            report.unserved_subqueries += o.unserved_subqueries;
+            report.outage_queries += o.outage_queries;
+            report.complete_outage_queries += o.complete_outage_queries;
+            report.bytes += o.bytes;
+            report.io += o.io;
+            report.fingerprints.push(o.fingerprint);
+            report.latencies_ns.extend_from_slice(&o.latencies_ns);
+            invariant_ok &= o.covered;
+        }
+        report.elapsed_s = pt0.elapsed().as_secs_f64();
+        // Against the outage-free reference: identical resident sets, and
+        // availability strictly positive whenever an outage actually bit.
+        if let Some(reference) = points.first() {
+            invariant_ok &= reference.fingerprints == report.fingerprints;
+        }
+        if report.outage_queries > 0 {
+            invariant_ok &= report.complete_outage_queries > 0;
+        }
+        points.push(report);
+
+        // Tear the grid point's sessions down; filter state must go too.
+        for o in &outcomes {
+            fleet
+                .disconnect(o.session)
+                // mar-lint: allow(D004) — each worker's session is live until this teardown
+                .expect("fleet session vanished");
+        }
+        assert_eq!(fleet.session_count(), 0, "all fleet sessions disconnected");
+        assert_eq!(
+            fleet.resident_filter_entries(),
+            0,
+            "disconnect must release filter state"
+        );
+    }
+
+    FleetReport {
+        sessions: cfg.sessions,
+        ticks: cfg.ticks,
+        shards,
+        points,
+        transcript,
+        invariant_ok,
+        elapsed_s: t0.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(jobs: usize) -> FleetBenchConfig {
+        FleetBenchConfig {
+            sessions: 4,
+            ticks: 12,
+            nx: 4,
+            ny: 2,
+            objects: 8,
+            levels: 2,
+            frame_frac: 0.15,
+            jobs,
+            tour_seed: 1201,
+            outage_seed: 6363,
+            grid: vec![
+                FleetGridPoint {
+                    replicas: false,
+                    period: 0,
+                    outage: 0,
+                },
+                FleetGridPoint {
+                    replicas: true,
+                    period: 5,
+                    outage: 2,
+                },
+                FleetGridPoint {
+                    replicas: false,
+                    period: 5,
+                    outage: 2,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn fleet_invariant_holds_under_shard_kills() {
+        let r = run_fleet(&tiny(1));
+        assert!(
+            r.invariant_ok,
+            "resident sets diverged from outage-free run"
+        );
+        assert_eq!(r.points.len(), 3);
+        assert_eq!(r.shards, 8);
+
+        let clean = &r.points[0];
+        assert_eq!(clean.outage_queries, 0);
+        assert_eq!(clean.replica_promotions, 0);
+        assert_eq!(clean.degraded_subqueries, 0);
+        assert!((clean.availability() - 1.0).abs() < 1e-12);
+
+        let replicated = &r.points[1];
+        assert!(replicated.outage_queries > 0, "outages must bite");
+        assert!(replicated.replica_promotions > 0, "kills must promote");
+        assert_eq!(replicated.degraded_subqueries, 0);
+        assert_eq!(replicated.unserved_subqueries, 0);
+        assert!(
+            (replicated.availability() - 1.0).abs() < 1e-12,
+            "replicas keep availability at 1.0"
+        );
+
+        let degraded = &r.points[2];
+        assert!(degraded.outage_queries > 0);
+        assert_eq!(degraded.replica_promotions, 0);
+        assert!(
+            degraded.availability() > 0.0,
+            "healthy-region clients keep full service"
+        );
+        assert!(
+            degraded.availability() < 1.0 || degraded.degraded_subqueries == 0,
+            "a kill that bites must show up as degraded ticks"
+        );
+    }
+
+    #[test]
+    fn transcript_is_jobs_invariant() {
+        let serial = run_fleet(&tiny(1));
+        let parallel = run_fleet(&tiny(3));
+        assert_eq!(serial.transcript, parallel.transcript);
+        assert_eq!(fnv1a64(&serial.transcript), fnv1a64(&parallel.transcript));
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.tasks, b.tasks);
+            assert_eq!(a.replica_promotions, b.replica_promotions);
+            assert_eq!(a.degraded_subqueries, b.degraded_subqueries);
+            assert_eq!(a.unserved_subqueries, b.unserved_subqueries);
+            assert_eq!(a.outage_queries, b.outage_queries);
+            assert_eq!(a.complete_outage_queries, b.complete_outage_queries);
+            assert_eq!(a.bytes.to_bits(), b.bytes.to_bits());
+            assert_eq!(a.io, b.io);
+            assert_eq!(a.fingerprints, b.fingerprints);
+        }
+    }
+
+    #[test]
+    fn transcript_shape() {
+        let r = run_fleet(&tiny(1));
+        // Header + per grid point: sessions × (ticks + finish row).
+        assert_eq!(r.transcript.lines().count(), 1 + 3 * 4 * (12 + 1));
+        assert!(r.transcript.starts_with(FLEET_TRANSCRIPT_HEADER));
+    }
+
+    #[test]
+    fn latency_percentiles_are_well_formed() {
+        let r = run_fleet(&tiny(1));
+        for p in &r.points {
+            assert_eq!(
+                p.latencies_ns.len(),
+                (p.queries) as usize,
+                "one latency sample per tick query"
+            );
+            assert!(p.latency_ns(0.5) <= p.latency_ns(0.99));
+            assert!(p.queries_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outage-free reference")]
+    fn grid_must_lead_with_the_outage_free_point() {
+        let mut cfg = tiny(1);
+        cfg.grid[0].period = 5;
+        cfg.grid[0].outage = 2;
+        run_fleet(&cfg);
+    }
+}

@@ -16,6 +16,7 @@ pub mod ablations;
 pub mod chaos;
 pub mod engine;
 pub mod figs;
+pub mod fleet;
 pub mod serve;
 
 /// A result table: one labelled x column plus named data series.

@@ -28,6 +28,10 @@
 //! * [`system`] — the end-to-end systems of §VII-E: the full motion-aware
 //!   stack vs. the naive full-resolution + LRU + object-R*-tree baseline
 //!   (Figs. 14–15).
+//! * [`fleet`] — the sharded serving tier: spatial partitioning of the
+//!   scene over independent shard cores, a stateless scatter-gather
+//!   router, and shard failover (replica promotion / degraded neighbour
+//!   service) under a health bitmask (DESIGN.md §16).
 //! * [`metrics`] — the measured quantities every experiment reports.
 
 #![forbid(unsafe_code)]
@@ -35,6 +39,7 @@
 
 pub mod bufsim;
 pub mod coeff;
+pub mod fleet;
 pub mod index;
 pub mod metrics;
 pub mod naive_index;
@@ -47,6 +52,10 @@ pub mod store;
 pub mod system;
 
 pub use coeff::{CoeffRecord, CoeffRef, SceneIndexData};
+pub use fleet::{
+    FleetBackend, FleetConfig, FleetError, FleetHealth, FleetQueryResult, FleetServer, RoutePlan,
+    Router, ShardMap, ShardRole, ShardTask,
+};
 pub use index::{WaveletIndex, WaveletIndex4};
 pub use mar_rtree::{BatchAccesses, IoSnapshot};
 pub use mar_store::{CachePolicy, PageCacheStats, StoreError};

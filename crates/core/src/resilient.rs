@@ -29,7 +29,7 @@ use crate::retrieval::FramePlanner;
 use crate::server::{QueryResult, Server, SessionError};
 use crate::speedmap::SpeedResolutionMap;
 use mar_geom::Rect2;
-use mar_link::{FaultyLink, LinkError, SimClock};
+use mar_link::{splitmix64, u01, FaultyLink, LinkError, SimClock};
 use mar_mesh::ResolutionBand;
 use std::collections::VecDeque;
 
@@ -75,6 +75,20 @@ impl ResilientPolicy {
     pub fn backoff_s(&self, retry: u32) -> f64 {
         let exp = retry.min(16); // 2^16 × base already exceeds any sane cap
         (self.base_backoff_s * (1u64 << exp) as f64).min(self.max_backoff_s)
+    }
+
+    /// The backoff before retry `retry`, scaled by a deterministic jitter
+    /// factor in `[0.5, 1.5)` drawn from [`splitmix64`] over the client's
+    /// fault-stream key and its cumulative retry count. Two clients
+    /// retrying after the same outage back off at *decorrelated* times —
+    /// no synchronized retry storm can hammer a recovering shard — yet
+    /// each client's sequence is byte-identical across runs and thread
+    /// counts (the jitter is a pure function, never a wall clock). The
+    /// result stays capped at `max_backoff_s` like the base schedule.
+    pub fn jittered_backoff_s(&self, retry: u32, stream: u64, seq: u64) -> f64 {
+        let h = splitmix64(stream ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let factor = 0.5 + u01(h);
+        (self.backoff_s(retry) * factor).min(self.max_backoff_s)
     }
 
     /// `band` coarsened by `level` degradation steps: the sliding
@@ -319,7 +333,14 @@ impl<M: SpeedResolutionMap> ResilientClient<M> {
                 }
                 Err(LinkError::Lost { waited_s }) => {
                     self.clock.advance(waited_s);
-                    self.clock.advance(self.policy.backoff_s(outcome.retries));
+                    // Seeded jitter keyed by (fault stream, cumulative
+                    // retry number): decorrelated across clients, byte-
+                    // identical across runs and thread counts.
+                    self.clock.advance(self.policy.jittered_backoff_s(
+                        outcome.retries,
+                        self.link.stream(),
+                        self.metrics.retries,
+                    ));
                     outcome.retries += 1;
                     self.metrics.retries += 1;
                 }
@@ -545,6 +566,51 @@ mod tests {
         assert_eq!(p.backoff_s(2), 1.0);
         assert_eq!(p.backoff_s(10), p.max_backoff_s);
         assert_eq!(p.backoff_s(60), p.max_backoff_s, "shift must not overflow");
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_deterministic_and_decorrelated() {
+        let p = ResilientPolicy::default();
+        for stream in [0u64, 1, 42] {
+            for seq in 0..200u64 {
+                for retry in [0u32, 1, 2, 5] {
+                    let j = p.jittered_backoff_s(retry, stream, seq);
+                    let base = p.backoff_s(retry);
+                    assert!(
+                        j >= base * 0.5 - 1e-12 && j <= (base * 1.5).min(p.max_backoff_s) + 1e-12,
+                        "jitter out of [0.5, 1.5)·base (capped): {j} vs base {base}"
+                    );
+                    // Pure function: same inputs, same backoff, any run.
+                    assert_eq!(j, p.jittered_backoff_s(retry, stream, seq));
+                }
+            }
+        }
+        // Two streams retrying in lockstep must not back off in lockstep:
+        // that synchrony is exactly the retry storm the jitter breaks.
+        let same = (0..64u64)
+            .filter(|&s| p.jittered_backoff_s(1, 7, s) == p.jittered_backoff_s(1, 8, s))
+            .count();
+        assert!(same < 4, "streams 7 and 8 collide on {same}/64 backoffs");
+    }
+
+    #[test]
+    fn lossy_runs_are_reproducible_with_jitter() {
+        // The full protocol over a 20 %-loss link: two identical runs must
+        // agree on every simulated timestamp (the jitter is seeded, not
+        // sampled), and the delivered data is unchanged by jitter.
+        let run = || {
+            let srv = server();
+            let mut c = client(&srv, FaultConfig::hostile(7, 0.2, 6), 3);
+            let outs = sweep(&mut c, &srv, 20);
+            let times: Vec<u64> = outs.iter().map(|o| o.tick_time_s.to_bits()).collect();
+            (times, c.metrics().retries, c.clock().now().to_bits())
+        };
+        let (ta, ra, ca) = run();
+        let (tb, rb, cb) = run();
+        assert!(ra > 0, "20% loss over 20 ticks must retry");
+        assert_eq!(ra, rb);
+        assert_eq!(ta, tb, "per-tick times must be byte-identical across runs");
+        assert_eq!(ca, cb, "final clocks must agree to the bit");
     }
 
     #[test]

@@ -165,6 +165,64 @@ impl GridSpec {
         }
     }
 
+    /// Decomposes `r ∩ space` into per-block clipped sub-rectangles: one
+    /// `(block, sub-rect)` pair per overlapped block, in row-major block
+    /// order. The sub-rects are pairwise interior-disjoint and their union
+    /// is exactly `r ∩ space` — the scatter half of the sharded router's
+    /// scatter-gather (each shard answers its own clipped piece and the
+    /// merged answer covers the query exactly once per block).
+    ///
+    /// Adjacent sub-rects share their boundary edge *bit-exactly*: both
+    /// sides compute it as the same `space.lo + i·block_w` expression, so
+    /// no float seam can open or overlap between shards.
+    pub fn partition_rect(&self, r: &Rect2) -> Vec<(BlockId, Rect2)> {
+        let mut out = Vec::new();
+        self.partition_rect_into(r, &mut out);
+        out
+    }
+
+    /// Like [`GridSpec::partition_rect`], but reuses `out` (cleared first)
+    /// so per-tick routing loops allocate nothing in steady state.
+    pub fn partition_rect_into(&self, r: &Rect2, out: &mut Vec<(BlockId, Rect2)>) {
+        out.clear();
+        let Some(clipped) = r.intersection(&self.space) else {
+            return;
+        };
+        let w = self.block_w();
+        let h = self.block_h();
+        let ix0 = ((clipped.lo[0] - self.space.lo[0]) / w).floor() as i64;
+        let iy0 = ((clipped.lo[1] - self.space.lo[1]) / h).floor() as i64;
+        // Same epsilon discipline as `blocks_overlapping_into`: a query
+        // edge coinciding with a block boundary must not pull in the next
+        // block (whose clipped sub-rect would be degenerate anyway).
+        let eps = 1e-9 * (w + h);
+        let ix1 = (((clipped.hi[0] - self.space.lo[0]) / w) - eps)
+            .floor()
+            .max(ix0 as f64) as i64;
+        let iy1 = (((clipped.hi[1] - self.space.lo[1]) / h) - eps)
+            .floor()
+            .max(iy0 as f64) as i64;
+        for iy in iy0..=iy1 {
+            for ix in ix0..=ix1 {
+                let b = BlockId::new(ix, iy);
+                if !self.in_bounds(&b) {
+                    continue;
+                }
+                // Clip against the block's analytic edges. Interior edges
+                // of the decomposition are the raw `lo + i·w` values on
+                // both sides, hence bit-identical across the seam.
+                let x0 = clipped.lo[0].max(self.space.lo[0] + ix as f64 * w);
+                let x1 = clipped.hi[0].min(self.space.lo[0] + (ix + 1) as f64 * w);
+                let y0 = clipped.lo[1].max(self.space.lo[1] + iy as f64 * h);
+                let y1 = clipped.hi[1].min(self.space.lo[1] + (iy + 1) as f64 * h);
+                out.push((
+                    b,
+                    Rect2::new(Point2::new([x0, y0]), Point2::new([x1.max(x0), y1.max(y0)])),
+                ));
+            }
+        }
+    }
+
     /// All in-bounds blocks whose ring (Chebyshev) distance from `center`
     /// is at most `radius`, in row-major order.
     pub fn blocks_within_ring(&self, center: &BlockId, radius: i64) -> Vec<BlockId> {
@@ -248,6 +306,73 @@ mod tests {
             Point2::new([300.0, 300.0]),
         ));
         assert!(none.is_empty());
+    }
+
+    #[test]
+    fn partition_covers_exactly_once() {
+        let g = grid_10x10();
+        let q = Rect2::new(Point2::new([5.0, 5.0]), Point2::new([37.0, 26.0]));
+        let parts = g.partition_rect(&q);
+        assert_eq!(parts.len(), 4 * 3);
+        // Blocks agree with blocks_overlapping, in the same order.
+        let blocks: Vec<BlockId> = parts.iter().map(|(b, _)| *b).collect();
+        assert_eq!(blocks, g.blocks_overlapping(&q));
+        // Each sub-rect lies inside both its block and the query.
+        let mut area = 0.0;
+        for (b, sub) in &parts {
+            assert!(g.block_rect(b).contains_rect(sub));
+            assert!(q.contains_rect(sub));
+            area += sub.volume();
+        }
+        // Pairwise interior-disjoint, and the areas add to the query's.
+        for (i, (_, a)) in parts.iter().enumerate() {
+            for (_, b) in &parts[i + 1..] {
+                assert!(!a.interior_intersects(b), "{a:?} overlaps {b:?}");
+            }
+        }
+        assert!((area - q.volume()).abs() < 1e-9 * q.volume());
+    }
+
+    #[test]
+    fn partition_seams_are_bit_exact() {
+        let g = grid_10x10();
+        let q = Rect2::new(Point2::new([3.0, 3.0]), Point2::new([27.0, 17.0]));
+        let parts = g.partition_rect(&q);
+        // Horizontally adjacent sub-rects share their seam coordinate
+        // bit-for-bit; no gap or overlap can open between shards.
+        for (ba, ra) in &parts {
+            for (bb, rb) in &parts {
+                if bb.ix == ba.ix + 1 && bb.iy == ba.iy {
+                    assert_eq!(ra.hi[0].to_bits(), rb.lo[0].to_bits());
+                }
+                if bb.iy == ba.iy + 1 && bb.ix == ba.ix {
+                    assert_eq!(ra.hi[1].to_bits(), rb.lo[1].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_clips_to_space_and_handles_misses() {
+        let g = grid_10x10();
+        let straddling = Rect2::new(Point2::new([-20.0, 95.0]), Point2::new([15.0, 140.0]));
+        let parts = g.partition_rect(&straddling);
+        assert_eq!(parts.len(), 2, "only the in-space corner blocks remain");
+        let clipped = straddling.intersection(&g.space).unwrap();
+        let area: f64 = parts.iter().map(|(_, r)| r.volume()).sum();
+        assert!((area - clipped.volume()).abs() < 1e-9);
+        // A query entirely outside the space partitions to nothing.
+        assert!(g
+            .partition_rect(&Rect2::new(
+                Point2::new([500.0, 500.0]),
+                Point2::new([600.0, 600.0]),
+            ))
+            .is_empty());
+        // A query exactly one block wide yields that block's rect alone.
+        let exact = g.partition_rect(&g.block_rect(&BlockId::new(4, 4)));
+        assert_eq!(exact.len(), 1);
+        assert_eq!(exact[0].0, BlockId::new(4, 4));
+        assert_eq!(exact[0].1, g.block_rect(&BlockId::new(4, 4)));
     }
 
     #[test]

@@ -111,6 +111,53 @@ proptest! {
         prop_assert!(g.block_rect(&b).contains_point(&p));
     }
 
+    /// The router's per-shard decomposition is exact for random shard maps
+    /// and query windows: sub-rects are pairwise interior-disjoint, each is
+    /// confined to its own block and the query, and their areas sum to the
+    /// clipped query's area — i.e. the union is exactly `query ∩ space`.
+    #[test]
+    fn partition_rect_is_exact(q in arb_rect(), nx in 1u32..12, ny in 1u32..12,
+                               sw in 20.0f64..150.0, sh in 20.0f64..150.0) {
+        let space = Rect2::new(Point2::new([-60.0, -60.0]),
+                               Point2::new([-60.0 + sw, -60.0 + sh]));
+        let g = GridSpec::new(space, nx, ny);
+        let parts = g.partition_rect(&q);
+        match q.intersection(&space) {
+            None => prop_assert!(parts.is_empty()),
+            Some(clipped) => {
+                let mut area = 0.0;
+                // Sub-rect edges are `lo + i·w` while block_rect's hi edge
+                // is `(lo + i·w) + w`: equal to within one ulp, not bit-
+                // equal. Eps-containment here; the exact guarantees are the
+                // seam bit-equality and the area identity below.
+                let eps = 1e-9 * (g.block_w() + g.block_h());
+                for (b, sub) in &parts {
+                    prop_assert!(g.in_bounds(b));
+                    let tile = g.block_rect(b);
+                    prop_assert!(
+                        (0..2).all(|i| tile.lo[i] - eps <= sub.lo[i]
+                            && sub.hi[i] <= tile.hi[i] + eps),
+                        "sub-rect {sub:?} escapes block {b:?}");
+                    prop_assert!(clipped.contains_rect(sub));
+                    area += sub.volume();
+                }
+                for (i, (_, a)) in parts.iter().enumerate() {
+                    for (_, b) in &parts[i + 1..] {
+                        prop_assert!(!a.interior_intersects(b),
+                            "sub-rects overlap: {a:?} {b:?}");
+                    }
+                }
+                prop_assert!((area - clipped.volume()).abs()
+                    <= 1e-9 * clipped.volume().max(1.0),
+                    "union area {area} != clipped area {}", clipped.volume());
+                // And the block list agrees with blocks_overlapping's.
+                let blocks: Vec<mar_geom::BlockId> =
+                    parts.iter().map(|(b, _)| *b).collect();
+                prop_assert_eq!(blocks, g.blocks_overlapping(&q));
+            }
+        }
+    }
+
     /// blocks_overlapping returns exactly the blocks whose rects intersect
     /// the query (verified against brute force over all blocks).
     #[test]

@@ -181,8 +181,10 @@ impl FaultDecision {
 }
 
 /// `splitmix64` — the finalizing mix used to derive every fault decision.
-/// Pure, order-independent, and identical on every platform.
-fn splitmix64(mut x: u64) -> u64 {
+/// Pure, order-independent, and identical on every platform. Public so
+/// other deterministic schedules (retry jitter, shard outages) can key off
+/// the same discipline instead of growing their own PRNG.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -190,8 +192,8 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Uniform `[0, 1)` from 53 high bits.
-fn u01(x: u64) -> f64 {
+/// Uniform `[0, 1)` from 53 high bits of a [`splitmix64`] output.
+pub fn u01(x: u64) -> f64 {
     (x >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
@@ -258,6 +260,130 @@ impl FaultPlan {
                 "{i},{},{},{},{}\n",
                 d.dropped, d.lost, d.jitter_s, d.bandwidth_factor
             ));
+        }
+        out
+    }
+}
+
+/// Why a [`ShardOutagePlan`] was rejected at construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardOutageError {
+    /// `outage_ticks` must be strictly shorter than `period`, so every
+    /// event window ends with the victim back up (recovery is part of the
+    /// schedule, not an afterthought).
+    OutageOutlivesPeriod {
+        /// The offending outage length.
+        outage_ticks: u64,
+        /// The event period it must fit strictly inside.
+        period: u64,
+    },
+}
+
+impl fmt::Display for ShardOutageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutageOutlivesPeriod {
+                outage_ticks,
+                period,
+            } => write!(
+                f,
+                "outage_ticks ({outage_ticks}) must be < period ({period}) so shards recover"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardOutageError {}
+
+/// A deterministic whole-shard outage schedule: the fleet-level analogue
+/// of [`FaultPlan`]'s per-request drops. Time is divided into events of
+/// `period` ticks; in every event after the first, one victim shard —
+/// chosen by a pure [`splitmix64`] hash of `(seed, event)` — is down for
+/// the event's first `outage_ticks` ticks and back up for the rest, so
+/// recovery (re-admission) is exercised inside every event window.
+///
+/// The schedule is a pure function of `(seed, tick)`: no mutable state,
+/// no wall clock, identical on every thread count — a router can evaluate
+/// it as a value per tick and stay stateless (DESIGN.md §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardOutagePlan {
+    seed: u64,
+    period: u64,
+    outage_ticks: u64,
+}
+
+impl ShardOutagePlan {
+    /// Builds a plan: every `period` ticks, one shard is down for the
+    /// first `outage_ticks` ticks of the window. `period == 0` disables
+    /// outages entirely (the fault-free reference plan).
+    pub fn new(seed: u64, period: u64, outage_ticks: u64) -> Result<Self, ShardOutageError> {
+        if period > 0 && outage_ticks >= period {
+            return Err(ShardOutageError::OutageOutlivesPeriod {
+                outage_ticks,
+                period,
+            });
+        }
+        Ok(Self {
+            seed,
+            period,
+            outage_ticks,
+        })
+    }
+
+    /// The outage-free plan: no shard ever goes down.
+    pub fn none(seed: u64) -> Self {
+        Self {
+            seed,
+            period: 0,
+            outage_ticks: 0,
+        }
+    }
+
+    /// True when this plan never takes a shard down.
+    pub fn is_none(&self) -> bool {
+        self.period == 0 || self.outage_ticks == 0
+    }
+
+    /// The victim shard of event `event` (pure hash; the same event always
+    /// kills the same shard on every machine and thread count).
+    pub fn victim(&self, event: u64, nshards: u32) -> u32 {
+        let h = splitmix64(self.seed ^ event.wrapping_mul(0xc2b2_ae3d_27d4_eb4f));
+        (h % u64::from(nshards.max(1))) as u32
+    }
+
+    /// Whether `shard` is down at `tick` in a fleet of `nshards`.
+    /// Event 0 (the first `period` ticks) is always outage-free, so every
+    /// run starts from a healthy fleet — the warm-up the availability
+    /// accounting baselines against.
+    pub fn is_down(&self, tick: u64, shard: u32, nshards: u32) -> bool {
+        if self.is_none() || nshards == 0 {
+            return false;
+        }
+        let event = tick / self.period;
+        event > 0 && tick % self.period < self.outage_ticks && self.victim(event, nshards) == shard
+    }
+
+    /// The down-shard bitmask at `tick`: bit `s` set iff shard `s` is
+    /// down. `nshards` must be ≤ 64 (the fleet enforces this bound).
+    pub fn down_mask(&self, tick: u64, nshards: u32) -> u64 {
+        debug_assert!(nshards <= 64, "down_mask is a 64-bit health word");
+        if self.is_none() || nshards == 0 {
+            return 0;
+        }
+        let event = tick / self.period;
+        if event > 0 && tick % self.period < self.outage_ticks {
+            1u64 << self.victim(event, nshards)
+        } else {
+            0
+        }
+    }
+
+    /// The first `n` ticks of the schedule, serialised as CSV — the
+    /// byte-comparable form used by the determinism tests.
+    pub fn schedule_csv(&self, nshards: u32, n: u64) -> String {
+        let mut out = String::from("tick,down_mask\n");
+        for t in 0..n {
+            out.push_str(&format!("{t},{:#06x}\n", self.down_mask(t, nshards)));
         }
         out
     }
@@ -348,6 +474,13 @@ impl FaultyLink {
     /// Index of the next request this link will attempt.
     pub fn next_index(&self) -> u64 {
         self.next_index
+    }
+
+    /// The fault-stream key this channel draws from — the value retry
+    /// jitter must be seeded with so two clients' backoff sequences are
+    /// decorrelated but each is byte-identical across runs.
+    pub fn stream(&self) -> u64 {
+        self.stream
     }
 
     /// Statistics so far.
@@ -534,6 +667,62 @@ mod tests {
         }
         assert!(saw_slower, "jitter/dips must actually bite");
         assert!(link.stats().dipped > 0);
+    }
+
+    #[test]
+    fn shard_outage_schedule_is_deterministic_and_recovers() {
+        let a = ShardOutagePlan::new(99, 10, 4).unwrap();
+        let b = ShardOutagePlan::new(99, 10, 4).unwrap();
+        assert_eq!(a.schedule_csv(8, 100), b.schedule_csv(8, 100));
+        assert_ne!(
+            a.schedule_csv(8, 100),
+            ShardOutagePlan::new(100, 10, 4)
+                .unwrap()
+                .schedule_csv(8, 100),
+            "a different seed must pick different victims"
+        );
+        // Event 0 is always healthy.
+        for t in 0..10 {
+            assert_eq!(a.down_mask(t, 8), 0, "tick {t} must be outage-free");
+        }
+        // Every later event: one victim down for exactly outage_ticks,
+        // then the whole fleet is back up before the window ends.
+        for event in 1..10u64 {
+            let victim = a.victim(event, 8);
+            for off in 0..10u64 {
+                let t = event * 10 + off;
+                let mask = a.down_mask(t, 8);
+                if off < 4 {
+                    assert_eq!(mask, 1 << victim, "tick {t}");
+                    assert!(a.is_down(t, victim, 8));
+                    assert_eq!(mask.count_ones(), 1, "exactly one shard down");
+                } else {
+                    assert_eq!(mask, 0, "tick {t} must have recovered");
+                }
+            }
+        }
+        // Victims spread over the fleet rather than pinning one shard.
+        let victims: std::collections::BTreeSet<u32> = (1..50).map(|e| a.victim(e, 8)).collect();
+        assert!(victims.len() > 3, "victim choice must vary: {victims:?}");
+    }
+
+    #[test]
+    fn shard_outage_none_and_validation() {
+        let none = ShardOutagePlan::none(7);
+        assert!(none.is_none());
+        assert!((0..1000).all(|t| none.down_mask(t, 64) == 0));
+        assert_eq!(
+            ShardOutagePlan::new(7, 10, 10),
+            Err(ShardOutageError::OutageOutlivesPeriod {
+                outage_ticks: 10,
+                period: 10
+            }),
+            "an outage must end before its event window does"
+        );
+        assert!(ShardOutagePlan::new(7, 10, 9).is_ok());
+        // Zero-length outages are legal and equivalent to none.
+        let zero = ShardOutagePlan::new(7, 10, 0).unwrap();
+        assert!(zero.is_none());
     }
 
     #[test]

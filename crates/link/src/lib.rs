@@ -31,7 +31,7 @@ pub mod link;
 pub use clock::SimClock;
 pub use cost::TransferCostModel;
 pub use fault::{
-    FaultConfig, FaultConfigError, FaultDecision, FaultPlan, FaultStats, FaultyLink, Grant,
-    LinkError,
+    splitmix64, u01, FaultConfig, FaultConfigError, FaultDecision, FaultPlan, FaultStats,
+    FaultyLink, Grant, LinkError, ShardOutageError, ShardOutagePlan,
 };
 pub use link::{LinkConfig, LinkConfigError, LinkStats, WirelessLink};
